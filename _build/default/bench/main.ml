@@ -1,0 +1,183 @@
+(* Benchmark entry point.
+
+   Default mode regenerates every table and figure of the paper's
+   evaluation (see lib/harness/experiments.ml); [--bechamel] runs a
+   Bechamel micro-benchmark suite with one Test.make group per table on
+   small representative workloads; [--quick] shrinks budgets for smoke
+   runs. *)
+
+open Berkmin_gen
+module Config = Berkmin.Config
+module Experiments = Berkmin_harness.Experiments
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-suite.                                               *)
+
+let solve_fn config instance =
+  let cnf = instance.Instance.cnf in
+  fun () ->
+    match
+      Berkmin.Solver.solve_cnf ~config
+        ~budget:(Berkmin.Solver.budget_conflicts 20_000)
+        cnf
+    with
+    | Berkmin.Solver.Sat _ | Berkmin.Solver.Unsat | Berkmin.Solver.Unknown -> ()
+
+let test_of ~name config instance =
+  Bechamel.Test.make ~name (Bechamel.Staged.stage (solve_fn config instance))
+
+let bechamel_tests () =
+  let hole = Pigeonhole.instance 7 6 in
+  let adder = Circuit_bench.adder_miter ~width:8 in
+  let mul = Circuit_bench.mul_miter ~width:3 in
+  let tiny_hole = Pigeonhole.instance 6 5 in
+  let group name members = Bechamel.Test.make_grouped ~name members in
+  [
+    group "table1-sensitivity"
+      [
+        test_of ~name:"berkmin" Config.berkmin hole;
+        test_of ~name:"less_sensitivity" Config.less_sensitivity hole;
+      ];
+    group "table2-mobility"
+      [
+        test_of ~name:"berkmin" Config.berkmin hole;
+        test_of ~name:"less_mobility" Config.less_mobility hole;
+      ];
+    group "table3-skin" [ test_of ~name:"berkmin" Config.berkmin adder ];
+    group "table4-branch"
+      [
+        test_of ~name:"berkmin" Config.berkmin adder;
+        test_of ~name:"sat_top" Config.sat_top adder;
+        test_of ~name:"unsat_top" Config.unsat_top adder;
+        test_of ~name:"take_0" Config.take_zero adder;
+        test_of ~name:"take_1" Config.take_one adder;
+        test_of ~name:"take_rand" Config.take_random adder;
+      ];
+    group "table5-db"
+      [
+        test_of ~name:"berkmin" Config.berkmin mul;
+        test_of ~name:"limited_keeping" Config.limited_keeping mul;
+      ];
+    group "table6-comparable"
+      [
+        test_of ~name:"berkmin" Config.berkmin adder;
+        test_of ~name:"chaff" Config.chaff adder;
+      ];
+    group "table7-dominated"
+      [
+        test_of ~name:"berkmin" Config.berkmin mul;
+        test_of ~name:"chaff" Config.chaff mul;
+      ];
+    group "table8-decisions"
+      [
+        test_of ~name:"berkmin" Config.berkmin hole;
+        test_of ~name:"chaff" Config.chaff hole;
+      ];
+    group "table9-dbsize"
+      [
+        test_of ~name:"berkmin" Config.berkmin mul;
+        test_of ~name:"chaff" Config.chaff mul;
+      ];
+    group "table10-robustness"
+      [
+        test_of ~name:"berkmin" Config.berkmin tiny_hole;
+        test_of ~name:"chaff" Config.chaff tiny_hole;
+        test_of ~name:"limmat" Config.limmat_like tiny_hole;
+      ];
+  ]
+
+let run_bechamel () =
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None
+      ~stabilize:true ()
+  in
+  print_endline "Bechamel micro-suite (ns per solve, OLS on monotonic clock):";
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances test in
+      let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+      let names =
+        List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) results [])
+      in
+      List.iter
+        (fun name ->
+          let o = Hashtbl.find results name in
+          match Analyze.OLS.estimates o with
+          | Some (est :: _) -> Printf.printf "  %-42s %12.0f ns/run\n%!" name est
+          | Some [] | None -> Printf.printf "  %-42s (no estimate)\n%!" name)
+        names)
+    (bechamel_tests ())
+
+(* ------------------------------------------------------------------ *)
+(* Command line.                                                       *)
+
+let run quick bechamel extensions only list_names =
+  if list_names then begin
+    List.iter print_endline Experiments.names;
+    0
+  end
+  else if bechamel then begin
+    run_bechamel ();
+    0
+  end
+  else begin
+    let opts =
+      if quick then Experiments.quick_opts else Experiments.default_opts
+    in
+    match only with
+    | [] ->
+      Experiments.run_all opts;
+      if extensions then Experiments.run_extensions opts;
+      0
+    | names ->
+      let bad = List.filter (fun n -> not (Experiments.run_one opts n)) names in
+      if bad = [] then 0
+      else begin
+        Printf.eprintf "unknown experiment(s): %s (try --list)\n"
+          (String.concat ", " bad);
+        1
+      end
+  end
+
+open Cmdliner
+
+let quick =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Small budgets for a smoke run.")
+
+let bechamel =
+  Arg.(
+    value & flag
+    & info [ "bechamel" ]
+        ~doc:"Run the Bechamel micro-benchmark suite instead of the tables.")
+
+let only =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "only"; "table" ] ~docv:"NAME"
+        ~doc:"Run only the named experiment (repeatable), e.g. table7.")
+
+let list_names =
+  Arg.(value & flag & info [ "list" ] ~doc:"List experiment names and exit.")
+
+let extensions =
+  Arg.(
+    value & flag
+    & info [ "extensions" ]
+        ~doc:
+          "Also run the beyond-the-paper ablation sweeps (restart \
+           strategies, decision window, minimization, variable-order \
+           heap, DB constants, activity aging).")
+
+let cmd =
+  let doc = "Regenerate the BerkMin paper's tables and figures" in
+  Cmd.v
+    (Cmd.info "berkmin-bench" ~doc)
+    Term.(const run $ quick $ bechamel $ extensions $ only $ list_names)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,146 @@
+(* Command-line SAT solver: reads DIMACS, prints a SAT-competition
+   style answer, optionally emits a DRUP proof and statistics.
+
+   Exit codes follow the SAT-solver convention: 10 = SATISFIABLE,
+   20 = UNSATISFIABLE, 0 = UNKNOWN, 2 = usage/input error. *)
+
+open Berkmin_types
+module Drup = Berkmin_proof.Drup
+
+let find_config name =
+  List.assoc_opt name Berkmin.Config.presets
+
+let run file strategy max_conflicts max_seconds proof_file stats_flag check
+    seed quiet =
+  match find_config strategy with
+  | None ->
+    Printf.eprintf "unknown strategy %S; available: %s\n" strategy
+      (String.concat ", " (List.map fst Berkmin.Config.presets));
+    2
+  | Some config -> (
+    let config =
+      match seed with
+      | Some s -> Berkmin.Config.with_seed s config
+      | None -> config
+    in
+    match Berkmin_dimacs.Dimacs.parse_file file with
+    | exception Sys_error msg ->
+      Printf.eprintf "cannot read %s: %s\n" file msg;
+      2
+    | exception Berkmin_dimacs.Dimacs.Parse_error { line; message } ->
+      Printf.eprintf "%s:%d: %s\n" file line message;
+      2
+    | cnf ->
+      let solver = Berkmin.Solver.create ~config cnf in
+      let proof =
+        match proof_file with
+        | None -> None
+        | Some path ->
+          let p = Drup.create () in
+          Berkmin.Solver.set_proof_logger solver (Drup.record p);
+          Some (path, p)
+      in
+      let budget =
+        { Berkmin.Solver.max_conflicts; max_seconds }
+      in
+      let result = Berkmin.Solver.solve ~budget solver in
+      if not quiet then
+        Format.printf "c strategy %a@." Berkmin.Config.pp config;
+      if stats_flag then begin
+        let text =
+          Format.asprintf "%a" Berkmin.Stats.pp (Berkmin.Solver.stats solver)
+        in
+        String.split_on_char '\n' text
+        |> List.iter (fun line -> Printf.printf "c %s\n" line)
+      end;
+      (match result, proof with
+      | Berkmin.Solver.Unsat, Some (path, p) ->
+        Drup.write_file path p;
+        if not quiet then Printf.printf "c proof written to %s\n" path;
+        if check then begin
+          match Drup.check cnf p with
+          | Drup.Valid -> print_endline "c proof checked: VALID"
+          | Drup.Invalid { step; reason; _ } ->
+            Printf.printf "c proof checked: INVALID at step %d (%s)\n" step
+              reason
+        end
+      | (Berkmin.Solver.Sat _ | Berkmin.Solver.Unknown), Some _ | _, None -> ());
+      (match result with
+      | Berkmin.Solver.Sat model ->
+        if check && not (Cnf.satisfied_by cnf model) then begin
+          print_endline "c INTERNAL ERROR: model does not satisfy the formula";
+          exit 1
+        end;
+        Format.printf "%a@."
+          (fun fmt () ->
+            Berkmin_dimacs.Dimacs.print_solution fmt (Some model))
+          ();
+        10
+      | Berkmin.Solver.Unsat ->
+        print_endline "s UNSATISFIABLE";
+        20
+      | Berkmin.Solver.Unknown ->
+        print_endline "s UNKNOWN";
+        0))
+
+open Cmdliner
+
+let file =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE.cnf" ~doc:"DIMACS CNF input file.")
+
+let strategy =
+  Arg.(
+    value & opt string "berkmin"
+    & info [ "s"; "strategy" ] ~docv:"NAME"
+        ~doc:
+          "Solver configuration preset (berkmin, chaff, less_mobility, ...; \
+           see --help).")
+
+let max_conflicts =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-conflicts" ] ~docv:"N" ~doc:"Abort after N conflicts.")
+
+let max_seconds =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "max-seconds" ] ~docv:"S" ~doc:"Abort after S CPU seconds.")
+
+let proof_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "proof" ] ~docv:"FILE"
+        ~doc:"Write a DRUP proof here when the answer is UNSATISFIABLE.")
+
+let stats_flag =
+  Arg.(value & flag & info [ "stats" ] ~doc:"Print solver statistics.")
+
+let check =
+  Arg.(
+    value & flag
+    & info [ "check" ]
+        ~doc:"Verify the model (SAT) or the emitted proof (UNSAT).")
+
+let seed =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "seed" ] ~docv:"N" ~doc:"Override the heuristic RNG seed.")
+
+let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Less c-line chatter.")
+
+let cmd =
+  let doc = "BerkMin-style CDCL SAT solver" in
+  Cmd.v
+    (Cmd.info "berkmin" ~doc)
+    Term.(
+      const run $ file $ strategy $ max_conflicts $ max_seconds $ proof_file
+      $ stats_flag $ check $ seed $ quiet)
+
+let () = exit (Cmd.eval' cmd)

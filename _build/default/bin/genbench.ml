@@ -1,0 +1,65 @@
+(* Emits the synthetic benchmark suites as DIMACS files, one directory
+   per class, so the instances can be fed to external solvers too. *)
+
+open Berkmin_gen
+
+let sanitize name =
+  String.map (function '/' | ' ' -> '_' | c -> c) name
+
+let write_instance dir inst =
+  let path = Filename.concat dir (sanitize inst.Instance.name ^ ".cnf") in
+  Berkmin_dimacs.Dimacs.write_file path inst.Instance.cnf;
+  Printf.printf "wrote %s (%s, expect %s)\n" path
+    (Format.asprintf "%a" Berkmin_types.Cnf.pp_stats inst.Instance.cnf)
+    (Instance.expected_to_string inst.Instance.expected)
+
+let run out_dir class_names list_flag =
+  if list_flag then begin
+    List.iter (fun (name, _) -> print_endline name) (Suites.all ());
+    0
+  end
+  else begin
+    let classes =
+      match class_names with
+      | [] -> Suites.all ()
+      | names ->
+        List.map
+          (fun name ->
+            match Suites.find_class name with
+            | instances -> (name, instances)
+            | exception Not_found ->
+              Printf.eprintf "unknown class %S (try --list)\n" name;
+              exit 2)
+          names
+    in
+    List.iter
+      (fun (name, instances) ->
+        let dir = Filename.concat out_dir (sanitize name) in
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        List.iter (write_instance dir) instances)
+      classes;
+    0
+  end
+
+open Cmdliner
+
+let out_dir =
+  Arg.(
+    value & opt string "benchmarks"
+    & info [ "o"; "out" ] ~docv:"DIR" ~doc:"Output directory (must exist).")
+
+let class_names =
+  Arg.(
+    value & pos_all string []
+    & info [] ~docv:"CLASS" ~doc:"Classes to emit (default: all twelve).")
+
+let list_flag =
+  Arg.(value & flag & info [ "list" ] ~doc:"List class names and exit.")
+
+let cmd =
+  let doc = "Generate the BerkMin reproduction benchmark suites as DIMACS" in
+  Cmd.v
+    (Cmd.info "berkmin-genbench" ~doc)
+    Term.(const run $ out_dir $ class_names $ list_flag)
+
+let () = exit (Cmd.eval' cmd)

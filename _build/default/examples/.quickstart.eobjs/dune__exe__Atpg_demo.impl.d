@@ -1,0 +1,1 @@
+examples/atpg_demo.ml: Array Berkmin_circuit Format List Printf String Sys

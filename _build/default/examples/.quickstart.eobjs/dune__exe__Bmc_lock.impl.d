@@ -1,0 +1,1 @@
+examples/bmc_lock.ml: Array Berkmin_circuit Format List Printf

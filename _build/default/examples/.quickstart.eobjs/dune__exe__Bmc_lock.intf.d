@@ -1,0 +1,1 @@
+examples/bmc_lock.mli:

@@ -1,0 +1,1 @@
+examples/equivalence_check.ml: Array Berkmin Berkmin_circuit Format List Printf String

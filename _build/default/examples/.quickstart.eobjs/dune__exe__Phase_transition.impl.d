@@ -1,0 +1,1 @@
+examples/phase_transition.ml: Berkmin Berkmin_gen List Printf

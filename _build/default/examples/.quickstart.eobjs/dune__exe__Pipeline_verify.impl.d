@@ -1,0 +1,1 @@
+examples/pipeline_verify.ml: Array Berkmin Berkmin_circuit Format List Printf Sys

@@ -1,0 +1,1 @@
+examples/planning_hanoi.ml: Array Berkmin Berkmin_gen Berkmin_types Cnf Format List Printf

@@ -1,0 +1,1 @@
+examples/proof_checking.ml: Berkmin Berkmin_gen Berkmin_proof Berkmin_types Clause Cnf Format Lit Printf String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Berkmin Berkmin_dimacs Berkmin_types Cnf Format Lit

@@ -1,0 +1,1 @@
+examples/sudoku.ml: Array Berkmin Berkmin_gen Berkmin_types Format Printf

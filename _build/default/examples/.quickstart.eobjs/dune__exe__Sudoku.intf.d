@@ -1,0 +1,1 @@
+examples/sudoku.mli:

@@ -1,0 +1,67 @@
+(* Combinational equivalence checking — the workload the paper's
+   Miters class and the original BerkMin's industrial deployment came
+   from.  We build two 8-bit adders with different microarchitectures,
+   prove them equivalent (UNSAT miter), then inject a design error and
+   extract a differentiating input vector from the SAT model.
+
+   Run with: dune exec examples/equivalence_check.exe *)
+
+module C = Berkmin_circuit.Circuit
+module B = Berkmin_circuit.Bitvec
+module M = Berkmin_circuit.Miter
+module T = Berkmin_circuit.Tseitin
+module R = Berkmin_circuit.Random_circuit
+
+let width = 8
+
+let make_adder kind =
+  let c = C.create () in
+  let a = B.inputs c "a" width and b = B.inputs c "b" width in
+  let sum, carry =
+    match kind with
+    | `Ripple -> B.ripple_carry_add c a b
+    | `Carry_select -> B.carry_select_add c ~block:3 a b
+  in
+  B.set_outputs c "sum" sum;
+  C.set_output c "carry" carry;
+  c
+
+let solve cnf = Berkmin.Solver.solve_cnf cnf
+
+let () =
+  let ripple = make_adder `Ripple in
+  let carry_select = make_adder `Carry_select in
+  Format.printf "ripple:       %a@." C.pp_stats ripple;
+  Format.printf "carry-select: %a@." C.pp_stats carry_select;
+
+  (* Equivalence: the miter output can never be 1. *)
+  (match solve (M.to_cnf ripple carry_select) with
+  | Berkmin.Solver.Unsat -> print_endline "adders proven EQUIVALENT"
+  | Berkmin.Solver.Sat _ -> print_endline "BUG: adders differ?!"
+  | Berkmin.Solver.Unknown -> print_endline "budget exhausted");
+
+  (* Now break one gate and find the exposing input vector.  We keep
+     the Tseitin mapping so the SAT model can be read back as circuit
+     inputs. *)
+  let buggy = R.inject_fault ripple ~seed:2024 in
+  let miter = M.build carry_select buggy in
+  let mapping = T.encode miter in
+  T.assert_output miter mapping "miter" true;
+  (match solve mapping.T.cnf with
+  | Berkmin.Solver.Sat model ->
+    let inputs = M.interpret_model miter mapping model in
+    let bits le = Array.to_list le |> List.map (fun b -> if b then "1" else "0")
+                  |> List.rev |> String.concat "" in
+    let a = Array.sub inputs 0 width and b = Array.sub inputs width width in
+    Printf.printf "design error EXPOSED by a=%s b=%s\n" (bits a) (bits b);
+    (* Double-check by simulation. *)
+    let good = C.eval_outputs carry_select inputs in
+    let bad = C.eval_outputs buggy inputs in
+    List.iter
+      (fun (name, v) ->
+        let w = List.assoc name bad in
+        if v <> w then Printf.printf "  output %-7s good=%b buggy=%b\n" name v w)
+      good
+  | Berkmin.Solver.Unsat ->
+    print_endline "fault turned out untestable (masked); try another seed"
+  | Berkmin.Solver.Unknown -> print_endline "budget exhausted")

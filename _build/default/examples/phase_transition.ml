@@ -1,0 +1,45 @@
+(* The random 3-SAT phase transition: sweep the clause/variable ratio
+   across the satisfiability threshold (~4.26) and watch the SAT
+   probability fall and the search cost peak — the classic hardness
+   profile every CDCL paper's random benchmarks sit on.
+
+   Run with: dune exec examples/phase_transition.exe *)
+
+module Solver = Berkmin.Solver
+
+let num_vars = 100
+let samples = 20
+
+let () =
+  Printf.printf
+    "random 3-SAT, %d variables, %d samples per ratio (BerkMin config)\n\n"
+    num_vars samples;
+  Printf.printf "%8s  %6s  %12s  %12s\n" "ratio" "%SAT" "avg conflicts"
+    "max conflicts";
+  List.iter
+    (fun ratio_x100 ->
+      let ratio = float_of_int ratio_x100 /. 100.0 in
+      let num_clauses = int_of_float (ratio *. float_of_int num_vars) in
+      let sat = ref 0 and total_conf = ref 0 and max_conf = ref 0 in
+      for seed = 1 to samples do
+        let cnf =
+          Berkmin_gen.Random_ksat.generate ~num_vars ~num_clauses ~k:3
+            ~seed:(seed + (ratio_x100 * 1000))
+        in
+        let s = Solver.create cnf in
+        (match Solver.solve s with
+        | Solver.Sat _ -> incr sat
+        | Solver.Unsat -> ()
+        | Solver.Unknown -> ());
+        let c = (Solver.stats s).Berkmin.Stats.conflicts in
+        total_conf := !total_conf + c;
+        if c > !max_conf then max_conf := c
+      done;
+      Printf.printf "%8.2f  %5d%%  %12.0f  %12d\n%!" ratio
+        (100 * !sat / samples)
+        (float_of_int !total_conf /. float_of_int samples)
+        !max_conf)
+    [ 300; 350; 380; 400; 410; 420; 426; 430; 440; 450; 480; 520; 600 ];
+  print_endline
+    "\nThe SAT fraction collapses around ratio 4.26 and the conflict\n\
+     counts peak there: the hardest instances live at the threshold."

@@ -1,0 +1,75 @@
+(* Microprocessor-style verification — the workload behind the paper's
+   Sss/Fvp/Vliw classes.  We verify a pipelined datapath's operand
+   forwarding network against its sequential specification for EVERY
+   3-instruction program (symbolic opcodes and register indices), then
+   seed a priority bug into the forwarding logic and decode the failing
+   program from the SAT model.
+
+   Run with: dune exec examples/pipeline_verify.exe *)
+
+module C = Berkmin_circuit.Circuit
+module P = Berkmin_circuit.Pipeline
+module M = Berkmin_circuit.Miter
+module T = Berkmin_circuit.Tseitin
+
+let params = { P.stages = 3; num_regs = 4; width = 2 }
+
+let opcode_name = function
+  | 0 -> "add"
+  | 1 -> "sub"
+  | 2 -> "and"
+  | 3 -> "or"
+  | 4 -> "xor"
+  | n -> Printf.sprintf "op%d" n
+
+(* Pull one named input bundle out of a counterexample input vector. *)
+let field inputs names prefix width =
+  let bits =
+    List.filteri
+      (fun _ _ -> true)
+      (List.mapi (fun i name -> (name, inputs.(i))) names)
+  in
+  let value = ref 0 in
+  for k = 0 to width - 1 do
+    match List.assoc_opt (Printf.sprintf "%s.%d" prefix k) bits with
+    | Some true -> value := !value lor (1 lsl k)
+    | Some false | None -> ()
+  done;
+  !value
+
+let () =
+  let spec = P.specification params in
+  let impl = P.implementation params in
+  Format.printf "spec: %a@.impl: %a@." C.pp_stats spec C.pp_stats impl;
+
+  (* Prove the forwarding network correct for all programs. *)
+  let t0 = Sys.time () in
+  (match Berkmin.Solver.solve_cnf (M.to_cnf spec impl) with
+  | Berkmin.Solver.Unsat ->
+    Printf.printf
+      "forwarding network VERIFIED for all %d-instruction programs (%.2fs)\n"
+      params.P.stages (Sys.time () -. t0)
+  | Berkmin.Solver.Sat _ -> print_endline "BUG in the implementation?!"
+  | Berkmin.Solver.Unknown -> print_endline "budget exhausted");
+
+  (* Now the buggy pipeline: oldest-writer-wins forwarding. *)
+  let buggy = P.buggy_implementation params in
+  let miter = M.build spec buggy in
+  let mapping = T.encode miter in
+  T.assert_output miter mapping "miter" true;
+  match Berkmin.Solver.solve_cnf mapping.T.cnf with
+  | Berkmin.Solver.Sat model ->
+    let inputs = M.interpret_model miter mapping model in
+    let names = C.input_names miter in
+    print_endline "hazard bug EXPOSED; failing program:";
+    for s = 0 to params.P.stages - 1 do
+      let op = field inputs names (Printf.sprintf "op%d" s) 3 in
+      let dst = field inputs names (Printf.sprintf "dst%d" s) 2 in
+      let src1 = field inputs names (Printf.sprintf "src1_%d" s) 2 in
+      let src2 = field inputs names (Printf.sprintf "src2_%d" s) 2 in
+      Printf.printf "  I%d: r%d := r%d %s r%d\n" s dst src1 (opcode_name op) src2
+    done;
+    print_endline "(two writes to one register followed by a read of it:";
+    print_endline " newest-wins and oldest-wins forwarding disagree)"
+  | Berkmin.Solver.Unsat -> print_endline "bug not exposed?!"
+  | Berkmin.Solver.Unknown -> print_endline "budget exhausted"

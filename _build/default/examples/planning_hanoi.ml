@@ -1,0 +1,54 @@
+(* SAT planning: solve Towers of Hanoi through the CNF encoding (the
+   paper's Hanoi class), decode the plan from the model, replay it
+   against the rules, and show that one step fewer is UNSAT.
+
+   Run with: dune exec examples/planning_hanoi.exe *)
+
+open Berkmin_types
+module Hanoi = Berkmin_gen.Hanoi
+
+let disks = 4
+
+(* Replay a decoded plan on an explicit simulator to prove the model
+   is a real plan, not just a satisfying assignment. *)
+let replay plan =
+  let pegs = [| List.init disks (fun d -> d); []; [] |] in
+  let ok = ref true in
+  List.iter
+    (fun (d, p, q) ->
+      (match pegs.(p) with
+      | top :: rest when top = d ->
+        (match pegs.(q) with
+        | smaller :: _ when smaller < d ->
+          ok := false (* would cover a smaller disk *)
+        | [] | _ :: _ ->
+          pegs.(p) <- rest;
+          pegs.(q) <- d :: pegs.(q))
+      | [] | _ :: _ -> ok := false (* disk not on top of source *)))
+    plan;
+  !ok && pegs.(0) = [] && pegs.(1) = [] && pegs.(2) = List.init disks (fun d -> d)
+
+let () =
+  let horizon = Hanoi.optimal_horizon disks in
+  Printf.printf "hanoi with %d disks: optimal plan has %d moves\n" disks horizon;
+  let cnf = Hanoi.encode ~disks ~horizon in
+  Format.printf "encoding: %a@." Cnf.pp_stats cnf;
+  (match Berkmin.Solver.solve_cnf cnf with
+  | Berkmin.Solver.Sat model ->
+    let plan = Hanoi.decode_plan ~disks ~horizon model in
+    Printf.printf "plan found (%d moves):\n" (List.length plan);
+    List.iteri
+      (fun i (d, p, q) ->
+        Printf.printf "  %2d. move disk %d from peg %d to peg %d\n" (i + 1) d p q)
+      plan;
+    Printf.printf "replay check: %s\n"
+      (if replay plan then "plan is legal and reaches the goal" else "PLAN INVALID");
+  | Berkmin.Solver.Unsat -> print_endline "BUG: optimal horizon should be SAT"
+  | Berkmin.Solver.Unknown -> print_endline "budget exhausted");
+  (* One step fewer is impossible. *)
+  (match Berkmin.Solver.solve_cnf (Hanoi.encode ~disks ~horizon:(horizon - 1)) with
+  | Berkmin.Solver.Unsat ->
+    Printf.printf "horizon %d proven UNSAT: the plan above is optimal\n"
+      (horizon - 1)
+  | Berkmin.Solver.Sat _ -> print_endline "BUG: shorter plan should not exist"
+  | Berkmin.Solver.Unknown -> print_endline "budget exhausted")

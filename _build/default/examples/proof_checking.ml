@@ -1,0 +1,47 @@
+(* UNSAT certification: log a DRUP proof while refuting a pigeonhole
+   formula, check it with the independent proof checker, and show the
+   checker rejecting a corrupted proof.
+
+   Run with: dune exec examples/proof_checking.exe *)
+
+open Berkmin_types
+module Drup = Berkmin_proof.Drup
+
+let () =
+  let cnf = Berkmin_gen.Pigeonhole.php 7 6 in
+  Format.printf "php(7,6): %a@." Cnf.pp_stats cnf;
+  let solver = Berkmin.Solver.create cnf in
+  let proof = Drup.create () in
+  Berkmin.Solver.set_proof_logger solver (Drup.record proof);
+  (match Berkmin.Solver.solve solver with
+  | Berkmin.Solver.Unsat ->
+    Printf.printf "UNSAT after %d conflicts; proof trace has %d events\n"
+      (Berkmin.Solver.stats solver).Berkmin.Stats.conflicts
+      (Drup.length proof)
+  | Berkmin.Solver.Sat _ | Berkmin.Solver.Unknown ->
+    failwith "php(7,6) must be UNSAT");
+
+  (* Validate with reverse unit propagation. *)
+  (match Drup.check cnf proof with
+  | Drup.Valid -> print_endline "checker verdict: VALID"
+  | Drup.Invalid { step; reason; _ } ->
+    Printf.printf "checker verdict: INVALID at step %d (%s)\n" step reason);
+
+  (* Round-trip through the standard text format. *)
+  let text = Drup.to_string proof in
+  Printf.printf "serialised proof: %d bytes\n" (String.length text);
+  let reparsed = Drup.parse_string text in
+  (match Drup.check cnf reparsed with
+  | Drup.Valid -> print_endline "round-tripped proof still VALID"
+  | Drup.Invalid _ -> print_endline "round-trip broke the proof?!");
+
+  (* Corrupt the proof: claim a clause that does not follow.  The
+     checker must reject it. *)
+  let corrupted = Drup.create () in
+  Drup.record corrupted (Drup.Add (Clause.of_list [ Lit.pos 0 ]));
+  Drup.record corrupted (Drup.Add (Clause.of_list []));
+  (match Drup.check cnf corrupted with
+  | Drup.Valid -> print_endline "BUG: corrupted proof accepted"
+  | Drup.Invalid { step; reason; _ } ->
+    Printf.printf "corrupted proof correctly rejected at step %d (%s)\n" step
+      reason)

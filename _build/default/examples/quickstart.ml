@@ -1,0 +1,47 @@
+(* Quickstart: build a formula two ways (API and DIMACS), solve it with
+   the default BerkMin configuration, and inspect the result.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Berkmin_types
+
+let () =
+  (* 1. Build a CNF through the API.  Variables are 0-based ints;
+     [Lit.pos v] / [Lit.neg_of v] are the two phases of variable v.
+     This encodes: (a | b) & (~a | c) & (~b | ~c) & (a | c). *)
+  let cnf = Cnf.create () in
+  let a = Cnf.fresh_var cnf in
+  let b = Cnf.fresh_var cnf in
+  let c = Cnf.fresh_var cnf in
+  Cnf.add_clause cnf [ Lit.pos a; Lit.pos b ];
+  Cnf.add_clause cnf [ Lit.neg_of a; Lit.pos c ];
+  Cnf.add_clause cnf [ Lit.neg_of b; Lit.neg_of c ];
+  Cnf.add_clause cnf [ Lit.pos a; Lit.pos c ];
+  Format.printf "formula: %a@." Cnf.pp_stats cnf;
+
+  (* 2. Solve.  [solve_cnf] is the one-shot wrapper; use
+     [Solver.create] + [Solver.solve] to keep the solver around for
+     statistics. *)
+  let solver = Berkmin.Solver.create cnf in
+  (match Berkmin.Solver.solve solver with
+  | Berkmin.Solver.Sat model ->
+    Format.printf "SATISFIABLE: a=%b b=%b c=%b@." model.(a) model.(b) model.(c);
+    assert (Cnf.satisfied_by cnf model)
+  | Berkmin.Solver.Unsat -> Format.printf "UNSATISFIABLE@."
+  | Berkmin.Solver.Unknown -> Format.printf "budget exhausted@.");
+  Format.printf "stats: %a@." Berkmin.Stats.pp_line (Berkmin.Solver.stats solver);
+
+  (* 3. The same via DIMACS text. *)
+  let dimacs = "p cnf 3 4\n1 2 0\n-1 3 0\n-2 -3 0\n1 3 0\n" in
+  let cnf2 = Berkmin_dimacs.Dimacs.parse_string dimacs in
+  (match Berkmin.Solver.solve_cnf cnf2 with
+  | Berkmin.Solver.Sat model ->
+    Format.printf "DIMACS round-trip: %a"
+      (fun fmt () -> Berkmin_dimacs.Dimacs.print_solution fmt (Some model))
+      ()
+  | Berkmin.Solver.Unsat | Berkmin.Solver.Unknown -> assert false);
+
+  (* 4. Choosing a different strategy: the Chaff-like baseline. *)
+  (match Berkmin.Solver.solve_cnf ~config:Berkmin.Config.chaff cnf2 with
+  | Berkmin.Solver.Sat _ -> Format.printf "chaff preset agrees: SAT@."
+  | Berkmin.Solver.Unsat | Berkmin.Solver.Unknown -> assert false)

@@ -1,0 +1,1 @@
+lib/circuit/atpg.ml: Array Berkmin Circuit List Miter Tseitin

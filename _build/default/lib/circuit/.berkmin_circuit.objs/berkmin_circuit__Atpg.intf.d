@@ -1,0 +1,1 @@
+lib/circuit/atpg.mli: Berkmin Circuit

@@ -1,0 +1,1 @@
+lib/circuit/blif.ml: Circuit Format Fun Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/circuit/blif.mli: Circuit Format

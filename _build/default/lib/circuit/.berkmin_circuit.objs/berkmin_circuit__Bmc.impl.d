@@ -1,0 +1,1 @@
+lib/circuit/bmc.ml: Array Berkmin Berkmin_types Circuit Cnf List Lit Printf Seq Tseitin

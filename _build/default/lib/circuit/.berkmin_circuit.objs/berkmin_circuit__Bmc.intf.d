@@ -1,0 +1,1 @@
+lib/circuit/bmc.mli: Berkmin Berkmin_types Cnf Seq

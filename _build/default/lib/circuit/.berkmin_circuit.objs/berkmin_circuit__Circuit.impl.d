@@ -1,0 +1,1 @@
+lib/circuit/circuit.ml: Array Berkmin_types Format List Printf Vec

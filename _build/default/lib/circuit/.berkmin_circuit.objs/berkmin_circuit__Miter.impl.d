@@ -1,0 +1,1 @@
+lib/circuit/miter.ml: Array Berkmin_types Circuit List Rng Tseitin

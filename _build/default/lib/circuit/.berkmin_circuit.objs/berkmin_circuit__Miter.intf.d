@@ -1,0 +1,1 @@
+lib/circuit/miter.mli: Berkmin_types Circuit Cnf Tseitin

@@ -1,0 +1,1 @@
+lib/circuit/pipeline.ml: Array Bitvec Circuit List Miter Printf

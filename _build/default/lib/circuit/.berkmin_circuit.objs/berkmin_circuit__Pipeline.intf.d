@@ -1,0 +1,1 @@
+lib/circuit/pipeline.mli: Berkmin_types Circuit

@@ -1,0 +1,1 @@
+lib/circuit/random_circuit.ml: Array Berkmin_types Circuit List Printf Rng

@@ -1,0 +1,1 @@
+lib/circuit/seq.ml: Array Circuit Hashtbl List Printf

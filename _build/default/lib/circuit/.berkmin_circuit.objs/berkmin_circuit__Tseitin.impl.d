@@ -1,0 +1,1 @@
+lib/circuit/tseitin.ml: Array Berkmin_types Circuit Cnf List Lit

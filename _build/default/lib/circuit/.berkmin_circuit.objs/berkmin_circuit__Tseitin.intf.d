@@ -1,0 +1,1 @@
+lib/circuit/tseitin.mli: Berkmin_types Circuit Cnf

@@ -1,0 +1,116 @@
+type fault = {
+  node : int;
+  stuck_at : bool;
+}
+
+type detection =
+  | Detected of bool array
+  | Untestable
+  | Undecided
+
+type report = {
+  total_faults : int;
+  detected : int;
+  untestable : int;
+  undecided : int;
+  patterns : bool array list;
+  results : (fault * detection) list;
+}
+
+let fault_list c =
+  let faults = ref [] in
+  for id = Circuit.num_nodes c - 1 downto 0 do
+    match Circuit.node c id with
+    | Circuit.Const _ -> ()
+    | Circuit.Input _ | Circuit.Not _ | Circuit.And _ | Circuit.Or _
+    | Circuit.Xor _ | Circuit.Mux _ ->
+      faults := { node = id; stuck_at = false } :: { node = id; stuck_at = true }
+                :: !faults
+  done;
+  !faults
+
+let with_stuck_node c fault =
+  let n = Circuit.num_nodes c in
+  if fault.node < 0 || fault.node >= n then invalid_arg "Atpg.with_stuck_node";
+  let dst = Circuit.create () in
+  let table = Array.make n (-1) in
+  for id = 0 to n - 1 do
+    table.(id) <-
+      (match Circuit.node c id with
+      | Circuit.Input name ->
+        (* The input node is always recreated so the input count and
+           creation order match the good circuit (miters pair inputs
+           positionally); a stuck input simply loses its fanout. *)
+        let input_id = Circuit.input dst name in
+        if id = fault.node then Circuit.const dst fault.stuck_at else input_id
+      | Circuit.Const b -> Circuit.const dst b
+      | node ->
+        if id = fault.node then Circuit.const dst fault.stuck_at
+        else (
+          match node with
+          | Circuit.Not a -> Circuit.not_ dst table.(a)
+          | Circuit.And (a, b) -> Circuit.and_ dst table.(a) table.(b)
+          | Circuit.Or (a, b) -> Circuit.or_ dst table.(a) table.(b)
+          | Circuit.Xor (a, b) -> Circuit.xor_ dst table.(a) table.(b)
+          | Circuit.Mux (s, a, b) ->
+            Circuit.mux dst ~sel:table.(s) ~if_true:table.(a)
+              ~if_false:table.(b)
+          | Circuit.Input _ | Circuit.Const _ -> assert false))
+  done;
+  List.iter
+    (fun (name, id) -> Circuit.set_output dst name table.(id))
+    (Circuit.outputs c);
+  dst
+
+let detects c fault pattern =
+  let faulty = with_stuck_node c fault in
+  let good = Circuit.eval_outputs c pattern in
+  let bad = Circuit.eval_outputs faulty pattern in
+  List.exists (fun (name, v) -> List.assoc name bad <> v) good
+
+let generate_test ?config ?budget c fault =
+  let faulty = with_stuck_node c fault in
+  let miter = Miter.build c faulty in
+  let m = Tseitin.encode miter in
+  Tseitin.assert_output miter m "miter" true;
+  match Berkmin.Solver.solve_cnf ?config ?budget m.Tseitin.cnf with
+  | Berkmin.Solver.Unsat -> Untestable
+  | Berkmin.Solver.Unknown -> Undecided
+  | Berkmin.Solver.Sat model ->
+    Detected (Miter.interpret_model miter m model)
+
+let run ?config ?budget ?(fault_simulate = true) c =
+  let faults = fault_list c in
+  let patterns = ref [] in
+  let results =
+    List.map
+      (fun fault ->
+        let prior =
+          if fault_simulate then
+            List.find_opt (fun p -> detects c fault p) !patterns
+          else None
+        in
+        match prior with
+        | Some p -> (fault, Detected p)
+        | None -> (
+          match generate_test ?config ?budget c fault with
+          | Detected p ->
+            if not (List.exists (fun q -> q = p) !patterns) then
+              patterns := !patterns @ [ p ];
+            (fault, Detected p)
+          | (Untestable | Undecided) as d -> (fault, d)))
+      faults
+  in
+  let count f = List.length (List.filter f results) in
+  {
+    total_faults = List.length faults;
+    detected = count (fun (_, d) -> match d with Detected _ -> true | _ -> false);
+    untestable = count (fun (_, d) -> d = Untestable);
+    undecided = count (fun (_, d) -> d = Undecided);
+    patterns = !patterns;
+    results;
+  }
+
+let coverage r =
+  let testable = r.total_faults - r.untestable in
+  if testable = 0 then 1.0 else float_of_int r.detected /. float_of_int testable

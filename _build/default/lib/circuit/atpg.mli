@@ -1,0 +1,66 @@
+(** Automatic test-pattern generation for single stuck-at faults.
+
+    The oldest SAT-in-EDA application (the paper's §1 cites
+    Stephan/Brayton/Sangiovanni-Vincentelli): for each fault "node n
+    stuck at v", build the miter of the circuit against a copy whose
+    node [n] is replaced by the constant [v]; a satisfying assignment
+    is an input vector that detects the fault, and UNSAT proves the
+    fault untestable (redundant logic).
+
+    Patterns are fault-simulated against the remaining fault list so
+    one pattern can retire many faults — the classic ATPG loop. *)
+
+type fault = {
+  node : int;
+  stuck_at : bool;
+}
+
+type detection =
+  | Detected of bool array  (** a detecting input vector *)
+  | Untestable  (** miter UNSAT: the fault never changes any output *)
+  | Undecided  (** solver budget exhausted *)
+
+type report = {
+  total_faults : int;
+  detected : int;
+  untestable : int;
+  undecided : int;
+  patterns : bool array list;
+      (** deduplicated detecting vectors, in generation order *)
+  results : (fault * detection) list;
+}
+
+val fault_list : Circuit.t -> fault list
+(** Both polarities on every gate and primary input (constants are
+    skipped: stuck-at faults on constants are either untestable or
+    equivalent to faults on their fanout). *)
+
+val with_stuck_node : Circuit.t -> fault -> Circuit.t
+(** Copy of the circuit with the faulty node's function replaced by a
+    constant.  Inputs keep their names so miters line up. *)
+
+val detects : Circuit.t -> fault -> bool array -> bool
+(** [detects c f pattern]: does the pattern produce different outputs
+    on the good and faulty circuits? (pure simulation) *)
+
+val generate_test :
+  ?config:Berkmin.Config.t ->
+  ?budget:Berkmin.Solver.budget ->
+  Circuit.t ->
+  fault ->
+  detection
+
+val run :
+  ?config:Berkmin.Config.t ->
+  ?budget:Berkmin.Solver.budget ->
+  ?fault_simulate:bool ->
+  Circuit.t ->
+  report
+(** Full ATPG over {!fault_list}.  With [fault_simulate] (default
+    [true]), every new pattern is simulated against undecided faults
+    first, so the solver only runs on faults no existing pattern
+    catches. *)
+
+val coverage : report -> float
+(** detected / (total - untestable), in [0, 1]; 1.0 when every
+    testable fault is detected. *)

@@ -1,0 +1,142 @@
+open Circuit
+
+type bv = int array
+
+let inputs c prefix width =
+  Array.init width (fun i -> input c (Printf.sprintf "%s.%d" prefix i))
+
+let const_int c ~width n =
+  Array.init width (fun i -> const c ((n lsr i) land 1 = 1))
+
+let check_widths a b op =
+  if Array.length a <> Array.length b then
+    invalid_arg (Printf.sprintf "Bitvec.%s: width mismatch (%d vs %d)" op
+                   (Array.length a) (Array.length b))
+
+let full_adder c a b cin =
+  let axb = xor_ c a b in
+  let sum = xor_ c axb cin in
+  let cout = or_ c (and_ c a b) (and_ c axb cin) in
+  (sum, cout)
+
+let ripple_carry_add c ?carry_in a b =
+  check_widths a b "ripple_carry_add";
+  let cin = match carry_in with Some x -> x | None -> const c false in
+  let carry = ref cin in
+  let sum =
+    Array.init (Array.length a) (fun i ->
+        let s, cout = full_adder c a.(i) b.(i) !carry in
+        carry := cout;
+        s)
+  in
+  (sum, !carry)
+
+let carry_select_add c ?(block = 4) ?carry_in a b =
+  check_widths a b "carry_select_add";
+  let n = Array.length a in
+  let sum = Array.make n (const c false) in
+  let carry = ref (match carry_in with Some x -> x | None -> const c false) in
+  let pos = ref 0 in
+  while !pos < n do
+    let len = min block (n - !pos) in
+    let sub v = Array.sub v !pos len in
+    (* Compute the block under both carry hypotheses, then select. *)
+    let s0, c0 = ripple_carry_add c ~carry_in:(const c false) (sub a) (sub b) in
+    let s1, c1 = ripple_carry_add c ~carry_in:(const c true) (sub a) (sub b) in
+    for i = 0 to len - 1 do
+      sum.(!pos + i) <- mux c ~sel:!carry ~if_true:s1.(i) ~if_false:s0.(i)
+    done;
+    carry := mux c ~sel:!carry ~if_true:c1 ~if_false:c0;
+    pos := !pos + len
+  done;
+  (sum, !carry)
+
+let not_bv c a = Array.map (not_ c) a
+
+let subtract c a b =
+  check_widths a b "subtract";
+  ripple_carry_add c ~carry_in:(const c true) a (not_bv c b)
+
+let negate_bv c a =
+  let zero = Array.map (fun _ -> const c false) a in
+  fst (subtract c zero a)
+
+let equal_bv c a b =
+  check_widths a b "equal_bv";
+  and_many c (Array.to_list (Array.map2 (xnor c) a b))
+
+let less_than c a b =
+  check_widths a b "less_than";
+  (* a < b unsigned iff a - b borrows, i.e. carry-out of a + ~b + 1 is 0. *)
+  let _, carry = subtract c a b in
+  not_ c carry
+
+let mux_bv c ~sel ~if_true ~if_false =
+  check_widths if_true if_false "mux_bv";
+  Array.map2 (fun t f -> mux c ~sel ~if_true:t ~if_false:f) if_true if_false
+
+let map2 op c a b =
+  check_widths a b "map2";
+  Array.map2 (op c) a b
+
+let and_bv c a b = map2 and_ c a b
+let or_bv c a b = map2 or_ c a b
+let xor_bv c a b = map2 xor_ c a b
+
+let shift_left_const c a k =
+  let n = Array.length a in
+  Array.init n (fun i -> if i < k then const c false else a.(i - k))
+
+let mul_const_width c a b =
+  check_widths a b "mul_const_width";
+  let n = Array.length a in
+  let acc = ref (Array.init n (fun _ -> const c false)) in
+  for i = 0 to n - 1 do
+    let shifted = shift_left_const c a i in
+    let gated = Array.map (fun bit -> and_ c bit b.(i)) shifted in
+    acc := fst (ripple_carry_add c !acc gated)
+  done;
+  !acc
+
+type alu_op =
+  | Alu_add
+  | Alu_sub
+  | Alu_and
+  | Alu_or
+  | Alu_xor
+
+let alu_op_code = function
+  | Alu_add -> 0
+  | Alu_sub -> 1
+  | Alu_and -> 2
+  | Alu_or -> 3
+  | Alu_xor -> 4
+
+let alu c ~op_sel a b =
+  if Array.length op_sel <> 3 then invalid_arg "Bitvec.alu: opcode must be 3 bits";
+  check_widths a b "alu";
+  let add_r = fst (ripple_carry_add c a b) in
+  let sub_r = fst (subtract c a b) in
+  let and_r = and_bv c a b in
+  let or_r = or_bv c a b in
+  let xor_r = xor_bv c a b in
+  (* Binary select tree over the 3-bit opcode; codes >= 5 fall through
+     to add. *)
+  let sel0 = op_sel.(0) and sel1 = op_sel.(1) and sel2 = op_sel.(2) in
+  let m01 = mux_bv c ~sel:sel0 ~if_true:sub_r ~if_false:add_r in
+  (* codes 0,1 *)
+  let m23 = mux_bv c ~sel:sel0 ~if_true:or_r ~if_false:and_r in
+  (* codes 2,3 *)
+  let m45 = mux_bv c ~sel:sel0 ~if_true:add_r ~if_false:xor_r in
+  (* codes 4,5 *)
+  let low = mux_bv c ~sel:sel1 ~if_true:m23 ~if_false:m01 in
+  let high = mux_bv c ~sel:sel1 ~if_true:m45 ~if_false:m45 in
+  mux_bv c ~sel:sel2 ~if_true:high ~if_false:low
+
+let set_outputs c prefix bv =
+  Array.iteri (fun i id -> set_output c (Printf.sprintf "%s.%d" prefix i) id) bv
+
+let to_int values bv =
+  let n = ref 0 in
+  Array.iteri (fun i id -> if values.(id) then n := !n lor (1 lsl i)) bv;
+  !n

@@ -1,0 +1,77 @@
+(** Word-level circuit builders.
+
+    A bitvector is an array of node ids, least-significant bit first.
+    These builders produce the structurally different but functionally
+    equivalent datapaths the Miters and pipeline-verification benchmark
+    classes are made of (ripple-carry vs. carry-select adders, ALUs,
+    comparators). *)
+
+open Circuit
+
+type bv = int array
+(** LSB-first node ids, all in the same circuit. *)
+
+val inputs : t -> string -> int -> bv
+(** [inputs c prefix width] creates [width] fresh inputs named
+    [prefix.0 .. prefix.(width-1)]. *)
+
+val const_int : t -> width:int -> int -> bv
+(** Constant bitvector (two's complement truncation). *)
+
+val ripple_carry_add : t -> ?carry_in:int -> bv -> bv -> bv * int
+(** Classic ripple-carry adder; returns (sum, carry_out).
+    @raise Invalid_argument on width mismatch. *)
+
+val carry_select_add : t -> ?block:int -> ?carry_in:int -> bv -> bv -> bv * int
+(** Carry-select adder: blocks of [block] bits (default 4) computed for
+    both carry hypotheses and muxed — same function as ripple-carry,
+    different structure. *)
+
+val subtract : t -> bv -> bv -> bv * int
+(** Two's-complement subtraction [a - b]; second component is the
+    borrow-free carry-out. *)
+
+val negate_bv : t -> bv -> bv
+
+val equal_bv : t -> bv -> bv -> int
+(** Single node: 1 iff the words are equal. *)
+
+val less_than : t -> bv -> bv -> int
+(** Unsigned [a < b]. *)
+
+val mux_bv : t -> sel:int -> if_true:bv -> if_false:bv -> bv
+
+val and_bv : t -> bv -> bv -> bv
+
+val or_bv : t -> bv -> bv -> bv
+
+val xor_bv : t -> bv -> bv -> bv
+
+val not_bv : t -> bv -> bv
+
+val shift_left_const : t -> bv -> int -> bv
+(** Logical shift by a constant, zero-filled, width preserved. *)
+
+val mul_const_width : t -> bv -> bv -> bv
+(** Shift-and-add multiplier, result truncated to the operand width. *)
+
+type alu_op =
+  | Alu_add
+  | Alu_sub
+  | Alu_and
+  | Alu_or
+  | Alu_xor
+
+val alu : t -> op_sel:bv -> bv -> bv -> bv
+(** A 5-function ALU: a 3-bit binary opcode selects among the
+    {!alu_op} functions (see {!alu_op_code}).  Opcodes 5–7 produce
+    deterministic but unspecified results.  Structure: compute all
+    functions, mux the result. *)
+
+val alu_op_code : alu_op -> int
+
+val set_outputs : t -> string -> bv -> unit
+(** Registers each bit as output [prefix.i]. *)
+
+val to_int : bool array -> bv -> int
+(** Reads a simulated value vector back as an unsigned integer. *)

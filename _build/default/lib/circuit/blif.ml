@@ -1,0 +1,249 @@
+exception Parse_error of { line : int; message : string }
+
+let fail line fmt =
+  Format.kasprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+type cover = {
+  def_line : int;
+  inputs : string list;
+  output : string;
+  mutable cubes : (string * char) list;  (* input pattern, output value *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Reader                                                              *)
+
+let logical_lines text =
+  (* Strip comments, join backslash continuations, keep line numbers
+     (of the first physical line). *)
+  let physical = String.split_on_char '\n' text in
+  let rec join acc pending pending_line n = function
+    | [] ->
+      let acc =
+        match pending with
+        | Some s -> (pending_line, s) :: acc
+        | None -> acc
+      in
+      List.rev acc
+    | line :: rest ->
+      let n = n + 1 in
+      let line =
+        match String.index_opt line '#' with
+        | Some i -> String.sub line 0 i
+        | None -> line
+      in
+      let line = String.trim line in
+      let continued = String.length line > 0 && line.[String.length line - 1] = '\\' in
+      let body =
+        if continued then String.trim (String.sub line 0 (String.length line - 1))
+        else line
+      in
+      let merged, merged_line =
+        match pending with
+        | Some s -> (s ^ " " ^ body, pending_line)
+        | None -> (body, n)
+      in
+      if continued then join acc (Some merged) merged_line n rest
+      else if String.trim merged = "" then join acc None 0 n rest
+      else join ((merged_line, merged) :: acc) None 0 n rest
+  in
+  join [] None 0 0 physical
+
+let tokens s =
+  String.split_on_char ' ' (String.map (function '\t' -> ' ' | c -> c) s)
+  |> List.filter (fun t -> t <> "")
+
+type parsed = {
+  mutable inputs : string list;  (* reversed *)
+  mutable outputs : string list;  (* reversed *)
+  mutable covers : cover list;  (* reversed *)
+  mutable current : cover option;
+  mutable ended : bool;
+}
+
+let parse_line p (line, text) =
+  if not p.ended then
+    match tokens text with
+    | [] -> ()
+    | cmd :: rest when String.length cmd > 0 && cmd.[0] = '.' -> (
+      p.current <- None;
+      match cmd with
+      | ".model" -> ()
+      | ".inputs" -> p.inputs <- List.rev_append rest p.inputs
+      | ".outputs" -> p.outputs <- List.rev_append rest p.outputs
+      | ".names" -> (
+        match List.rev rest with
+        | [] -> fail line ".names needs at least an output"
+        | output :: rev_inputs ->
+          let c = { def_line = line; inputs = List.rev rev_inputs; output; cubes = [] } in
+          p.covers <- c :: p.covers;
+          p.current <- Some c)
+      | ".end" -> p.ended <- true
+      | ".latch" | ".subckt" | ".gate" ->
+        fail line "unsupported BLIF construct %s (combinational subset only)" cmd
+      | other -> fail line "unknown BLIF directive %s" other)
+    | toks -> (
+      match p.current with
+      | None -> fail line "cube line outside a .names block: %S" text
+      | Some c -> (
+        let pattern, out =
+          match toks, List.length c.inputs with
+          | [ out ], 0 -> ("", out)
+          | [ pattern; out ], _ -> (pattern, out)
+          | _ -> fail line "malformed cube %S" text
+        in
+        if String.length pattern <> List.length c.inputs then
+          fail line "cube width %d does not match %d inputs"
+            (String.length pattern) (List.length c.inputs);
+        String.iter
+          (function
+            | '0' | '1' | '-' -> ()
+            | ch -> fail line "bad cube character %C" ch)
+          pattern;
+        match out with
+        | "1" -> c.cubes <- (pattern, '1') :: c.cubes
+        | "0" -> c.cubes <- (pattern, '0') :: c.cubes
+        | _ -> fail line "cube output must be 0 or 1"))
+
+let build_cover circuit resolve (c : cover) =
+  let operands = List.map resolve c.inputs in
+  let phase =
+    match c.cubes with
+    | [] -> '1' (* irrelevant: constant 0 *)
+    | (_, v) :: rest ->
+      List.iter
+        (fun (_, v') ->
+          if v' <> v then
+            fail c.def_line "mixed cube output values in one .names")
+        rest;
+      v
+  in
+  let cube_node pattern =
+    let lits =
+      List.filteri (fun _ _ -> true)
+        (List.mapi
+           (fun i op ->
+             match pattern.[i] with
+             | '1' -> Some op
+             | '0' -> Some (Circuit.not_ circuit op)
+             | _ -> None)
+           operands)
+      |> List.filter_map Fun.id
+    in
+    Circuit.and_many circuit lits
+  in
+  let on_set =
+    match c.cubes with
+    | [] -> Circuit.const circuit false
+    | cubes -> Circuit.or_many circuit (List.map (fun (pat, _) -> cube_node pat) cubes)
+  in
+  if phase = '1' then on_set else Circuit.not_ circuit on_set
+
+let parse_string text =
+  let p = { inputs = []; outputs = []; covers = []; current = None; ended = false } in
+  List.iter (parse_line p) (logical_lines text);
+  let circuit = Circuit.create () in
+  let table : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun name ->
+      if Hashtbl.mem table name then
+        fail 0 "duplicate input %s" name
+      else Hashtbl.replace table name (Circuit.input circuit name))
+    (List.rev p.inputs);
+  (* Resolve covers in dependency order with repeated passes (BLIF
+     allows definitions in any order); leftovers mean an undefined
+     signal or a combinational cycle. *)
+  let remaining = ref (List.rev p.covers) in
+  let progress = ref true in
+  while !remaining <> [] && !progress do
+    progress := false;
+    let still = ref [] in
+    List.iter
+      (fun (c : cover) ->
+        if List.for_all (Hashtbl.mem table) c.inputs then begin
+          if Hashtbl.mem table c.output then
+            fail c.def_line "signal %s defined twice" c.output;
+          let resolve name = Hashtbl.find table name in
+          Hashtbl.replace table c.output (build_cover circuit resolve c);
+          progress := true
+        end
+        else still := c :: !still)
+      !remaining;
+    remaining := List.rev !still
+  done;
+  (match !remaining with
+  | [] -> ()
+  | c :: _ ->
+    fail c.def_line "undefined signal or combinational cycle around %s" c.output);
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt table name with
+      | Some id -> Circuit.set_output circuit name id
+      | None -> fail 0 "output %s is never defined" name)
+    (List.rev p.outputs);
+  circuit
+
+let parse_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      parse_string (really_input_string ic n))
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                              *)
+
+let signal_name circuit id =
+  match Circuit.node circuit id with
+  | Circuit.Input name -> name
+  | Circuit.Const _ | Circuit.Not _ | Circuit.And _ | Circuit.Or _
+  | Circuit.Xor _ | Circuit.Mux _ -> Printf.sprintf "n%d" id
+
+let print fmt ?(model_name = "berkmin_circuit") circuit =
+  Format.fprintf fmt ".model %s\n" model_name;
+  let input_names = Circuit.input_names circuit in
+  if input_names <> [] then
+    Format.fprintf fmt ".inputs %s\n" (String.concat " " input_names);
+  let outputs = Circuit.outputs circuit in
+  if outputs <> [] then
+    Format.fprintf fmt ".outputs %s\n"
+      (String.concat " " (List.map fst outputs));
+  let name = signal_name circuit in
+  for id = 0 to Circuit.num_nodes circuit - 1 do
+    match Circuit.node circuit id with
+    | Circuit.Input _ -> ()
+    | Circuit.Const b ->
+      Format.fprintf fmt ".names %s\n" (name id);
+      if b then Format.fprintf fmt "1\n"
+    | Circuit.Not a -> Format.fprintf fmt ".names %s %s\n0 1\n" (name a) (name id)
+    | Circuit.And (a, b) ->
+      Format.fprintf fmt ".names %s %s %s\n11 1\n" (name a) (name b) (name id)
+    | Circuit.Or (a, b) ->
+      Format.fprintf fmt ".names %s %s %s\n1- 1\n-1 1\n" (name a) (name b) (name id)
+    | Circuit.Xor (a, b) ->
+      Format.fprintf fmt ".names %s %s %s\n10 1\n01 1\n" (name a) (name b) (name id)
+    | Circuit.Mux (s, a, b) ->
+      Format.fprintf fmt ".names %s %s %s %s\n11- 1\n0-1 1\n" (name s) (name a)
+        (name b) (name id)
+  done;
+  (* Output buffers bind the declared output names to internal
+     signals. *)
+  List.iter
+    (fun (out_name, id) ->
+      if out_name <> name id then
+        Format.fprintf fmt ".names %s %s\n1 1\n" (name id) out_name)
+    outputs;
+  Format.fprintf fmt ".end\n"
+
+let to_string ?model_name circuit =
+  Format.asprintf "%a" (fun fmt () -> print fmt ?model_name circuit) ()
+
+let write_file path ?model_name circuit =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      let fmt = Format.formatter_of_out_channel oc in
+      print fmt ?model_name circuit;
+      Format.pp_print_flush fmt ())

@@ -1,0 +1,29 @@
+(** A BLIF (Berkeley Logic Interchange Format) subset: reader and
+    writer for combinational netlists.
+
+    Supported constructs: [.model], [.inputs], [.outputs], [.names]
+    with a sum-of-products cover (['0'], ['1'], ['-'] input columns;
+    output column ['1'] or ['0'] for an inverted cover), constant
+    functions (a [.names] with no cubes is constant 0; a single empty
+    cube with output 1 is constant 1), and [.end].  Latches and
+    hierarchy are not supported — this front end feeds the
+    combinational equivalence checker.
+
+    The reader is line-oriented and tolerant of ['\'] continuations
+    and ['#'] comments. *)
+
+exception Parse_error of { line : int; message : string }
+
+val parse_string : string -> Circuit.t
+(** @raise Parse_error on malformed or unsupported input. *)
+
+val parse_file : string -> Circuit.t
+(** @raise Sys_error / [Parse_error]. *)
+
+val print : Format.formatter -> ?model_name:string -> Circuit.t -> unit
+(** Writes every gate as a [.names] cover (2-input gates become
+    two-to-four cube covers).  Internal signals are named [n<id>]. *)
+
+val to_string : ?model_name:string -> Circuit.t -> string
+
+val write_file : string -> ?model_name:string -> Circuit.t -> unit

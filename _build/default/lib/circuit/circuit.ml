@@ -1,0 +1,173 @@
+open Berkmin_types
+
+type node =
+  | Input of string
+  | Const of bool
+  | Not of int
+  | And of int * int
+  | Or of int * int
+  | Xor of int * int
+  | Mux of int * int * int
+
+type t = {
+  nodes : node Vec.t;
+  mutable inputs : int list;  (* reversed creation order *)
+  mutable outs : (string * int) list;  (* reversed registration order *)
+}
+
+let create () =
+  { nodes = Vec.create ~dummy:(Const false) (); inputs = []; outs = [] }
+
+let check_id t id op =
+  if id < 0 || id >= Vec.length t.nodes then
+    invalid_arg (Printf.sprintf "Circuit.%s: bad node id %d" op id)
+
+let add t n =
+  Vec.push t.nodes n;
+  Vec.length t.nodes - 1
+
+let input t name =
+  let id = add t (Input name) in
+  t.inputs <- id :: t.inputs;
+  id
+
+let const t b = add t (Const b)
+
+let not_ t a =
+  check_id t a "not_";
+  add t (Not a)
+
+let binary t op a b name =
+  check_id t a name;
+  check_id t b name;
+  add t (op a b)
+
+let and_ t a b = binary t (fun a b -> And (a, b)) a b "and_"
+let or_ t a b = binary t (fun a b -> Or (a, b)) a b "or_"
+let xor_ t a b = binary t (fun a b -> Xor (a, b)) a b "xor_"
+
+let mux t ~sel ~if_true ~if_false =
+  check_id t sel "mux";
+  check_id t if_true "mux";
+  check_id t if_false "mux";
+  add t (Mux (sel, if_true, if_false))
+
+let nand t a b = not_ t (and_ t a b)
+let nor t a b = not_ t (or_ t a b)
+let xnor t a b = not_ t (xor_ t a b)
+let implies t a b = or_ t (not_ t a) b
+
+let rec tree t op = function
+  | [] -> invalid_arg "Circuit.tree: empty"
+  | [ x ] -> x
+  | xs ->
+    (* Pairwise reduction keeps the tree balanced. *)
+    let rec pair = function
+      | [] -> []
+      | [ x ] -> [ x ]
+      | x :: y :: rest -> op t x y :: pair rest
+    in
+    tree t op (pair xs)
+
+let and_many t = function
+  | [] -> const t true
+  | xs -> tree t and_ xs
+
+let or_many t = function
+  | [] -> const t false
+  | xs -> tree t or_ xs
+
+let xor_many t = function
+  | [] -> const t false
+  | xs -> tree t xor_ xs
+
+let set_output t name id =
+  check_id t id "set_output";
+  t.outs <- (name, id) :: List.remove_assoc name t.outs
+
+let outputs t = List.rev t.outs
+
+let output_exn t name =
+  match List.assoc_opt name t.outs with
+  | Some id -> id
+  | None -> raise Not_found
+
+let node t id =
+  check_id t id "node";
+  Vec.get t.nodes id
+
+let num_nodes t = Vec.length t.nodes
+let num_inputs t = List.length t.inputs
+let input_names t =
+  List.rev_map
+    (fun id ->
+      match Vec.get t.nodes id with
+      | Input name -> name
+      | Const _ | Not _ | And _ | Or _ | Xor _ | Mux _ -> assert false)
+    t.inputs
+
+let num_gates t =
+  Vec.fold
+    (fun acc n ->
+      match n with
+      | Input _ | Const _ -> acc
+      | Not _ | And _ | Or _ | Xor _ | Mux _ -> acc + 1)
+    0 t.nodes
+
+let eval t inputs =
+  let n_in = num_inputs t in
+  if Array.length inputs <> n_in then
+    invalid_arg
+      (Printf.sprintf "Circuit.eval: expected %d inputs, got %d" n_in
+         (Array.length inputs));
+  let values = Array.make (Vec.length t.nodes) false in
+  let next_input = ref 0 in
+  Vec.iteri
+    (fun id n ->
+      values.(id) <-
+        (match n with
+        | Input _ ->
+          let v = inputs.(!next_input) in
+          incr next_input;
+          v
+        | Const b -> b
+        | Not a -> not values.(a)
+        | And (a, b) -> values.(a) && values.(b)
+        | Or (a, b) -> values.(a) || values.(b)
+        | Xor (a, b) -> values.(a) <> values.(b)
+        | Mux (sel, a, b) -> if values.(sel) then values.(a) else values.(b)))
+    t.nodes;
+  values
+
+let eval_outputs t inputs =
+  let values = eval t inputs in
+  List.map (fun (name, id) -> (name, values.(id))) (outputs t)
+
+let import dst src ~input_map =
+  if Array.length input_map <> num_inputs src then
+    invalid_arg "Circuit.import: input_map arity mismatch";
+  let table = Array.make (Vec.length src.nodes) (-1) in
+  let next_input = ref 0 in
+  Vec.iteri
+    (fun id n ->
+      table.(id) <-
+        (match n with
+        | Input _ ->
+          let mapped = input_map.(!next_input) in
+          incr next_input;
+          check_id dst mapped "import";
+          mapped
+        | Const b -> const dst b
+        | Not a -> not_ dst table.(a)
+        | And (a, b) -> and_ dst table.(a) table.(b)
+        | Or (a, b) -> or_ dst table.(a) table.(b)
+        | Xor (a, b) -> xor_ dst table.(a) table.(b)
+        | Mux (sel, a, b) ->
+          mux dst ~sel:table.(sel) ~if_true:table.(a) ~if_false:table.(b)))
+    src.nodes;
+  table
+
+let pp_stats fmt t =
+  Format.fprintf fmt "inputs=%d gates=%d nodes=%d outputs=%d" (num_inputs t)
+    (num_gates t) (num_nodes t)
+    (List.length t.outs)

@@ -1,0 +1,92 @@
+(** Combinational gate-level netlists.
+
+    The substrate behind the paper's Miters and
+    microprocessor-verification benchmark classes: circuits are built
+    structurally, simulated for sanity, encoded to CNF by
+    {!Tseitin.encode}, and compared pairwise with {!Miter.build}.
+
+    A circuit is a DAG of nodes identified by dense integer ids in
+    creation order (so every gate's operands precede it).  Named
+    outputs mark the signals of interest. *)
+
+type node =
+  | Input of string
+  | Const of bool
+  | Not of int
+  | And of int * int
+  | Or of int * int
+  | Xor of int * int
+  | Mux of int * int * int
+      (** [Mux (sel, a, b)] is [if sel then a else b] *)
+
+type t
+
+val create : unit -> t
+
+val input : t -> string -> int
+(** Fresh primary input. *)
+
+val const : t -> bool -> int
+
+val not_ : t -> int -> int
+
+val and_ : t -> int -> int -> int
+
+val or_ : t -> int -> int -> int
+
+val xor_ : t -> int -> int -> int
+
+val mux : t -> sel:int -> if_true:int -> if_false:int -> int
+
+val nand : t -> int -> int -> int
+
+val nor : t -> int -> int -> int
+
+val xnor : t -> int -> int -> int
+
+val implies : t -> int -> int -> int
+
+val and_many : t -> int list -> int
+(** Balanced AND tree; [and_many c []] is constant true. *)
+
+val or_many : t -> int list -> int
+(** Balanced OR tree; [or_many c []] is constant false. *)
+
+val xor_many : t -> int list -> int
+(** XOR chain; [xor_many c []] is constant false. *)
+
+val set_output : t -> string -> int -> unit
+(** Registers (or replaces) a named output. *)
+
+val outputs : t -> (string * int) list
+(** In registration order. *)
+
+val output_exn : t -> string -> int
+(** @raise Not_found if no such output. *)
+
+val node : t -> int -> node
+
+val num_nodes : t -> int
+
+val num_inputs : t -> int
+
+val input_names : t -> string list
+(** In creation order. *)
+
+val num_gates : t -> int
+(** Nodes that are neither inputs nor constants. *)
+
+val eval : t -> bool array -> bool array
+(** [eval c inputs] simulates the circuit; [inputs] are in input
+    creation order.  Returns the value of every node.
+    @raise Invalid_argument on an input-arity mismatch. *)
+
+val eval_outputs : t -> bool array -> (string * bool) list
+
+val import : t -> t -> input_map:int array -> int array
+(** [import dst src ~input_map] copies every node of [src] into [dst],
+    wiring [src]'s i-th input to [dst] node [input_map.(i)].  Returns
+    the node-id translation table (indexed by [src] id).  Outputs are
+    not copied. *)
+
+val pp_stats : Format.formatter -> t -> unit

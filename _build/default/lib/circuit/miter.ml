@@ -1,0 +1,61 @@
+open Berkmin_types
+
+let build c1 c2 =
+  if Circuit.num_inputs c1 <> Circuit.num_inputs c2 then
+    invalid_arg "Miter.build: input arity mismatch";
+  let names1 = List.map fst (Circuit.outputs c1) in
+  let names2 = List.map fst (Circuit.outputs c2) in
+  if List.sort compare names1 <> List.sort compare names2 then
+    invalid_arg "Miter.build: output name sets differ";
+  if names1 = [] then invalid_arg "Miter.build: no outputs";
+  let m = Circuit.create () in
+  let shared =
+    Array.of_list
+      (List.map (fun name -> Circuit.input m name) (Circuit.input_names c1))
+  in
+  let t1 = Circuit.import m c1 ~input_map:shared in
+  let t2 = Circuit.import m c2 ~input_map:shared in
+  let diffs =
+    List.map
+      (fun name ->
+        let o1 = t1.(Circuit.output_exn c1 name) in
+        let o2 = t2.(Circuit.output_exn c2 name) in
+        Circuit.xor_ m o1 o2)
+      names1
+  in
+  Circuit.set_output m "miter" (Circuit.or_many m diffs);
+  m
+
+let to_cnf c1 c2 =
+  let m = build c1 c2 in
+  Tseitin.encode_with_output m "miter" true
+
+type verdict =
+  | Equivalent
+  | Counterexample of bool array
+
+let check_by_simulation ?(samples = 256) ~seed c1 c2 =
+  let n = Circuit.num_inputs c1 in
+  let rng = Rng.create seed in
+  let result = ref Equivalent in
+  (try
+     for _ = 1 to samples do
+       let inputs = Array.init n (fun _ -> Rng.bool rng) in
+       let o1 = Circuit.eval_outputs c1 inputs in
+       let o2 = Circuit.eval_outputs c2 inputs in
+       let differs =
+         List.exists
+           (fun (name, v1) -> List.assoc name o2 <> v1)
+           o1
+       in
+       if differs then begin
+         result := Counterexample inputs;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !result
+
+let interpret_model miter mapping model =
+  let vars = Tseitin.input_vars miter mapping in
+  Array.map (fun v -> model.(v)) vars

@@ -1,0 +1,28 @@
+(** Miter construction for combinational equivalence checking.
+
+    Given two circuits over the same inputs and output names, the miter
+    shares the inputs, XORs corresponding outputs and ORs the
+    differences into a single output ["miter"].  The miter's CNF with
+    output forced to 1 is satisfiable iff the circuits differ — the
+    exact construction behind the paper's Miters benchmark class. *)
+
+open Berkmin_types
+
+val build : Circuit.t -> Circuit.t -> Circuit.t
+(** Combined circuit with output ["miter"].
+    @raise Invalid_argument if input arities or output name sets
+    differ. *)
+
+val to_cnf : Circuit.t -> Circuit.t -> Cnf.t
+(** CNF satisfiable iff the circuits are inequivalent. *)
+
+type verdict =
+  | Equivalent
+  | Counterexample of bool array  (** differentiating input vector *)
+
+val check_by_simulation : ?samples:int -> seed:int -> Circuit.t -> Circuit.t -> verdict
+(** Random simulation looking for a differentiating input — a cheap
+    pre-check used in tests (sound only for [Counterexample]). *)
+
+val interpret_model : Circuit.t -> Tseitin.mapping -> bool array -> bool array
+(** Extracts the primary-input vector from a SAT model of a miter CNF. *)

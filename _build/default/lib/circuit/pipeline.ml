@@ -1,0 +1,161 @@
+type params = {
+  stages : int;
+  num_regs : int;
+  width : int;
+}
+
+let default_params = { stages = 3; num_regs = 4; width = 4 }
+
+let log2 n =
+  let rec loop k = if 1 lsl k >= n then k else loop (k + 1) in
+  max 1 (loop 0)
+
+let validate p =
+  if p.stages < 1 then invalid_arg "Pipeline: stages must be >= 1";
+  if p.num_regs < 2 || p.num_regs land (p.num_regs - 1) <> 0 then
+    invalid_arg "Pipeline: num_regs must be a power of two >= 2";
+  if p.width < 1 then invalid_arg "Pipeline: width must be >= 1"
+
+type instr = {
+  op : Bitvec.bv;  (* 3 bits *)
+  dst : Bitvec.bv;  (* index bits *)
+  src1 : Bitvec.bv;
+  src2 : Bitvec.bv;
+}
+
+(* Primary inputs, in a fixed order shared by every variant so miters
+   can pair them up: register file first, then per-stage instruction
+   fields. *)
+let make_inputs c p =
+  let idx_bits = log2 p.num_regs in
+  let regs =
+    Array.init p.num_regs (fun r ->
+        Bitvec.inputs c (Printf.sprintf "r%d" r) p.width)
+  in
+  let instrs =
+    Array.init p.stages (fun s ->
+        {
+          op = Bitvec.inputs c (Printf.sprintf "op%d" s) 3;
+          dst = Bitvec.inputs c (Printf.sprintf "dst%d" s) idx_bits;
+          src1 = Bitvec.inputs c (Printf.sprintf "src1_%d" s) idx_bits;
+          src2 = Bitvec.inputs c (Printf.sprintf "src2_%d" s) idx_bits;
+        })
+  in
+  (regs, instrs)
+
+(* Read a register file (array of words) at a symbolic index: a mux
+   tree over the index bits. *)
+let read_regfile c regs idx =
+  let rec select lo len bit =
+    if len = 1 then regs.(lo)
+    else begin
+      let half = len / 2 in
+      let low = select lo half (bit - 1) in
+      let high = select (lo + half) half (bit - 1) in
+      Bitvec.mux_bv c ~sel:idx.(bit) ~if_true:high ~if_false:low
+    end
+  in
+  select 0 (Array.length regs) (Array.length idx - 1)
+
+let index_eq c a b = Bitvec.equal_bv c a b
+
+let index_eq_const c idx k =
+  Bitvec.equal_bv c idx (Bitvec.const_int c ~width:(Array.length idx) k)
+
+(* Carry-select variant of Bitvec.alu — same function, different
+   adder structure (used by the pipelined implementation). *)
+let alu_cs c ~op_sel a b =
+  let add_r = fst (Bitvec.carry_select_add c a b) in
+  let sub_r =
+    fst
+      (Bitvec.carry_select_add c
+         ~carry_in:(Circuit.const c true)
+         a (Bitvec.not_bv c b))
+  in
+  let and_r = Bitvec.and_bv c a b in
+  let or_r = Bitvec.or_bv c a b in
+  let xor_r = Bitvec.xor_bv c a b in
+  let sel0 = op_sel.(0) and sel1 = op_sel.(1) and sel2 = op_sel.(2) in
+  let m01 = Bitvec.mux_bv c ~sel:sel0 ~if_true:sub_r ~if_false:add_r in
+  let m23 = Bitvec.mux_bv c ~sel:sel0 ~if_true:or_r ~if_false:and_r in
+  let m45 = Bitvec.mux_bv c ~sel:sel0 ~if_true:add_r ~if_false:xor_r in
+  let low = Bitvec.mux_bv c ~sel:sel1 ~if_true:m23 ~if_false:m01 in
+  let high = Bitvec.mux_bv c ~sel:sel1 ~if_true:m45 ~if_false:m45 in
+  Bitvec.mux_bv c ~sel:sel2 ~if_true:high ~if_false:low
+
+let export_regs c regs =
+  Array.iteri
+    (fun r bv -> Bitvec.set_outputs c (Printf.sprintf "R%d" r) bv)
+    regs
+
+let specification p =
+  validate p;
+  let c = Circuit.create () in
+  let regs, instrs = make_inputs c p in
+  let regs = ref regs in
+  Array.iter
+    (fun ins ->
+      let a = read_regfile c !regs ins.src1 in
+      let b = read_regfile c !regs ins.src2 in
+      let res = Bitvec.alu c ~op_sel:ins.op a b in
+      regs :=
+        Array.mapi
+          (fun r old ->
+            let hit = index_eq_const c ins.dst r in
+            Bitvec.mux_bv c ~sel:hit ~if_true:res ~if_false:old)
+          !regs)
+    instrs;
+  export_regs c !regs;
+  c
+
+(* The forwarding network: operand value for a symbolic source index at
+   stage [s] is the initial register value overridden by every earlier
+   stage that wrote that register.  [priority] chooses which writer
+   wins when several stages hit: [`Newest] (correct) applies stages in
+   increasing order so the latest mux dominates; [`Oldest] (the bug)
+   applies them in decreasing order. *)
+let forward c initial results instrs s idx ~priority =
+  let base = read_regfile c initial idx in
+  let order =
+    match priority with
+    | `Newest -> List.init s (fun j -> j)
+    | `Oldest -> List.rev (List.init s (fun j -> j))
+  in
+  List.fold_left
+    (fun value j ->
+      let hit = index_eq c instrs.(j).dst idx in
+      Bitvec.mux_bv c ~sel:hit ~if_true:results.(j) ~if_false:value)
+    base order
+
+let implementation_with ~priority p =
+  validate p;
+  let c = Circuit.create () in
+  let initial, instrs = make_inputs c p in
+  let results = Array.make p.stages [||] in
+  for s = 0 to p.stages - 1 do
+    let a = forward c initial results instrs s instrs.(s).src1 ~priority in
+    let b = forward c initial results instrs s instrs.(s).src2 ~priority in
+    results.(s) <- alu_cs c ~op_sel:instrs.(s).op a b
+  done;
+  (* Retire: final register r is the newest stage writing r, else the
+     initial value.  Retirement is always newest-wins — the injected
+     bug lives only in the operand-forwarding path. *)
+  let final =
+    Array.mapi
+      (fun r initial_value ->
+        let value = ref initial_value in
+        for j = 0 to p.stages - 1 do
+          let hit = index_eq_const c instrs.(j).dst r in
+          value := Bitvec.mux_bv c ~sel:hit ~if_true:results.(j) ~if_false:!value
+        done;
+        !value)
+      initial
+  in
+  export_regs c final;
+  c
+
+let implementation = implementation_with ~priority:`Newest
+let buggy_implementation = implementation_with ~priority:`Oldest
+
+let unsat_miter p = Miter.to_cnf (specification p) (implementation p)
+let sat_miter p = Miter.to_cnf (specification p) (buggy_implementation p)

@@ -1,0 +1,42 @@
+(** Symbolic pipelined-datapath verification circuits.
+
+    Stand-in for the paper's Velev suites (Sss, Fvp-unsat, Vliw-sat):
+    a [stages]-instruction straight-line processor over [num_regs]
+    registers of [width] bits.  Each instruction's opcode and register
+    indices are {e symbolic} (primary inputs), so the miter checks the
+    pipeline for {e every} program of that length — the same shape of
+    problem Velev's benchmarks encode.
+
+    - [specification]: executes instructions sequentially, updating the
+      register file after each one.
+    - [implementation]: reads the {e initial} register file and
+      resolves hazards with a most-recent-writer forwarding network —
+      functionally equal, structurally very different (it also uses
+      carry-select instead of ripple-carry adders).
+    - [buggy_implementation]: same, but the forwarding priority is
+      inverted (oldest writer wins), a real hazard bug that shows up
+      only for programs with write-write-read register collisions.
+
+    Outputs are the final register-file contents. *)
+
+type params = {
+  stages : int;  (** instructions in flight; >= 1 *)
+  num_regs : int;  (** power of two, >= 2 *)
+  width : int;  (** register width in bits, >= 1 *)
+}
+
+val default_params : params
+
+val specification : params -> Circuit.t
+
+val implementation : params -> Circuit.t
+
+val buggy_implementation : params -> Circuit.t
+
+val unsat_miter : params -> Berkmin_types.Cnf.t
+(** Miter CNF of specification vs implementation: UNSAT iff the
+    forwarding network is correct (it is). *)
+
+val sat_miter : params -> Berkmin_types.Cnf.t
+(** Miter CNF of specification vs the buggy implementation: SAT for
+    [stages >= 3] (needs two writes before a read). *)

@@ -1,0 +1,114 @@
+open Berkmin_types
+
+let generate ~num_inputs ~num_gates ~num_outputs ~seed =
+  if num_inputs < 1 || num_gates < 1 || num_outputs < 1 then
+    invalid_arg "Random_circuit.generate";
+  let rng = Rng.create seed in
+  let c = Circuit.create () in
+  for i = 0 to num_inputs - 1 do
+    ignore (Circuit.input c (Printf.sprintf "x%d" i))
+  done;
+  (* Pick an operand, biased toward recent nodes: with probability 1/2
+     among the most recent quarter, otherwise uniform. *)
+  let pick () =
+    let n = Circuit.num_nodes c in
+    if Rng.bool rng then begin
+      let recent = max 1 (n / 4) in
+      n - 1 - Rng.int rng recent
+    end
+    else Rng.int rng n
+  in
+  for _ = 1 to num_gates do
+    let id =
+      match Rng.int rng 10 with
+      | 0 | 1 | 2 -> Circuit.and_ c (pick ()) (pick ())
+      | 3 | 4 | 5 -> Circuit.or_ c (pick ()) (pick ())
+      | 6 | 7 -> Circuit.xor_ c (pick ()) (pick ())
+      | 8 -> Circuit.not_ c (pick ())
+      | _ -> Circuit.mux c ~sel:(pick ()) ~if_true:(pick ()) ~if_false:(pick ())
+    in
+    ignore id
+  done;
+  let n = Circuit.num_nodes c in
+  for i = 0 to num_outputs - 1 do
+    Circuit.set_output c (Printf.sprintf "o%d" i) (n - 1 - (i mod num_gates))
+  done;
+  c
+
+let restructure src =
+  let dst = Circuit.create () in
+  let n = Circuit.num_nodes src in
+  let table = Array.make n (-1) in
+  let double_neg x = Circuit.not_ dst (Circuit.not_ dst x) in
+  for id = 0 to n - 1 do
+    table.(id) <-
+      (match Circuit.node src id with
+      | Circuit.Input name -> Circuit.input dst name
+      | Circuit.Const b -> Circuit.const dst b
+      | Circuit.Not a -> Circuit.not_ dst table.(a)
+      | Circuit.And (a, b) ->
+        (* a & b = ~(~a | ~b), with an extra double negation for
+           structural noise. *)
+        double_neg
+          (Circuit.not_ dst
+             (Circuit.or_ dst (Circuit.not_ dst table.(a))
+                (Circuit.not_ dst table.(b))))
+      | Circuit.Or (a, b) ->
+        double_neg
+          (Circuit.not_ dst
+             (Circuit.and_ dst (Circuit.not_ dst table.(a))
+                (Circuit.not_ dst table.(b))))
+      | Circuit.Xor (a, b) ->
+        (* a ^ b = (a | b) & ~(a & b) *)
+        Circuit.and_ dst
+          (Circuit.or_ dst table.(a) table.(b))
+          (Circuit.not_ dst (Circuit.and_ dst table.(a) table.(b)))
+      | Circuit.Mux (s, a, b) ->
+        (* mux = (s & a) | (~s & b) *)
+        Circuit.or_ dst
+          (Circuit.and_ dst table.(s) table.(a))
+          (Circuit.and_ dst (Circuit.not_ dst table.(s)) table.(b)))
+  done;
+  List.iter
+    (fun (name, id) -> Circuit.set_output dst name table.(id))
+    (Circuit.outputs src);
+  dst
+
+let inject_fault src ~seed =
+  let rng = Rng.create seed in
+  let n = Circuit.num_nodes src in
+  let binary_ids = ref [] in
+  for id = 0 to n - 1 do
+    match Circuit.node src id with
+    | Circuit.And _ | Circuit.Or _ | Circuit.Xor _ ->
+      binary_ids := id :: !binary_ids
+    | Circuit.Input _ | Circuit.Const _ | Circuit.Not _ | Circuit.Mux _ -> ()
+  done;
+  let candidates = Array.of_list !binary_ids in
+  if Array.length candidates = 0 then
+    invalid_arg "Random_circuit.inject_fault: no binary gate";
+  let victim = candidates.(Rng.int rng (Array.length candidates)) in
+  let dst = Circuit.create () in
+  let table = Array.make n (-1) in
+  for id = 0 to n - 1 do
+    table.(id) <-
+      (match Circuit.node src id with
+      | Circuit.Input name -> Circuit.input dst name
+      | Circuit.Const b -> Circuit.const dst b
+      | Circuit.Not a -> Circuit.not_ dst table.(a)
+      | Circuit.And (a, b) ->
+        if id = victim then Circuit.or_ dst table.(a) table.(b)
+        else Circuit.and_ dst table.(a) table.(b)
+      | Circuit.Or (a, b) ->
+        if id = victim then Circuit.and_ dst table.(a) table.(b)
+        else Circuit.or_ dst table.(a) table.(b)
+      | Circuit.Xor (a, b) ->
+        if id = victim then Circuit.or_ dst table.(a) table.(b)
+        else Circuit.xor_ dst table.(a) table.(b)
+      | Circuit.Mux (s, a, b) ->
+        Circuit.mux dst ~sel:table.(s) ~if_true:table.(a) ~if_false:table.(b))
+  done;
+  List.iter
+    (fun (name, id) -> Circuit.set_output dst name table.(id))
+    (Circuit.outputs src);
+  dst

@@ -1,0 +1,26 @@
+(** Random combinational circuits and structural mutations.
+
+    The paper built its Miters class from "artificial combinational
+    circuits ... because their complexity was easy to control"; these
+    generators play that role.  [generate] produces a random DAG;
+    [restructure] rewrites it into a functionally equivalent circuit
+    with different structure (for UNSAT miters); [inject_fault] flips
+    one gate (for SAT miters with a localised discrepancy). *)
+
+val generate :
+  num_inputs:int -> num_gates:int -> num_outputs:int -> seed:int -> Circuit.t
+(** Gates drawn uniformly from AND/OR/XOR/NOT/MUX with operands chosen
+    among earlier nodes (biased toward recent nodes so depth grows).
+    Outputs are named [o0..o(n-1)] and taken from the last gates. *)
+
+val restructure : Circuit.t -> Circuit.t
+(** Functionally equivalent rewrite: every AND/OR is expressed through
+    De Morgan duals and every XOR through AND/OR/NOT, then double
+    negations introduced by the rewrite are kept (not simplified) so
+    the netlist differs structurally everywhere. *)
+
+val inject_fault : Circuit.t -> seed:int -> Circuit.t
+(** Copies the circuit, replacing one randomly chosen binary gate's
+    function (AND<->OR, XOR->OR) — the classic "design error" model.
+    The result usually differs from the original on some input.
+    @raise Invalid_argument if the circuit has no binary gate. *)

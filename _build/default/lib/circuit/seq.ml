@@ -1,0 +1,109 @@
+type register = {
+  state_input : int;
+  mutable next : int;
+  init : bool;
+}
+
+type t = {
+  comb : Circuit.t;
+  mutable regs : register list;  (* reversed declaration order *)
+}
+
+let create comb = { comb; regs = [] }
+let circuit t = t.comb
+
+let add_register t ~name ~init =
+  let state_input = Circuit.input t.comb name in
+  let r = { state_input; next = -1; init } in
+  t.regs <- r :: t.regs;
+  r
+
+let connect t r ~next =
+  if next < 0 || next >= Circuit.num_nodes t.comb then
+    invalid_arg "Seq.connect: bad node id";
+  r.next <- next
+
+let registers t = List.rev t.regs
+
+let is_state_input t id = List.exists (fun r -> r.state_input = id) t.regs
+
+(* Primary-input node ids in creation order. *)
+let input_ids t =
+  let ids = ref [] in
+  for id = Circuit.num_nodes t.comb - 1 downto 0 do
+    match Circuit.node t.comb id with
+    | Circuit.Input _ -> ids := id :: !ids
+    | Circuit.Const _ | Circuit.Not _ | Circuit.And _ | Circuit.Or _
+    | Circuit.Xor _ | Circuit.Mux _ -> ()
+  done;
+  !ids
+
+let free_inputs t =
+  List.length (List.filter (fun id -> not (is_state_input t id)) (input_ids t))
+
+let validate t =
+  List.iter
+    (fun r ->
+      if r.next < 0 then invalid_arg "Seq.validate: unconnected register")
+    t.regs
+
+let simulate t frames =
+  validate t;
+  let inputs = input_ids t in
+  let state = Hashtbl.create 16 in
+  List.iter (fun r -> Hashtbl.replace state r.state_input r.init) (registers t);
+  List.map
+    (fun free_values ->
+      let next_free = ref 0 in
+      let vector =
+        Array.of_list
+          (List.map
+             (fun id ->
+               if is_state_input t id then Hashtbl.find state id
+               else begin
+                 let v = free_values.(!next_free) in
+                 incr next_free;
+                 v
+               end)
+             inputs)
+      in
+      let values = Circuit.eval t.comb vector in
+      List.iter
+        (fun r -> Hashtbl.replace state r.state_input values.(r.next))
+        (registers t);
+      Circuit.eval_outputs t.comb vector)
+    frames
+
+let unroll t ~bound =
+  validate t;
+  if bound < 1 then invalid_arg "Seq.unroll: bound must be >= 1";
+  let inputs = input_ids t in
+  let unrolled = Circuit.create () in
+  let tables = Array.make bound [||] in
+  for frame = 0 to bound - 1 do
+    let input_map =
+      Array.of_list
+        (List.map
+           (fun id ->
+             match List.find_opt (fun r -> r.state_input = id) t.regs with
+             | Some r ->
+               if frame = 0 then Circuit.const unrolled r.init
+               else tables.(frame - 1).(r.next)
+             | None -> (
+               match Circuit.node t.comb id with
+               | Circuit.Input name ->
+                 Circuit.input unrolled (Printf.sprintf "f%d.%s" frame name)
+               | Circuit.Const _ | Circuit.Not _ | Circuit.And _
+               | Circuit.Or _ | Circuit.Xor _ | Circuit.Mux _ ->
+                 assert false))
+           inputs)
+    in
+    tables.(frame) <- Circuit.import unrolled t.comb ~input_map;
+    List.iter
+      (fun (name, id) ->
+        Circuit.set_output unrolled
+          (Printf.sprintf "f%d.%s" frame name)
+          tables.(frame).(id))
+      (Circuit.outputs t.comb)
+  done;
+  (unrolled, tables)

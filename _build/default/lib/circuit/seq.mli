@@ -1,0 +1,55 @@
+(** Sequential circuits: a combinational core plus registers.
+
+    The substrate for bounded model checking — the paper's §1 cites
+    SAT-based model checking (Biere et al.) as a driving application.
+    A sequential circuit is a combinational netlist in which some
+    inputs are designated {e state} inputs; each register pairs a state
+    input (the register's current value) with a next-state node and an
+    initial value.  Non-state inputs are free inputs, fresh each
+    cycle. *)
+
+type register = {
+  state_input : int;  (** node id of the current-state input *)
+  mutable next : int;  (** node id computing the next state *)
+  init : bool;
+}
+
+type t
+
+val create : Circuit.t -> t
+(** Wraps a combinational circuit under construction.  Declare
+    registers with {!add_register}, build logic through the wrapped
+    circuit, then {!connect}. *)
+
+val circuit : t -> Circuit.t
+
+val add_register : t -> name:string -> init:bool -> register
+(** Creates the register's state input (usable as an operand
+    immediately); its next-state function is wired later. *)
+
+val connect : t -> register -> next:int -> unit
+(** Sets the register's next-state node.
+    @raise Invalid_argument on a bad node id. *)
+
+val registers : t -> register list
+(** In declaration order. *)
+
+val free_inputs : t -> int
+(** Number of non-state primary inputs. *)
+
+val validate : t -> unit
+(** @raise Invalid_argument if some register was never connected or a
+    state input is misdeclared. *)
+
+val simulate : t -> bool array list -> (string * bool) list list
+(** [simulate t frames] runs one step per element of [frames] (each a
+    vector for the free inputs, in creation order), starting from the
+    initial register values.  Returns the named outputs per cycle. *)
+
+val unroll : t -> bound:int -> Circuit.t * int array array
+(** [unroll t ~bound] builds the [bound]-frame time expansion: frame
+    0's registers take their initial constants, frame [i+1]'s take
+    frame [i]'s next-state nodes; free inputs are fresh per frame
+    (named [f<frame>.<name>]).  Returns the unrolled circuit and, for
+    each frame, the translation table from original node ids to
+    unrolled ids (so callers can locate any signal in any frame). *)

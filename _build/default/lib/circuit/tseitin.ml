@@ -1,0 +1,73 @@
+open Berkmin_types
+
+type mapping = {
+  cnf : Cnf.t;
+  node_var : int array;
+}
+
+let encode circuit =
+  let n = Circuit.num_nodes circuit in
+  let cnf = Cnf.create ~num_vars:n () in
+  let node_var = Array.init n (fun i -> i) in
+  let pos i = Lit.pos node_var.(i) in
+  let neg i = Lit.neg_of node_var.(i) in
+  for id = 0 to n - 1 do
+    match Circuit.node circuit id with
+    | Circuit.Input _ -> ()
+    | Circuit.Const b ->
+      Cnf.add_clause cnf [ (if b then pos id else neg id) ]
+    | Circuit.Not a ->
+      Cnf.add_clause cnf [ neg id; neg a ];
+      Cnf.add_clause cnf [ pos id; pos a ]
+    | Circuit.And (a, b) ->
+      (* id <-> a & b *)
+      Cnf.add_clause cnf [ neg id; pos a ];
+      Cnf.add_clause cnf [ neg id; pos b ];
+      Cnf.add_clause cnf [ pos id; neg a; neg b ]
+    | Circuit.Or (a, b) ->
+      Cnf.add_clause cnf [ pos id; neg a ];
+      Cnf.add_clause cnf [ pos id; neg b ];
+      Cnf.add_clause cnf [ neg id; pos a; pos b ]
+    | Circuit.Xor (a, b) ->
+      Cnf.add_clause cnf [ neg id; pos a; pos b ];
+      Cnf.add_clause cnf [ neg id; neg a; neg b ];
+      Cnf.add_clause cnf [ pos id; neg a; pos b ];
+      Cnf.add_clause cnf [ pos id; pos a; neg b ]
+    | Circuit.Mux (s, a, b) ->
+      (* id <-> (s ? a : b) *)
+      Cnf.add_clause cnf [ neg id; neg s; pos a ];
+      Cnf.add_clause cnf [ pos id; neg s; neg a ];
+      Cnf.add_clause cnf [ neg id; pos s; pos b ];
+      Cnf.add_clause cnf [ pos id; pos s; neg b ];
+      (* Redundant but propagation-strengthening clauses. *)
+      Cnf.add_clause cnf [ neg id; pos a; pos b ];
+      Cnf.add_clause cnf [ pos id; neg a; neg b ]
+  done;
+  { cnf; node_var }
+
+let assert_node m id b =
+  let v = m.node_var.(id) in
+  Cnf.add_clause m.cnf [ (if b then Lit.pos v else Lit.neg_of v) ]
+
+let assert_output circuit m name b =
+  assert_node m (Circuit.output_exn circuit name) b
+
+let encode_with_output circuit name b =
+  let m = encode circuit in
+  assert_output circuit m name b;
+  m.cnf
+
+let input_vars circuit m =
+  let names = Circuit.input_names circuit in
+  let n = List.length names in
+  let vars = Array.make (max n 1) 0 in
+  let next = ref 0 in
+  for id = 0 to Circuit.num_nodes circuit - 1 do
+    match Circuit.node circuit id with
+    | Circuit.Input _ ->
+      vars.(!next) <- m.node_var.(id);
+      incr next
+    | Circuit.Const _ | Circuit.Not _ | Circuit.And _ | Circuit.Or _
+    | Circuit.Xor _ | Circuit.Mux _ -> ()
+  done;
+  Array.sub vars 0 n

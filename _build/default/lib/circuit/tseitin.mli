@@ -1,0 +1,28 @@
+(** Tseitin transformation: circuit to equisatisfiable CNF.
+
+    Every circuit node gets a CNF variable; each gate contributes the
+    standard defining clauses.  Constraints on outputs (e.g. "the miter
+    output is 1") are added on top. *)
+
+open Berkmin_types
+
+type mapping = {
+  cnf : Cnf.t;
+  node_var : int array;  (** CNF variable of each circuit node *)
+}
+
+val encode : Circuit.t -> mapping
+(** Encodes every gate.  No output constraints yet. *)
+
+val assert_node : mapping -> int -> bool -> unit
+(** [assert_node m id b] adds the unit clause forcing node [id] to [b]. *)
+
+val assert_output : Circuit.t -> mapping -> string -> bool -> unit
+(** Constrains a named output.  @raise Not_found on unknown name. *)
+
+val encode_with_output : Circuit.t -> string -> bool -> Cnf.t
+(** Convenience: encode and constrain one named output. *)
+
+val input_vars : Circuit.t -> mapping -> int array
+(** CNF variables of the primary inputs, in creation order — used to
+    read back a circuit counterexample from a SAT model. *)

@@ -1,0 +1,1 @@
+lib/core/dpll.ml: Array Berkmin_types Clause Cnf List Lit Value

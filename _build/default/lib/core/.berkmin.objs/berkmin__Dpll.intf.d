@@ -1,0 +1,1 @@
+lib/core/dpll.mli: Berkmin_types Cnf

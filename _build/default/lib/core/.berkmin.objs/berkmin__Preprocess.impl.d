@@ -1,0 +1,1 @@
+lib/core/preprocess.ml: Array Berkmin_types Clause Cnf List Lit Value

@@ -1,0 +1,1 @@
+lib/core/simplify.ml: Array Berkmin_types Clause Cnf List Lit Set

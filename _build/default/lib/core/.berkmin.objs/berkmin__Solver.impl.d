@@ -1,0 +1,1 @@
+lib/core/solver.ml: Array Berkmin_proof Berkmin_types Clause Cnf Config Format List Lit Luby Option Rng Stats Sys Value Var_heap Vec

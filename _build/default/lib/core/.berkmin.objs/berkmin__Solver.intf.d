@@ -1,0 +1,1 @@
+lib/core/solver.mli: Berkmin_proof Berkmin_types Cnf Config Format Lit Stats Value

@@ -1,0 +1,1 @@
+lib/core/var_elim.ml: Array Berkmin_types Clause Cnf List Lit Value

@@ -1,0 +1,1 @@
+lib/core/var_elim.mli: Berkmin_types Cnf

@@ -1,0 +1,1 @@
+lib/core/var_heap.ml: Array

@@ -1,0 +1,173 @@
+type activity_mode =
+  | Responsible_clauses
+  | Conflict_clause_only
+
+type decision_mode =
+  | Top_clause
+  | Global_most_active
+  | Vsids_literal
+
+type polarity_mode =
+  | Symmetrize
+  | Sat_top
+  | Unsat_top
+  | Take_zero
+  | Take_one
+  | Take_random
+
+type global_polarity_mode =
+  | Nb_two
+  | Gp_take_zero
+  | Gp_take_one
+  | Gp_random
+
+type reduction_mode =
+  | Berkmin_age_activity
+  | Length_limit of int
+  | Keep_all
+
+type restart_mode =
+  | Fixed of int
+  | Luby of int
+  | No_restarts
+
+type t = {
+  activity_mode : activity_mode;
+  decision_mode : decision_mode;
+  polarity_mode : polarity_mode;
+  global_polarity : global_polarity_mode;
+  reduction_mode : reduction_mode;
+  restart_mode : restart_mode;
+  var_decay_interval : int;
+  var_decay_factor : float;
+  vsids_decay_interval : int;
+  vsids_decay_factor : float;
+  young_fraction : float;
+  young_keep_length : int;
+  young_keep_activity : int;
+  old_keep_length : int;
+  old_activity_threshold : int;
+  old_threshold_increment : int;
+  nb_two_threshold : int;
+  top_window : int;
+  minimize_learnt : bool;
+  use_var_heap : bool;
+  seed : int;
+}
+
+(* Constants follow Section 8 of the paper: young clauses are kept when
+   shorter than 43 literals or with activity above 7; old clauses when
+   shorter than 9 literals or above a threshold starting at 60.  The
+   restart interval of 550 conflicts and the activity decay (divide by 4
+   every 64 conflicts) match the released BerkMin56 binary. *)
+let berkmin = {
+  activity_mode = Responsible_clauses;
+  decision_mode = Top_clause;
+  polarity_mode = Symmetrize;
+  global_polarity = Nb_two;
+  reduction_mode = Berkmin_age_activity;
+  restart_mode = Fixed 550;
+  var_decay_interval = 64;
+  var_decay_factor = 4.0;
+  vsids_decay_interval = 100;
+  vsids_decay_factor = 2.0;
+  young_fraction = 1.0 /. 16.0;
+  young_keep_length = 43;
+  young_keep_activity = 7;
+  old_keep_length = 9;
+  old_activity_threshold = 60;
+  old_threshold_increment = 1;
+  nb_two_threshold = 100;
+  top_window = 1;
+  minimize_learnt = false;
+  use_var_heap = false;
+  seed = 1;
+}
+
+let less_sensitivity = { berkmin with activity_mode = Conflict_clause_only }
+let less_mobility = { berkmin with decision_mode = Global_most_active }
+let sat_top = { berkmin with polarity_mode = Sat_top }
+let unsat_top = { berkmin with polarity_mode = Unsat_top }
+let take_zero = { berkmin with polarity_mode = Take_zero }
+let take_one = { berkmin with polarity_mode = Take_one }
+let take_random = { berkmin with polarity_mode = Take_random }
+
+let limited_keeping = { berkmin with reduction_mode = Length_limit 42 }
+
+let chaff = {
+  berkmin with
+  activity_mode = Conflict_clause_only;
+  decision_mode = Vsids_literal;
+  polarity_mode = Sat_top; (* VSIDS assigns the chosen literal true *)
+  global_polarity = Gp_take_zero;
+  reduction_mode = Length_limit 100;
+  restart_mode = Fixed 700;
+  var_decay_interval = 100;
+  var_decay_factor = 2.0;
+}
+
+(* Table 10's third solver.  Limmat was a competent but plainer CDCL
+   than either contender; this stand-in keeps learning and restarts but
+   uses a global variable-activity decision rule without BerkMin's
+   top-clause mobility or Chaff's literal-phase scores — the weakest of
+   the three presets, matching the competition ordering. *)
+let limmat_like = {
+  chaff with
+  decision_mode = Global_most_active;
+  restart_mode = Luby 64;
+  polarity_mode = Take_one;
+  reduction_mode = Length_limit 60;
+}
+
+let with_seed seed t = { t with seed }
+
+let presets = [
+  "berkmin", berkmin;
+  "less_sensitivity", less_sensitivity;
+  "less_mobility", less_mobility;
+  "sat_top", sat_top;
+  "unsat_top", unsat_top;
+  "take_zero", take_zero;
+  "take_one", take_one;
+  "take_random", take_random;
+  "limited_keeping", limited_keeping;
+  "chaff", chaff;
+  "limmat_like", limmat_like;
+]
+
+let name_of t =
+  match List.find_opt (fun (_, p) -> { p with seed = t.seed } = t) presets with
+  | Some (name, _) -> name
+  | None -> "custom"
+
+let pp fmt t =
+  let activity = match t.activity_mode with
+    | Responsible_clauses -> "responsible-clauses"
+    | Conflict_clause_only -> "conflict-clause-only"
+  in
+  let decision = match t.decision_mode with
+    | Top_clause -> "top-clause"
+    | Global_most_active -> "global-most-active"
+    | Vsids_literal -> "vsids-literal"
+  in
+  let polarity = match t.polarity_mode with
+    | Symmetrize -> "symmetrize"
+    | Sat_top -> "sat-top"
+    | Unsat_top -> "unsat-top"
+    | Take_zero -> "take-0"
+    | Take_one -> "take-1"
+    | Take_random -> "take-rand"
+  in
+  let reduction = match t.reduction_mode with
+    | Berkmin_age_activity -> "berkmin"
+    | Length_limit n -> Printf.sprintf "length<=%d" n
+    | Keep_all -> "keep-all"
+  in
+  let restarts = match t.restart_mode with
+    | Fixed n -> Printf.sprintf "fixed(%d)" n
+    | Luby n -> Printf.sprintf "luby(%d)" n
+    | No_restarts -> "none"
+  in
+  Format.fprintf fmt
+    "{%s: activity=%s decision=%s polarity=%s reduction=%s restarts=%s seed=%d}"
+    (name_of t) activity decision polarity reduction restarts t.seed

@@ -1,0 +1,142 @@
+(** Solver configuration.
+
+    Every heuristic the paper ablates is a field here, so each of the
+    paper's comparison columns (Tables 1, 2, 4, 5) is a preset of the
+    same engine differing in exactly one component — mirroring the
+    paper's methodology. *)
+
+(** How variable activities are updated at each conflict (Section 4). *)
+type activity_mode =
+  | Responsible_clauses
+      (** BerkMin: bump [var_activity(x)] once per occurrence of a
+          literal of [x] in every clause responsible for the conflict
+          (the antecedents of the 1-UIP resolution chain plus the
+          conflicting clause). *)
+  | Conflict_clause_only
+      (** Chaff-like ablation ("Less_sensitivity"): bump only variables
+          occurring in the learnt clause, by 1. *)
+
+(** How the next branching variable is picked (Section 5). *)
+type decision_mode =
+  | Top_clause
+      (** BerkMin: the most active free variable of the topmost
+          unsatisfied learnt clause; falls back to the globally most
+          active free variable when every learnt clause is satisfied. *)
+  | Global_most_active
+      (** "Less_mobility" ablation: always the globally most active
+          free variable (activities still computed per
+          [activity_mode]). *)
+  | Vsids_literal
+      (** Chaff baseline: the free literal with the highest decaying
+          VSIDS literal score; the variable is assigned so that this
+          literal becomes true. *)
+
+(** Which value the chosen branching variable gets first when the
+    decision was made on the current top clause (Section 7, Table 4). *)
+type polarity_mode =
+  | Symmetrize
+      (** BerkMin: compare [lit_activity] of the two phases and explore
+          the branch producing learnt clauses with the rarer literal. *)
+  | Sat_top  (** Always satisfy the current top clause. *)
+  | Unsat_top  (** Always falsify the variable's literal in the top clause. *)
+  | Take_zero
+  | Take_one
+  | Take_random
+
+(** Which value is assigned first on global (non-top-clause) decisions. *)
+type global_polarity_mode =
+  | Nb_two
+      (** BerkMin: the literal with the larger binary-clause
+          neighbourhood [nb_two] is set to 0 (Section 7). *)
+  | Gp_take_zero
+  | Gp_take_one
+  | Gp_random
+
+(** Learnt-clause database reduction at restarts (Section 8). *)
+type reduction_mode =
+  | Berkmin_age_activity
+      (** Partition by age; young kept if short or recently active, old
+          kept only if very short or very active (growing threshold). *)
+  | Length_limit of int
+      (** GRASP-like ("Limited_keeping"): remove learnt clauses longer
+          than the limit, regardless of age and activity. *)
+  | Keep_all
+
+type restart_mode =
+  | Fixed of int  (** restart every [n] conflicts *)
+  | Luby of int  (** Luby sequence scaled by the unit *)
+  | No_restarts
+
+type t = {
+  activity_mode : activity_mode;
+  decision_mode : decision_mode;
+  polarity_mode : polarity_mode;
+  global_polarity : global_polarity_mode;
+  reduction_mode : reduction_mode;
+  restart_mode : restart_mode;
+  var_decay_interval : int;  (** conflicts between var-activity decays *)
+  var_decay_factor : float;  (** divide activities by this factor *)
+  vsids_decay_interval : int;  (** for the Chaff baseline's literal scores *)
+  vsids_decay_factor : float;
+  young_fraction : float;
+      (** a learnt clause is "young" when its distance from the stack
+          top is below this fraction of the stack size (paper: 1/16) *)
+  young_keep_length : int;  (** keep young clauses shorter than this (43) *)
+  young_keep_activity : int;  (** or with activity above this (7) *)
+  old_keep_length : int;  (** keep old clauses shorter than this (9) *)
+  old_activity_threshold : int;  (** initial old-clause activity bar (60) *)
+  old_threshold_increment : int;  (** growth per reduction *)
+  nb_two_threshold : int;  (** cap on nb_two computation (100) *)
+  top_window : int;
+      (** how many top unsatisfied learnt clauses the decision
+          procedure considers (1 in the paper; Remark 2 proposes
+          examining "a small set of conflict clauses that are close to
+          the current top of the stack") *)
+  minimize_learnt : bool;
+      (** post-2002 extension: drop learnt-clause literals whose
+          reasons are subsumed by the rest of the clause (MiniSat-style
+          basic minimization); off in the paper's configuration *)
+  use_var_heap : bool;
+      (** BerkMin561 "strategy 3" (Remark 1): find the most active
+          free variable with an indexed heap instead of a linear scan —
+          same decisions, different cost *)
+  seed : int;
+}
+
+val berkmin : t
+(** The paper's default configuration. *)
+
+val less_sensitivity : t
+(** Table 1 ablation: Chaff-like activity updates. *)
+
+val less_mobility : t
+(** Table 2 ablation: global most-active decisions. *)
+
+val sat_top : t
+val unsat_top : t
+val take_zero : t
+val take_one : t
+val take_random : t
+(** Table 4 branch-selection ablations. *)
+
+val limited_keeping : t
+(** Table 5 ablation: GRASP-style length-only clause removal. *)
+
+val chaff : t
+(** Chaff/zChaff baseline for Tables 6–10: VSIDS literal decisions,
+    learnt-clause-only bumping, periodic halving, length-based DB
+    reduction. *)
+
+val limmat_like : t
+(** Stand-in for limmat in Table 10: a plain CDCL with fixed polarity
+    and Luby restarts (documented substitution; see DESIGN.md). *)
+
+val with_seed : int -> t -> t
+
+val name_of : t -> string
+(** Best-effort human name: matches a preset or describes the fields. *)
+
+val presets : (string * t) list
+(** All named presets, for CLIs and the bench harness. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,100 @@
+open Berkmin_types
+
+type result =
+  | Sat of bool array
+  | Unsat
+  | Unknown
+
+exception Out_of_budget
+
+let solve ?max_nodes cnf =
+  let nvars = Cnf.num_vars cnf in
+  let clauses = Array.of_list (Cnf.clauses cnf) in
+  let assigns = Array.make (max nvars 1) Value.Unassigned in
+  let nodes = ref 0 in
+  let budget_check () =
+    match max_nodes with
+    | Some m ->
+      incr nodes;
+      if !nodes > m then raise Out_of_budget
+    | None -> ()
+  in
+  let valuation v = assigns.(v) in
+  (* Unit propagation to fixpoint; returns the literals assigned here
+     (for undo) or [None] on conflict. *)
+  let propagate () =
+    let assigned_here = ref [] in
+    let conflict = ref false in
+    let changed = ref true in
+    while !changed && not !conflict do
+      changed := false;
+      Array.iter
+        (fun c ->
+          if not !conflict then
+            match Clause.eval valuation c with
+            | Value.True -> ()
+            | Value.False -> conflict := true
+            | Value.Unassigned ->
+              let free = ref [] in
+              Clause.iter
+                (fun l ->
+                  if not (Value.is_assigned assigns.(Lit.var l)) then
+                    free := l :: !free)
+                c;
+              (match !free with
+              | [ l ] ->
+                assigns.(Lit.var l) <-
+                  (if Lit.is_pos l then Value.True else Value.False);
+                assigned_here := Lit.var l :: !assigned_here;
+                changed := true
+              | _ -> ()))
+        clauses
+    done;
+    if !conflict then begin
+      List.iter (fun v -> assigns.(v) <- Value.Unassigned) !assigned_here;
+      None
+    end
+    else Some !assigned_here
+  in
+  let undo vars = List.iter (fun v -> assigns.(v) <- Value.Unassigned) vars in
+  let first_free () =
+    let rec loop v =
+      if v >= nvars then None
+      else if Value.is_assigned assigns.(v) then loop (v + 1)
+      else Some v
+    in
+    loop 0
+  in
+  let rec search () =
+    budget_check ();
+    match propagate () with
+    | None -> false
+    | Some assigned -> (
+      match first_free () with
+      | None -> true (* all vars assigned, no conflict: model found *)
+      | Some v ->
+        let try_value b =
+          assigns.(v) <- Value.of_bool b;
+          let sat = search () in
+          if not sat then assigns.(v) <- Value.Unassigned;
+          sat
+        in
+        if try_value false || try_value true then true
+        else begin
+          undo assigned;
+          false
+        end)
+  in
+  if Cnf.has_empty_clause cnf then Unsat
+  else
+    match search () with
+    | true ->
+      let model =
+        Array.init nvars (fun v ->
+            match assigns.(v) with
+            | Value.True -> true
+            | Value.False | Value.Unassigned -> false)
+      in
+      Sat model
+    | false -> Unsat
+    | exception Out_of_budget -> Unknown

@@ -1,0 +1,19 @@
+(** A deliberately simple DPLL solver (no learning, no watched
+    literals, chronological backtracking).
+
+    This is the independent oracle the property-based tests compare the
+    CDCL engine against: two implementations sharing no search code
+    agreeing on thousands of random formulas is strong evidence of
+    correctness.  Only suitable for small instances. *)
+
+open Berkmin_types
+
+type result =
+  | Sat of bool array
+  | Unsat
+  | Unknown  (** node budget exhausted *)
+
+val solve : ?max_nodes:int -> Cnf.t -> result
+(** Unit propagation + first-unassigned-variable splitting.
+    [max_nodes] bounds the number of search nodes (default: no bound
+    beyond memory/patience). *)

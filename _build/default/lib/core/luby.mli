@@ -1,0 +1,12 @@
+(** The Luby restart sequence 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+
+    Used by the [limmat_like] baseline and available as an engine
+    option; BerkMin itself restarts at a fixed interval. *)
+
+val term : int -> int
+(** [term i] is the [i]-th element of the Luby sequence, 1-based.
+    @raise Invalid_argument for [i < 1]. *)
+
+val interval : unit:int -> int -> int
+(** [interval ~unit i] is [unit * term i]: the conflict budget of the
+    [i]-th restart epoch. *)

@@ -1,0 +1,120 @@
+open Berkmin_types
+
+type outcome =
+  | Simplified of {
+      cnf : Cnf.t;
+      forced : (int * bool) list;
+    }
+  | Unsat_detected
+
+exception Conflict
+
+let run cnf =
+  let nvars = Cnf.num_vars cnf in
+  let assigns = Array.make (max nvars 1) Value.Unassigned in
+  let forced = ref [] in
+  let assign l =
+    let v = Lit.var l in
+    let value = if Lit.is_pos l then Value.True else Value.False in
+    match assigns.(v) with
+    | Value.Unassigned ->
+      assigns.(v) <- value;
+      forced := (v, Lit.is_pos l) :: !forced
+    | existing -> if not (Value.equal existing value) then raise Conflict
+  in
+  let valuation v = assigns.(v) in
+  (* One pass of the current clause list: propagate units, then find
+     pure literals among what remains.  Repeats until stable. *)
+  let simplify clauses =
+    let changed = ref true in
+    let clauses = ref clauses in
+    while !changed do
+      changed := false;
+      (* Unit propagation. *)
+      let rec propagate () =
+        let fired = ref false in
+        List.iter
+          (fun c ->
+            match Clause.eval valuation c with
+            | Value.True -> ()
+            | Value.False -> raise Conflict
+            | Value.Unassigned ->
+              let free =
+                Clause.fold
+                  (fun acc l ->
+                    if Value.is_assigned assigns.(Lit.var l) then acc
+                    else l :: acc)
+                  [] c
+              in
+              (match free with
+              | [ l ] ->
+                assign l;
+                fired := true
+              | _ -> ()))
+          !clauses;
+        if !fired then begin
+          changed := true;
+          propagate ()
+        end
+      in
+      propagate ();
+      (* Drop satisfied clauses before the purity scan. *)
+      clauses :=
+        List.filter
+          (fun c -> not (Value.equal (Clause.eval valuation c) Value.True))
+          !clauses;
+      (* Pure literals: variables appearing (free) in only one phase. *)
+      let occurs_pos = Array.make (max nvars 1) false in
+      let occurs_neg = Array.make (max nvars 1) false in
+      List.iter
+        (fun c ->
+          Clause.iter
+            (fun l ->
+              if not (Value.is_assigned assigns.(Lit.var l)) then
+                if Lit.is_pos l then occurs_pos.(Lit.var l) <- true
+                else occurs_neg.(Lit.var l) <- true)
+            c)
+        !clauses;
+      for v = 0 to nvars - 1 do
+        if not (Value.is_assigned assigns.(v)) then
+          if occurs_pos.(v) && not occurs_neg.(v) then begin
+            assign (Lit.pos v);
+            changed := true
+          end
+          else if occurs_neg.(v) && not occurs_pos.(v) then begin
+            assign (Lit.neg_of v);
+            changed := true
+          end
+      done;
+      clauses :=
+        List.filter
+          (fun c -> not (Value.equal (Clause.eval valuation c) Value.True))
+          !clauses
+    done;
+    !clauses
+  in
+  match
+    simplify
+      (List.filter (fun c -> not (Clause.is_tautology c)) (Cnf.clauses cnf))
+  with
+  | exception Conflict -> Unsat_detected
+  | remaining ->
+    let out = Cnf.create ~num_vars:nvars () in
+    List.iter
+      (fun c ->
+        (* Strip falsified literals; remaining clauses have >= 2 free
+           literals (units were propagated). *)
+        let lits =
+          Clause.fold
+            (fun acc l ->
+              if Value.is_assigned assigns.(Lit.var l) then acc else l :: acc)
+            [] c
+        in
+        Cnf.add_clause out lits)
+      remaining;
+    Simplified { cnf = out; forced = !forced }
+
+let extend_model ~forced model =
+  let m = Array.copy model in
+  List.iter (fun (v, b) -> m.(v) <- b) forced;
+  m

@@ -1,0 +1,23 @@
+(** Cheap CNF preprocessing: top-level unit propagation and pure-literal
+    elimination, iterated to fixpoint.
+
+    Returns a simplified formula over the same variable space plus the
+    forced assignments, so a model of the simplified formula extends to
+    a model of the original.  This mirrors the standard front end of
+    2000s-era solvers and gives the bench harness an optional knob. *)
+
+open Berkmin_types
+
+type outcome =
+  | Simplified of {
+      cnf : Cnf.t;  (** same variable numbering as the input *)
+      forced : (int * bool) list;
+          (** assignments implied by units or chosen for pure literals *)
+    }
+  | Unsat_detected
+
+val run : Cnf.t -> outcome
+
+val extend_model : forced:(int * bool) list -> bool array -> bool array
+(** Patches the forced assignments into a model of the simplified
+    formula (a fresh array is returned). *)

@@ -1,0 +1,114 @@
+open Berkmin_types
+
+type report = {
+  cnf : Cnf.t;
+  subsumed : int;
+  strengthened : int;
+  rounds : int;
+}
+
+(* 63-bit variable signature: [c] can only subsume [d] when
+   [sig c land lnot (sig d) = 0].  Cheap rejection for the quadratic
+   subsumption scan. *)
+let signature c =
+  Clause.fold (fun acc l -> acc lor (1 lsl (Lit.var l mod 63))) 0 c
+
+let strengthen_on c d =
+  (* If c = x ∨ A and d = ¬x ∨ B with A ⊆ B, return d minus ¬x. *)
+  let candidate = ref None in
+  (try
+     Clause.iter
+       (fun l ->
+         if Clause.mem (Lit.negate l) d then begin
+           match !candidate with
+           | None -> candidate := Some l
+           | Some _ ->
+             (* Two clashing variables: the resolvent is a tautology
+                and cannot strengthen. *)
+             candidate := None;
+             raise Exit
+         end
+         else if not (Clause.mem l d) then begin
+           candidate := None;
+           raise Exit
+         end)
+       c
+   with Exit -> ());
+  match !candidate with
+  | None -> None
+  | Some x ->
+    let without =
+      Clause.of_list
+        (List.filter (fun l -> l <> Lit.negate x) (Clause.to_list d))
+    in
+    Some without
+
+let run ?(max_rounds = 10) cnf =
+  (* Working set: deduplicated, tautology-free clauses. *)
+  let module CS = Set.Make (struct
+    type t = Clause.t
+
+    let compare = Clause.compare
+  end) in
+  let initial =
+    List.filter (fun c -> not (Clause.is_tautology c)) (Cnf.clauses cnf)
+  in
+  let clauses = ref (Array.of_list (CS.elements (CS.of_list initial))) in
+  let subsumed = ref 0 in
+  let strengthened = ref 0 in
+  let rounds = ref 0 in
+  let changed = ref true in
+  while !changed && !rounds < max_rounds do
+    incr rounds;
+    changed := false;
+    let cs = !clauses in
+    let n = Array.length cs in
+    let sigs = Array.map signature cs in
+    let dead = Array.make n false in
+    (* Subsumption: shorter clauses are more likely subsumers, so
+       order by length. *)
+    let order = Array.init n (fun i -> i) in
+    Array.sort (fun a b -> compare (Clause.length cs.(a)) (Clause.length cs.(b))) order;
+    Array.iter
+      (fun i ->
+        if not dead.(i) then
+          for j = 0 to n - 1 do
+            if j <> i && not dead.(j)
+               && sigs.(i) land lnot sigs.(j) = 0
+               && Clause.length cs.(i) <= Clause.length cs.(j)
+               && Clause.subsumes cs.(i) cs.(j)
+            then begin
+              dead.(j) <- true;
+              incr subsumed;
+              changed := true
+            end
+          done)
+      order;
+    (* Self-subsuming resolution on the survivors. *)
+    let live =
+      Array.of_list
+        (List.filteri (fun i _ -> not dead.(i)) (Array.to_list cs))
+    in
+    let n = Array.length live in
+    let sigs = Array.map signature live in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if i <> j
+           (* c's variables must all occur in d for A ⊆ B to hold. *)
+           && sigs.(i) land lnot sigs.(j) = 0
+           && Clause.length live.(i) <= Clause.length live.(j)
+        then
+          match strengthen_on live.(i) live.(j) with
+          | Some shorter when not (Clause.equal shorter live.(j)) ->
+            live.(j) <- shorter;
+            sigs.(j) <- signature shorter;
+            incr strengthened;
+            changed := true
+          | Some _ | None -> ()
+      done
+    done;
+    clauses := Array.of_list (CS.elements (CS.of_list (Array.to_list live)))
+  done;
+  let out = Cnf.create ~num_vars:(Cnf.num_vars cnf) () in
+  Array.iter (fun c -> Cnf.add out c) !clauses;
+  { cnf = out; subsumed = !subsumed; strengthened = !strengthened; rounds = !rounds }

@@ -1,0 +1,22 @@
+(** Clause-level simplification: subsumption elimination and
+    self-subsuming resolution (strengthening).
+
+    A 2000s-era preprocessing pass (SATeLite-style, without variable
+    elimination): drop every clause subsumed by another, and when
+    clauses [x ∨ A] and [¬x ∨ B] with [A ⊆ B] coexist, strengthen the
+    second to [B].  Both rewrites preserve logical equivalence, not
+    merely satisfiability, so models transfer unchanged in both
+    directions. *)
+
+open Berkmin_types
+
+type report = {
+  cnf : Cnf.t;  (** simplified formula, same variable space *)
+  subsumed : int;  (** clauses removed *)
+  strengthened : int;  (** literal removals by self-subsumption *)
+  rounds : int;
+}
+
+val run : ?max_rounds:int -> Cnf.t -> report
+(** Iterates both rules to fixpoint or [max_rounds] (default 10).
+    Tautologies and duplicate clauses are removed on the way in. *)

@@ -1,0 +1,942 @@
+open Berkmin_types
+module Drup = Berkmin_proof.Drup
+
+type result =
+  | Sat of bool array
+  | Unsat
+  | Unknown
+
+type budget = {
+  max_conflicts : int option;
+  max_seconds : float option;
+}
+
+let no_budget = { max_conflicts = None; max_seconds = None }
+let budget_conflicts n = { max_conflicts = Some n; max_seconds = None }
+
+(* The solver's internal clause record.  [lits.(0)] and [lits.(1)] are
+   the watched literals; for a learnt clause acting as the reason of an
+   implied literal, that literal sits at index 0.  [activity] is the
+   paper's clause_activity: the number of conflicts this clause has been
+   responsible for. *)
+type cls = {
+  mutable lits : Lit.t array;
+  learnt : bool;
+  mutable activity : int;
+  mutable deleted : bool;
+}
+
+let dummy_cls = { lits = [||]; learnt = false; activity = 0; deleted = true }
+
+type t = {
+  cfg : Config.t;
+  stats : Stats.t;
+  rng : Rng.t;
+  nvars : int;
+  mutable n_original : int;
+  original : cls Vec.t;
+  learnt : cls Vec.t;  (* the chronological conflict-clause stack *)
+  watches : cls Vec.t array;  (* indexed by literal *)
+  occ : cls Vec.t array;  (* original-clause occurrences, for nb_two *)
+  assigns : Value.t array;
+  level : int array;
+  reason : cls option array;
+  trail : Lit.t Vec.t;
+  trail_lim : int Vec.t;
+  mutable qhead : int;
+  var_act : float array;
+  lit_act : int array;  (* symmetrization counters, never decayed *)
+  vsids : float array;  (* Chaff-baseline literal scores, decayed *)
+  seen : bool array;
+  heap : Var_heap.t option;  (* strategy-3 variable order, if enabled *)
+  mutable assumptions : Lit.t array;  (* active only inside solve_with_assumptions *)
+  mutable old_threshold : int;
+  mutable restart_epoch : int;
+  mutable conflicts_at_restart : int;
+  mutable last_var_decay : int;
+  mutable last_vsids_decay : int;
+  mutable proof : (Drup.event -> unit) option;
+  mutable on_decision : (int -> bool -> unit) option;
+  mutable verdict : result option;
+  mutable ok : bool;  (* false once a top-level conflict is found *)
+}
+
+let stats s = s.stats
+let config s = s.cfg
+let num_vars s = s.nvars
+let num_original_clauses s = s.n_original
+let num_learnt_live s = Vec.length s.learnt
+let old_activity_threshold s = s.old_threshold
+let set_proof_logger s f = s.proof <- Some f
+let set_decision_hook s f = s.on_decision <- Some f
+let value_of s v = s.assigns.(v)
+
+let log_proof s e =
+  match s.proof with
+  | None -> ()
+  | Some f -> f e
+
+let log_add s lits = log_proof s (Drup.Add (Clause.of_array lits))
+let log_delete s lits = log_proof s (Drup.Delete (Clause.of_array lits))
+
+let decision_level s = Vec.length s.trail_lim
+
+let lit_value s l =
+  match s.assigns.(Lit.var l) with
+  | Value.Unassigned -> Value.Unassigned
+  | Value.True -> if Lit.is_pos l then Value.True else Value.False
+  | Value.False -> if Lit.is_pos l then Value.False else Value.True
+
+let enqueue s l reason =
+  let v = Lit.var l in
+  assert (not (Value.is_assigned s.assigns.(v)));
+  s.assigns.(v) <- (if Lit.is_pos l then Value.True else Value.False);
+  let dl = decision_level s in
+  s.level.(v) <- dl;
+  (* Level-0 reasons are never consulted by conflict analysis and would
+     pin clauses against deletion, so they are dropped. *)
+  s.reason.(v) <- (if dl = 0 then None else reason);
+  Vec.push s.trail l
+
+let unassign s l =
+  let v = Lit.var l in
+  s.assigns.(v) <- Value.Unassigned;
+  s.reason.(v) <- None;
+  match s.heap with
+  | Some h -> Var_heap.push h v
+  | None -> ()
+
+let backtrack s lvl =
+  if decision_level s > lvl then begin
+    let limit = Vec.get s.trail_lim lvl in
+    for i = Vec.length s.trail - 1 downto limit do
+      unassign s (Vec.get s.trail i)
+    done;
+    Vec.shrink s.trail limit;
+    Vec.shrink s.trail_lim lvl;
+    s.qhead <- limit
+  end
+
+let attach s c =
+  Vec.push s.watches.(c.lits.(0)) c;
+  Vec.push s.watches.(c.lits.(1)) c
+
+(* ------------------------------------------------------------------ *)
+(* Boolean constraint propagation: two watched literals per clause.    *)
+
+let propagate s =
+  let conflict = ref None in
+  while !conflict = None && s.qhead < Vec.length s.trail do
+    let p = Vec.get s.trail s.qhead in
+    s.qhead <- s.qhead + 1;
+    s.stats.propagations <- s.stats.propagations + 1;
+    let false_lit = Lit.negate p in
+    let ws = s.watches.(false_lit) in
+    let i = ref 0 in
+    while !conflict = None && !i < Vec.length ws do
+      let c = Vec.get ws !i in
+      if c.deleted then Vec.swap_remove ws !i
+      else begin
+        let lits = c.lits in
+        if lits.(0) = false_lit then begin
+          lits.(0) <- lits.(1);
+          lits.(1) <- false_lit
+        end;
+        if lit_value s lits.(0) = Value.True then incr i
+        else begin
+          (* Look for a replacement watch among the tail literals. *)
+          let n = Array.length lits in
+          let k = ref 2 in
+          while !k < n && lit_value s lits.(!k) = Value.False do
+            incr k
+          done;
+          if !k < n then begin
+            lits.(1) <- lits.(!k);
+            lits.(!k) <- false_lit;
+            Vec.push s.watches.(lits.(1)) c;
+            Vec.swap_remove ws !i
+          end
+          else
+            match lit_value s lits.(0) with
+            | Value.False -> conflict := Some c
+            | Value.Unassigned ->
+              enqueue s lits.(0) (Some c);
+              incr i
+            | Value.True -> assert false
+        end
+      end
+    done
+  done;
+  !conflict
+
+(* ------------------------------------------------------------------ *)
+(* Activity bookkeeping.                                               *)
+
+let rescale_limit = 1e100
+
+let bump_var s v =
+  s.var_act.(v) <- s.var_act.(v) +. 1.0;
+  (* Uniform rescaling and decay preserve the heap order; only the
+     single-key increase needs fixing up. *)
+  (match s.heap with
+  | Some h -> Var_heap.notify_increase h v
+  | None -> ());
+  if s.var_act.(v) > rescale_limit then
+    for u = 0 to s.nvars - 1 do
+      s.var_act.(u) <- s.var_act.(u) *. 1e-100
+    done
+
+let bump_vsids s l =
+  s.vsids.(l) <- s.vsids.(l) +. 1.0;
+  if s.vsids.(l) > rescale_limit then
+    for m = 0 to (2 * s.nvars) - 1 do
+      s.vsids.(m) <- s.vsids.(m) *. 1e-100
+    done
+
+let maybe_decay s =
+  let c = s.stats.conflicts in
+  if s.cfg.var_decay_interval > 0 && c - s.last_var_decay >= s.cfg.var_decay_interval
+  then begin
+    s.last_var_decay <- c;
+    let f = 1.0 /. s.cfg.var_decay_factor in
+    for v = 0 to s.nvars - 1 do
+      s.var_act.(v) <- s.var_act.(v) *. f
+    done
+  end;
+  if s.cfg.vsids_decay_interval > 0
+     && c - s.last_vsids_decay >= s.cfg.vsids_decay_interval
+  then begin
+    s.last_vsids_decay <- c;
+    let f = 1.0 /. s.cfg.vsids_decay_factor in
+    for l = 0 to (2 * s.nvars) - 1 do
+      s.vsids.(l) <- s.vsids.(l) *. f
+    done
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Conflict analysis: first unique implication point.                  *)
+
+(* Returns the learnt literals (asserting literal first) and the
+   backtrack level.  Along the way updates clause activities and, per
+   the configured [activity_mode], variable activities — the paper's
+   "sensitivity" novelty is the [Responsible_clauses] branch, which
+   bumps every variable occurrence of every clause responsible for the
+   conflict, not only the learnt clause's variables (Section 4). *)
+let analyze s (confl : cls) =
+  let dl = decision_level s in
+  let learnt = ref [] in
+  let counter = ref 0 in
+  let p = ref (-1) in
+  let idx = ref (Vec.length s.trail - 1) in
+  let c = ref confl in
+  let continue = ref true in
+  while !continue do
+    let cls = !c in
+    if cls.learnt then cls.activity <- cls.activity + 1;
+    (match s.cfg.activity_mode with
+    | Config.Responsible_clauses ->
+      Array.iter (fun q -> bump_var s (Lit.var q)) cls.lits
+    | Config.Conflict_clause_only -> ());
+    let start = if !p = -1 then 0 else 1 in
+    for j = start to Array.length cls.lits - 1 do
+      let q = cls.lits.(j) in
+      let v = Lit.var q in
+      if (not s.seen.(v)) && s.level.(v) > 0 then begin
+        s.seen.(v) <- true;
+        if s.level.(v) >= dl then incr counter else learnt := q :: !learnt
+      end
+    done;
+    (* Walk the trail back to the next marked literal of this level. *)
+    let rec next_marked () =
+      let l = Vec.get s.trail !idx in
+      decr idx;
+      if s.seen.(Lit.var l) then l else next_marked ()
+    in
+    let l = next_marked () in
+    s.seen.(Lit.var l) <- false;
+    decr counter;
+    p := l;
+    if !counter = 0 then continue := false
+    else
+      match s.reason.(Lit.var l) with
+      | Some r -> c := r
+      | None -> assert false (* only the UIP can lack a reason *)
+  done;
+  let asserting = Lit.negate !p in
+  (* Optional MiniSat-style basic minimization (a post-2002 extension,
+     off in the paper's configuration): a learnt literal is redundant
+     when its reason clause is subsumed by the rest of the learnt
+     clause plus top-level facts.  The [seen] marks — still set for
+     exactly the non-asserting learnt variables — encode membership. *)
+  let kept =
+    if not s.cfg.minimize_learnt then !learnt
+    else begin
+      let redundant q =
+        match s.reason.(Lit.var q) with
+        | None -> false
+        | Some r ->
+          Array.for_all
+            (fun p ->
+              Lit.var p = Lit.var q
+              || s.seen.(Lit.var p)
+              || s.level.(Lit.var p) = 0)
+            r.lits
+      in
+      let kept = List.filter (fun q -> not (redundant q)) !learnt in
+      s.stats.minimized_literals <-
+        s.stats.minimized_literals
+        + (List.length !learnt - List.length kept);
+      kept
+    end
+  in
+  let lits = Array.of_list (asserting :: kept) in
+  (* Reset the [seen] marks of the surviving literals. *)
+  List.iter (fun q -> s.seen.(Lit.var q) <- false) !learnt;
+  (* Chaff-style activity: only the learnt clause's variables. *)
+  (match s.cfg.activity_mode with
+  | Config.Conflict_clause_only ->
+    Array.iter (fun q -> bump_var s (Lit.var q)) lits
+  | Config.Responsible_clauses -> ());
+  (* VSIDS literal scores for the Chaff baseline, and the permanent
+     lit_activity counters driving database symmetrization (Section 7),
+     are bumped on every learnt clause regardless of mode. *)
+  Array.iter
+    (fun q ->
+      bump_vsids s q;
+      s.lit_act.(q) <- s.lit_act.(q) + 1)
+    lits;
+  (* Backtrack level: highest level below [dl] among learnt literals,
+     with the corresponding literal moved to watch position 1. *)
+  let bt = ref 0 in
+  for j = 1 to Array.length lits - 1 do
+    if s.level.(Lit.var lits.(j)) > !bt then bt := s.level.(Lit.var lits.(j))
+  done;
+  if Array.length lits > 1 then begin
+    let best = ref 1 in
+    for j = 2 to Array.length lits - 1 do
+      if s.level.(Lit.var lits.(j)) > s.level.(Lit.var lits.(!best)) then best := j
+    done;
+    let tmp = lits.(1) in
+    lits.(1) <- lits.(!best);
+    lits.(!best) <- tmp
+  end;
+  (lits, !bt)
+
+let record_learnt s lits =
+  s.stats.learnt_total <- s.stats.learnt_total + 1;
+  s.stats.learnt_literals <- s.stats.learnt_literals + Array.length lits;
+  log_add s lits;
+  if Array.length lits = 1 then begin
+    (* Unit conflict clause: becomes a retained top-level assignment
+       rather than a stored clause (Section 8). *)
+    enqueue s lits.(0) None;
+    None
+  end
+  else begin
+    let c = { lits; learnt = true; activity = 0; deleted = false } in
+    Vec.push s.learnt c;
+    if Vec.length s.learnt > s.stats.max_learnt_live then
+      s.stats.max_learnt_live <- Vec.length s.learnt;
+    Stats.note_live_clauses s.stats (s.n_original + Vec.length s.learnt);
+    attach s c;
+    enqueue s lits.(0) (Some c);
+    Some c
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Clause database management (Section 8).                             *)
+
+let satisfied_at_level0 s c =
+  Array.exists
+    (fun l -> s.level.(Lit.var l) = 0 && lit_value s l = Value.True)
+    c.lits
+
+(* Decide which live learnt clauses survive a reduction.  Called at
+   decision level 0 only. *)
+let reduction_keeps s =
+  let n = Vec.length s.learnt in
+  let keep = Array.make n true in
+  (match s.cfg.reduction_mode with
+  | Config.Keep_all -> ()
+  | Config.Length_limit limit ->
+    Vec.iteri
+      (fun i c ->
+        if satisfied_at_level0 s c then keep.(i) <- false
+        else if Array.length c.lits > limit then keep.(i) <- false)
+      s.learnt
+  | Config.Berkmin_age_activity ->
+    let young_band = s.cfg.young_fraction *. float_of_int n in
+    Vec.iteri
+      (fun i c ->
+        if i = n - 1 then keep.(i) <- true
+          (* the topmost clause is never removed: anti-looping *)
+        else if satisfied_at_level0 s c then keep.(i) <- false
+        else begin
+          let distance = n - 1 - i in
+          let young = float_of_int distance < young_band in
+          let len = Array.length c.lits in
+          keep.(i) <-
+            (if young then
+               len < s.cfg.young_keep_length
+               || c.activity > s.cfg.young_keep_activity
+             else len < s.cfg.old_keep_length || c.activity > s.old_threshold)
+        end)
+      s.learnt);
+  keep
+
+(* Rebuild every watch list from scratch, re-establishing the invariant
+   that watched literals are non-false at level 0.  The paper notes that
+   BerkMin recomputes its data structures after reductions; doing a full
+   rebuild also keeps the propagation invariants simple to audit. *)
+let rebuild_watches s =
+  assert (decision_level s = 0);
+  Array.iter Vec.clear s.watches;
+  let reattach c =
+    if not c.deleted then begin
+      let lits = c.lits in
+      let n = Array.length lits in
+      (* Pull up to two non-false literals into the watch slots. *)
+      let found = ref 0 in
+      (try
+         for j = 0 to n - 1 do
+           if lit_value s lits.(j) <> Value.False then begin
+             let tmp = lits.(!found) in
+             lits.(!found) <- lits.(j);
+             lits.(j) <- tmp;
+             incr found;
+             if !found = 2 then raise Exit
+           end
+         done
+       with Exit -> ());
+      match !found with
+      | 0 -> s.ok <- false (* clause falsified at level 0 *)
+      | 1 ->
+        if lit_value s lits.(0) = Value.Unassigned then enqueue s lits.(0) None;
+        if n >= 2 then attach s c
+      | _ -> attach s c
+    end
+  in
+  Vec.iter reattach s.original;
+  Vec.iter reattach s.learnt
+
+let reduce_db s =
+  if s.cfg.reduction_mode <> Config.Keep_all then begin
+    s.stats.reductions <- s.stats.reductions + 1;
+    let keep = reduction_keeps s in
+    let removed = ref 0 in
+    Vec.iteri
+      (fun i c ->
+        if not keep.(i) then begin
+          c.deleted <- true;
+          incr removed;
+          log_delete s c.lits
+        end)
+      s.learnt;
+    if !removed > 0 then begin
+      s.stats.removed_clauses <- s.stats.removed_clauses + !removed;
+      Vec.filter_in_place (fun c -> not c.deleted) s.learnt;
+      rebuild_watches s
+    end;
+    if s.cfg.reduction_mode = Config.Berkmin_age_activity then
+      s.old_threshold <- s.old_threshold + s.cfg.old_threshold_increment
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Decision making (Sections 5–7).                                     *)
+
+(* The current top clauses: the [top_window] unsatisfied learnt clauses
+   closest to the top of the stack, newest first (the paper uses a
+   window of 1; Remark 2 proposes examining a small set).  Each comes
+   with its distance from the top — the skin-effect [r] of Table 3. *)
+let find_top_clauses s =
+  let n = Vec.length s.learnt in
+  let window = max 1 s.cfg.top_window in
+  let found = ref [] in
+  let count = ref 0 in
+  let i = ref (n - 1) in
+  while !count < window && !i >= 0 do
+    let c = Vec.get s.learnt !i in
+    let satisfied = Array.exists (fun l -> lit_value s l = Value.True) c.lits in
+    if not satisfied then begin
+      found := (c, n - 1 - !i) :: !found;
+      incr count
+    end;
+    decr i
+  done;
+  List.rev !found
+
+(* Most active free variable.  The naive linear scan is what the paper
+   benchmarked (Remark 1); the heap is BerkMin561's optimized
+   "strategy 3" — identical decisions, different cost profile. *)
+let most_active_free_var s =
+  match s.heap with
+  | Some h ->
+    let rec pop () =
+      if Var_heap.is_empty h then None
+      else begin
+        let v = Var_heap.pop_max h in
+        if Value.is_assigned s.assigns.(v) then pop () else Some v
+      end
+    in
+    pop ()
+  | None ->
+    let best = ref (-1) in
+    let best_act = ref neg_infinity in
+    for v = 0 to s.nvars - 1 do
+      if (not (Value.is_assigned s.assigns.(v))) && s.var_act.(v) > !best_act
+      then begin
+        best := v;
+        best_act := s.var_act.(v)
+      end
+    done;
+    if !best < 0 then None else Some !best
+
+let best_vsids_literal s =
+  let best = ref (-1) in
+  let best_act = ref neg_infinity in
+  for l = 0 to (2 * s.nvars) - 1 do
+    if (not (Value.is_assigned s.assigns.(Lit.var l))) && s.vsids.(l) > !best_act
+    then begin
+      best := l;
+      best_act := s.vsids.(l)
+    end
+  done;
+  if !best < 0 then None else Some !best
+
+(* nb_two(l): the number of binary clauses containing l, plus, for each
+   such clause (l v u), the number of binary clauses containing ¬u — a
+   rough estimate of the BCP power of setting l to 0 (Section 7).  A
+   clause counts as binary when it is unsatisfied with exactly two free
+   literals under the current partial assignment.  Computation stops at
+   the configured threshold.  Only original clauses are inspected: this
+   heuristic runs only when every learnt clause is satisfied, so no
+   learnt clause can be "binary" then. *)
+let binary_other_lit s c self =
+  (* If [c] is currently binary and contains free literal [self],
+     return its other free literal. *)
+  let other = ref (-1) in
+  let free = ref 0 in
+  let sat = ref false in
+  let lits = c.lits in
+  (try
+     for j = 0 to Array.length lits - 1 do
+       match lit_value s lits.(j) with
+       | Value.True ->
+         sat := true;
+         raise Exit
+       | Value.Unassigned ->
+         incr free;
+         if !free > 2 then raise Exit;
+         if lits.(j) <> self then other := lits.(j)
+       | Value.False -> ()
+     done
+   with Exit -> ());
+  if (not !sat) && !free = 2 && !other >= 0 then Some !other else None
+
+let count_binary_with s l =
+  let count = ref 0 in
+  Vec.iter
+    (fun c ->
+      if (not c.deleted) && binary_other_lit s c l <> None then incr count)
+    s.occ.(l);
+  !count
+
+let nb_two s l =
+  let threshold = s.cfg.nb_two_threshold in
+  let total = ref 0 in
+  (try
+     Vec.iter
+       (fun c ->
+         if not c.deleted then
+           match binary_other_lit s c l with
+           | None -> ()
+           | Some u ->
+             total := !total + 1 + count_binary_with s (Lit.negate u);
+             if !total > threshold then raise Exit)
+       s.occ.(l)
+   with Exit -> ());
+  !total
+
+(* Database-symmetrization polarity (Section 7): explore first the
+   branch that generates learnt clauses containing the globally rarer
+   literal.  Exploring x=0 yields clauses containing the positive
+   literal x, so choose 0 when lit_activity(x) < lit_activity(¬x). *)
+let symmetrize_value s v =
+  let ap = s.lit_act.(Lit.pos v) and an = s.lit_act.(Lit.neg_of v) in
+  if ap < an then false else if ap > an then true else Rng.bool s.rng
+
+let top_clause_value s v lit_in_clause =
+  match s.cfg.polarity_mode with
+  | Config.Symmetrize -> symmetrize_value s v
+  | Config.Sat_top -> Lit.is_pos lit_in_clause
+  | Config.Unsat_top -> not (Lit.is_pos lit_in_clause)
+  | Config.Take_zero -> false
+  | Config.Take_one -> true
+  | Config.Take_random -> Rng.bool s.rng
+
+let global_value s v =
+  match s.cfg.global_polarity with
+  | Config.Nb_two ->
+    let np = nb_two s (Lit.pos v) and nn = nb_two s (Lit.neg_of v) in
+    (* The literal with the larger neighbourhood is set to 0. *)
+    if np > nn then false
+    else if nn > np then true
+    else if Rng.bool s.rng then true
+    else false
+  | Config.Gp_take_zero -> false
+  | Config.Gp_take_one -> true
+  | Config.Gp_random -> Rng.bool s.rng
+
+(* Pick the free variable of [c] with the highest var_activity, together
+   with its literal in [c] (needed by the Sat_top/Unsat_top ablations). *)
+let best_free_in_clause s c =
+  let best = ref (-1) in
+  let best_act = ref neg_infinity in
+  Array.iter
+    (fun l ->
+      if lit_value s l = Value.Unassigned then begin
+        let v = Lit.var l in
+        if s.var_act.(v) > !best_act then begin
+          best_act := s.var_act.(v);
+          best := l
+        end
+      end)
+    c.lits;
+  if !best < 0 then None else Some !best
+
+let global_decision s =
+  match most_active_free_var s with
+  | None -> None
+  | Some v ->
+    s.stats.global_decisions <- s.stats.global_decisions + 1;
+    Some (v, global_value s v)
+
+let pick_branch s =
+  match s.cfg.decision_mode with
+  | Config.Vsids_literal -> (
+    match best_vsids_literal s with
+    | None -> None
+    | Some l ->
+      s.stats.global_decisions <- s.stats.global_decisions + 1;
+      Some (Lit.var l, Lit.is_pos l))
+  | Config.Global_most_active -> (
+    match most_active_free_var s with
+    | None -> None
+    | Some v ->
+      s.stats.global_decisions <- s.stats.global_decisions + 1;
+      (* No top clause in this ablation: use the symmetrization
+         counters for the branch value (see DESIGN.md). *)
+      let value =
+        match s.cfg.polarity_mode with
+        | Config.Take_zero -> false
+        | Config.Take_one -> true
+        | Config.Take_random -> Rng.bool s.rng
+        | Config.Symmetrize | Config.Sat_top | Config.Unsat_top ->
+          symmetrize_value s v
+      in
+      Some (v, value))
+  | Config.Top_clause -> (
+    (* Choose the most active free variable across the window of top
+       clauses; ties between clauses go to the one nearest the top
+       (the list is newest-first and the comparison strict). *)
+    let best = ref None in
+    List.iter
+      (fun ((c : cls), distance) ->
+        match best_free_in_clause s c with
+        | Some l ->
+          let act = s.var_act.(Lit.var l) in
+          (match !best with
+          | Some (_, _, best_act) when best_act >= act -> ()
+          | Some _ | None -> best := Some (l, distance, act))
+        | None ->
+          (* An unsatisfied clause with no free literal would be a
+             conflict, which BCP has already excluded. *)
+          assert false)
+      (find_top_clauses s);
+    match !best with
+    | Some (l, distance, _) ->
+      s.stats.top_clause_decisions <- s.stats.top_clause_decisions + 1;
+      Stats.record_skin s.stats distance;
+      let v = Lit.var l in
+      Some (v, top_clause_value s v l)
+    | None -> global_decision s)
+
+let decide s =
+  (* Assumption literals are tried in order as the first decisions;
+     each consumes one decision level even when already satisfied, so
+     [decision_level] indexes the assumption array. *)
+  if decision_level s < Array.length s.assumptions then begin
+    let l = s.assumptions.(decision_level s) in
+    match lit_value s l with
+    | Value.True ->
+      Vec.push s.trail_lim (Vec.length s.trail);
+      `Continue
+    | Value.False -> `Assumption_failed l
+    | Value.Unassigned ->
+      s.stats.decisions <- s.stats.decisions + 1;
+      Vec.push s.trail_lim (Vec.length s.trail);
+      enqueue s l None;
+      `Continue
+  end
+  else
+    match pick_branch s with
+    | None -> `All_assigned
+    | Some (v, value) ->
+      s.stats.decisions <- s.stats.decisions + 1;
+      (match s.on_decision with
+      | Some hook -> hook v value
+      | None -> ());
+      Vec.push s.trail_lim (Vec.length s.trail);
+      enqueue s (Lit.make v value) None;
+      `Continue
+
+(* Failed-core extraction: the assumption literal [false_lit] is
+   falsified by the current trail; walk the implication graph back to
+   the decisions (all of which are assumptions, since only assumption
+   levels exist below the failure point) that force it. *)
+let analyze_final s false_lit =
+  let core = ref [ false_lit ] in
+  let v0 = Lit.var (Lit.negate false_lit) in
+  if s.level.(v0) > 0 then s.seen.(v0) <- true;
+  for i = Vec.length s.trail - 1 downto 0 do
+    let l = Vec.get s.trail i in
+    let v = Lit.var l in
+    if s.seen.(v) then begin
+      (match s.reason.(v) with
+      | None ->
+        (* A decision below the failure point is itself an assumption
+           literal: it belongs to the failed core. *)
+        if s.level.(v) > 0 then core := l :: !core
+      | Some r ->
+        Array.iter
+          (fun q ->
+            let u = Lit.var q in
+            if u <> v && s.level.(u) > 0 then s.seen.(u) <- true)
+          r.lits);
+      s.seen.(v) <- false
+    end
+  done;
+  !core
+
+(* ------------------------------------------------------------------ *)
+(* Restarts.                                                           *)
+
+let restart_due s =
+  match s.cfg.restart_mode with
+  | Config.No_restarts -> false
+  | Config.Fixed n -> s.stats.conflicts - s.conflicts_at_restart >= n
+  | Config.Luby unit ->
+    s.stats.conflicts - s.conflicts_at_restart
+    >= Luby.interval ~unit (s.restart_epoch + 1)
+
+let restart s =
+  s.stats.restarts <- s.stats.restarts + 1;
+  s.restart_epoch <- s.restart_epoch + 1;
+  s.conflicts_at_restart <- s.stats.conflicts;
+  backtrack s 0;
+  reduce_db s
+
+(* ------------------------------------------------------------------ *)
+(* Construction.                                                       *)
+
+let create ?(config = Config.berkmin) cnf =
+  let nvars = Cnf.num_vars cnf in
+  let nlits = max (2 * nvars) 1 in
+  let var_act = Array.make (max nvars 1) 0.0 in
+  let heap =
+    if config.Config.use_var_heap then
+      Some (Var_heap.create ~num_vars:nvars ~activity:var_act)
+    else None
+  in
+  let s = {
+    cfg = config;
+    stats = Stats.create ();
+    rng = Rng.create config.Config.seed;
+    nvars;
+    n_original = 0;
+    original = Vec.create ~dummy:dummy_cls ();
+    learnt = Vec.create ~dummy:dummy_cls ();
+    watches = Array.init nlits (fun _ -> Vec.create ~capacity:4 ~dummy:dummy_cls ());
+    occ = Array.init nlits (fun _ -> Vec.create ~capacity:4 ~dummy:dummy_cls ());
+    assigns = Array.make (max nvars 1) Value.Unassigned;
+    level = Array.make (max nvars 1) 0;
+    reason = Array.make (max nvars 1) None;
+    trail = Vec.create ~dummy:0 ();
+    trail_lim = Vec.create ~dummy:0 ();
+    qhead = 0;
+    var_act;
+    lit_act = Array.make nlits 0;
+    vsids = Array.make nlits 0.0;
+    seen = Array.make (max nvars 1) false;
+    heap;
+    assumptions = [||];
+    old_threshold = config.Config.old_activity_threshold;
+    restart_epoch = 0;
+    conflicts_at_restart = 0;
+    last_var_decay = 0;
+    last_vsids_decay = 0;
+    proof = None;
+    on_decision = None;
+    verdict = None;
+    ok = true;
+  } in
+  Cnf.iter
+    (fun clause ->
+      if not (Clause.is_tautology clause) then begin
+        let lits = Clause.to_array clause in
+        s.n_original <- s.n_original + 1;
+        match Array.length lits with
+        | 0 -> s.ok <- false
+        | 1 -> (
+          match lit_value s lits.(0) with
+          | Value.True -> ()
+          | Value.False -> s.ok <- false
+          | Value.Unassigned -> enqueue s lits.(0) None)
+        | _ ->
+          let c = { lits; learnt = false; activity = 0; deleted = false } in
+          Vec.push s.original c;
+          attach s c;
+          Array.iter (fun l -> Vec.push s.occ.(l) c) lits
+      end)
+    cnf;
+  Stats.note_live_clauses s.stats s.n_original;
+  s
+
+(* ------------------------------------------------------------------ *)
+(* Main search loop.                                                   *)
+
+let over_budget s budget started =
+  (match budget.max_conflicts with
+  | Some m -> s.stats.conflicts >= m
+  | None -> false)
+  ||
+  match budget.max_seconds with
+  | Some secs -> Sys.time () -. started > secs
+  | None -> false
+
+let extract_model s =
+  (* [assigns] is padded to length >= 1 even for empty formulas, so
+     build the model from the true variable count. *)
+  Array.init s.nvars (fun v ->
+      match s.assigns.(v) with
+      | Value.True -> true
+      | Value.False -> false
+      | Value.Unassigned -> assert false)
+
+(* The main CDCL loop.  Returns an extended verdict so the assumption
+   interface can distinguish conditional unsatisfiability. *)
+let search s budget =
+  let started = Sys.time () in
+  let verdict = ref None in
+  let iter = ref 0 in
+  while !verdict = None do
+    incr iter;
+    match propagate s with
+    | Some confl ->
+      s.stats.conflicts <- s.stats.conflicts + 1;
+      if decision_level s = 0 then begin
+        log_add s [||];
+        verdict := Some `Unsat
+      end
+      else begin
+        (* Conflicts inside the assumption prefix analyze normally:
+           the learnt clause backjumps and may flip an assumption's
+           value at a lower level, in which case the next [decide]
+           reports the failed assumption. *)
+        let lits, bt = analyze s confl in
+        backtrack s bt;
+        ignore (record_learnt s lits);
+        maybe_decay s;
+        if restart_due s then begin
+          restart s;
+          if not s.ok then begin
+            log_add s [||];
+            verdict := Some `Unsat
+          end
+        end
+      end
+    | None ->
+      if !iter land 63 = 0 && over_budget s budget started then
+        verdict := Some `Unknown
+      else (
+        match decide s with
+        | `All_assigned -> verdict := Some (`Sat (extract_model s))
+        | `Assumption_failed l ->
+          verdict := Some (`Unsat_assuming (analyze_final s l))
+        | `Continue -> ())
+  done;
+  Option.get !verdict
+
+let to_plain = function
+  | `Sat m -> Sat m
+  | `Unsat -> Unsat
+  | `Unknown -> Unknown
+  | `Unsat_assuming _ -> assert false (* impossible without assumptions *)
+
+let solve ?(budget = no_budget) s =
+  match s.verdict with
+  | Some (Sat _ | Unsat) -> Option.get s.verdict
+  | Some Unknown | None ->
+    if not s.ok then begin
+      log_add s [||];
+      s.verdict <- Some Unsat;
+      Unsat
+    end
+    else begin
+      s.assumptions <- [||];
+      let r = to_plain (search s budget) in
+      s.verdict <- Some r;
+      r
+    end
+
+type assumption_result =
+  | A_sat of bool array
+  | A_unsat
+  | A_unsat_assuming of Lit.t list
+  | A_unknown
+
+let solve_with_assumptions ?(budget = no_budget) s assumptions =
+  match s.verdict with
+  | Some Unsat -> A_unsat
+  | Some (Sat _ | Unknown) | None ->
+    if not s.ok then begin
+      s.verdict <- Some Unsat;
+      A_unsat
+    end
+    else begin
+      List.iter
+        (fun l ->
+          if Lit.var l >= s.nvars then
+            invalid_arg "solve_with_assumptions: unknown variable")
+        assumptions;
+      backtrack s 0;
+      s.assumptions <- Array.of_list assumptions;
+      let result = search s budget in
+      s.assumptions <- [||];
+      let answer =
+        match result with
+        | `Sat m -> A_sat m
+        | `Unsat ->
+          s.verdict <- Some Unsat;
+          A_unsat
+        | `Unsat_assuming core -> A_unsat_assuming core
+        | `Unknown -> A_unknown
+      in
+      backtrack s 0;
+      (* A cached SAT verdict from a plain [solve] no longer reflects
+         the trail once we have backtracked; drop everything except a
+         definitive UNSAT. *)
+      (match s.verdict with
+      | Some Unsat -> ()
+      | Some (Sat _ | Unknown) | None -> s.verdict <- None);
+      answer
+    end
+
+let check_model cnf m = Cnf.satisfied_by cnf m
+
+let solve_cnf ?config ?budget cnf = solve ?budget (create ?config cnf)
+
+let pp_result fmt = function
+  | Sat _ -> Format.pp_print_string fmt "SATISFIABLE"
+  | Unsat -> Format.pp_print_string fmt "UNSATISFIABLE"
+  | Unknown -> Format.pp_print_string fmt "UNKNOWN"

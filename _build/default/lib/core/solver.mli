@@ -1,0 +1,87 @@
+(** The BerkMin CDCL engine.
+
+    One mutable solver object per instance.  The engine implements the
+    full conflict-driven clause-learning loop — two-watched-literal BCP
+    (SATO/Chaff), 1-UIP conflict analysis and non-chronological
+    backtracking (GRASP), restarts, learnt-clause stack and database
+    reduction — with every heuristic the paper ablates selected by
+    {!Config.t}.  Runs are deterministic for a given configuration and
+    instance. *)
+
+open Berkmin_types
+
+type t
+
+type result =
+  | Sat of bool array  (** total assignment indexed by variable *)
+  | Unsat
+  | Unknown  (** budget exhausted *)
+
+type budget = {
+  max_conflicts : int option;
+  max_seconds : float option;  (** CPU seconds via [Sys.time] *)
+}
+
+val no_budget : budget
+
+val budget_conflicts : int -> budget
+
+val create : ?config:Config.t -> Cnf.t -> t
+(** Loads the formula (tautologies dropped, duplicate literals merged).
+    Default configuration is {!Config.berkmin}. *)
+
+val solve : ?budget:budget -> t -> result
+(** Runs the search.  A second call returns the cached verdict unless
+    the first ended in [Unknown], in which case the search resumes with
+    the new budget (budgets are absolute, e.g. [max_conflicts 2000]
+    after a run that already spent 1500 grants 500 more). *)
+
+type assumption_result =
+  | A_sat of bool array
+  | A_unsat  (** unsatisfiable regardless of the assumptions *)
+  | A_unsat_assuming of Lit.t list
+      (** unsatisfiable under the assumptions; the payload is a failed
+          core — a subset of the assumptions that already forces a
+          conflict *)
+  | A_unknown
+
+val solve_with_assumptions :
+  ?budget:budget -> t -> Lit.t list -> assumption_result
+(** Incremental interface: solves under the given assumption literals
+    (tried in order as the first decisions).  The solver backtracks to
+    the root afterwards, so it can be reused with different
+    assumptions; learnt clauses are kept across calls. *)
+
+val stats : t -> Stats.t
+
+val config : t -> Config.t
+
+val num_vars : t -> int
+
+val num_original_clauses : t -> int
+(** Clauses actually loaded (tautologies excluded), the denominator of
+    Table 9's ratios. *)
+
+val num_learnt_live : t -> int
+
+val old_activity_threshold : t -> int
+(** Current value of the growing old-clause activity bar (Section 8). *)
+
+val set_proof_logger : t -> (Berkmin_proof.Drup.event -> unit) -> unit
+(** Installs a DRUP event callback.  Must be installed before [solve]
+    to capture the whole derivation. *)
+
+val set_decision_hook : t -> (int -> bool -> unit) -> unit
+(** [hook var value] fires on every branching decision (used by the
+    Figure-1 cone-mobility experiment). *)
+
+val value_of : t -> int -> Value.t
+(** Current assignment of a variable (mainly for tests). *)
+
+val check_model : Cnf.t -> bool array -> bool
+(** [check_model cnf m] re-evaluates the formula under [m]. *)
+
+val solve_cnf : ?config:Config.t -> ?budget:budget -> Cnf.t -> result
+(** One-shot convenience wrapper. *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,102 @@
+type t = {
+  mutable decisions : int;
+  mutable top_clause_decisions : int;
+  mutable global_decisions : int;
+  mutable conflicts : int;
+  mutable propagations : int;
+  mutable restarts : int;
+  mutable reductions : int;
+  mutable learnt_total : int;
+  mutable learnt_literals : int;
+  mutable minimized_literals : int;
+  mutable removed_clauses : int;
+  mutable max_live_clauses : int;
+  mutable max_learnt_live : int;
+  mutable skin : int array;
+  mutable skin_overflow : int;
+}
+
+let skin_cap = 1 lsl 16
+
+let create () = {
+  decisions = 0;
+  top_clause_decisions = 0;
+  global_decisions = 0;
+  conflicts = 0;
+  propagations = 0;
+  restarts = 0;
+  reductions = 0;
+  learnt_total = 0;
+  learnt_literals = 0;
+  minimized_literals = 0;
+  removed_clauses = 0;
+  max_live_clauses = 0;
+  max_learnt_live = 0;
+  skin = Array.make 64 0;
+  skin_overflow = 0;
+}
+
+let reset t =
+  t.decisions <- 0;
+  t.top_clause_decisions <- 0;
+  t.global_decisions <- 0;
+  t.conflicts <- 0;
+  t.propagations <- 0;
+  t.restarts <- 0;
+  t.reductions <- 0;
+  t.learnt_total <- 0;
+  t.learnt_literals <- 0;
+  t.minimized_literals <- 0;
+  t.removed_clauses <- 0;
+  t.max_live_clauses <- 0;
+  t.max_learnt_live <- 0;
+  t.skin <- Array.make 64 0;
+  t.skin_overflow <- 0
+
+let record_skin t r =
+  if r >= skin_cap then t.skin_overflow <- t.skin_overflow + 1
+  else begin
+    if r >= Array.length t.skin then begin
+      let n = ref (Array.length t.skin) in
+      while r >= !n do
+        n := 2 * !n
+      done;
+      let skin = Array.make !n 0 in
+      Array.blit t.skin 0 skin 0 (Array.length t.skin);
+      t.skin <- skin
+    end;
+    t.skin.(r) <- t.skin.(r) + 1
+  end
+
+let skin_at t r = if r < 0 || r >= Array.length t.skin then 0 else t.skin.(r)
+
+let note_live_clauses t n =
+  if n > t.max_live_clauses then t.max_live_clauses <- n
+
+let db_ratio t ~initial =
+  if initial = 0 then 0.0
+  else float_of_int (initial + t.learnt_total) /. float_of_int initial
+
+let peak_ratio t ~initial =
+  if initial = 0 then 0.0
+  else float_of_int t.max_live_clauses /. float_of_int initial
+
+let avg_learnt_length t =
+  if t.learnt_total = 0 then 0.0
+  else float_of_int t.learnt_literals /. float_of_int t.learnt_total
+
+let pp fmt t =
+  Format.fprintf fmt
+    "decisions      : %d (top-clause %d, global %d)@\n\
+     conflicts      : %d@\n\
+     propagations   : %d@\n\
+     restarts       : %d (reductions %d)@\n\
+     learnt         : %d (avg len %.1f, removed %d)@\n\
+     peak live DB   : %d clauses"
+    t.decisions t.top_clause_decisions t.global_decisions t.conflicts
+    t.propagations t.restarts t.reductions t.learnt_total
+    (avg_learnt_length t) t.removed_clauses t.max_live_clauses
+
+let pp_line fmt t =
+  Format.fprintf fmt "dec=%d conf=%d prop=%d rst=%d learnt=%d"
+    t.decisions t.conflicts t.propagations t.restarts t.learnt_total

@@ -1,0 +1,55 @@
+(** Per-run solver statistics.
+
+    Besides the usual CDCL counters, this records the data behind the
+    paper's tables: the skin-effect histogram [f(r)] of Table 3
+    (how far from the stack top the decision clause sat) and the
+    database-size numbers of Table 9. *)
+
+type t = {
+  mutable decisions : int;
+  mutable top_clause_decisions : int;
+      (** decisions taken from the current top clause *)
+  mutable global_decisions : int;
+      (** fallback decisions when every learnt clause was satisfied *)
+  mutable conflicts : int;
+  mutable propagations : int;
+  mutable restarts : int;
+  mutable reductions : int;
+  mutable learnt_total : int;  (** learnt clauses ever created (incl. units) *)
+  mutable learnt_literals : int;
+  mutable minimized_literals : int;
+      (** literals removed by optional learnt-clause minimization *)
+  mutable removed_clauses : int;
+  mutable max_live_clauses : int;
+      (** peak simultaneous clause count, original + live learnt *)
+  mutable max_learnt_live : int;
+  mutable skin : int array;  (** [skin.(r)] = decisions from stack distance [r] *)
+  mutable skin_overflow : int;  (** distances beyond the histogram capacity *)
+}
+
+val create : unit -> t
+
+val reset : t -> unit
+
+val record_skin : t -> int -> unit
+(** Record a top-clause decision at stack distance [r] (grows the
+    histogram as needed, up to a fixed cap). *)
+
+val skin_at : t -> int -> int
+(** [f(r)]; 0 beyond the recorded range. *)
+
+val note_live_clauses : t -> int -> unit
+
+val db_ratio : t -> initial:int -> float
+(** Table 9 first column: (initial + total learnt) / initial. *)
+
+val peak_ratio : t -> initial:int -> float
+(** Table 9 second column: peak live clauses / initial. *)
+
+val avg_learnt_length : t -> float
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human-readable dump. *)
+
+val pp_line : Format.formatter -> t -> unit
+(** One-line summary. *)

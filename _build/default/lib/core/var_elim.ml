@@ -1,0 +1,68 @@
+open Berkmin_types
+
+type t = {
+  simplified : Cnf.t;
+  (* (variable, clauses it was resolved out of), reverse elimination
+     order — exactly what reconstruction needs. *)
+  stack : (int * Clause.t list) list;
+}
+
+let cnf t = t.simplified
+let num_eliminated t = List.length t.stack
+let eliminated_vars t = List.rev_map fst t.stack
+
+let clauses_with lit clauses =
+  List.filter (fun c -> Clause.mem lit c) clauses
+
+let run ?(max_growth = 0) ?(max_occurrences = 10) original =
+  let nvars = Cnf.num_vars original in
+  let clauses =
+    ref
+      (List.filter
+         (fun c -> not (Clause.is_tautology c))
+         (Cnf.clauses original))
+  in
+  let stack = ref [] in
+  for v = 0 to nvars - 1 do
+    let pos = clauses_with (Lit.pos v) !clauses in
+    let neg = clauses_with (Lit.neg_of v) !clauses in
+    let occ = List.length pos + List.length neg in
+    if occ > 0 && occ <= max_occurrences then begin
+      let resolvents =
+        List.concat_map
+          (fun p ->
+            List.filter_map
+              (fun n ->
+                match Clause.resolve p n v with
+                | Some r when not (Clause.is_tautology r) -> Some r
+                | Some _ | None -> None)
+              neg)
+          pos
+      in
+      if List.length resolvents <= occ + max_growth then begin
+        let removed = pos @ neg in
+        clauses :=
+          resolvents
+          @ List.filter (fun c -> not (List.memq c removed)) !clauses;
+        stack := (v, removed) :: !stack
+      end
+    end
+  done;
+  let simplified = Cnf.create ~num_vars:nvars () in
+  List.iter (Cnf.add simplified) !clauses;
+  { simplified; stack = !stack }
+
+let reconstruct t model =
+  let m = Array.copy model in
+  let valuation v = Value.of_bool m.(v) in
+  let satisfied c = Value.equal (Clause.eval valuation c) Value.True in
+  (* The stack is in reverse elimination order, which is exactly the
+     order reconstruction must proceed in: later eliminations only
+     depend on earlier-eliminated variables through resolvents that the
+     current model already satisfies. *)
+  List.iter
+    (fun (v, removed) ->
+      m.(v) <- true;
+      if not (List.for_all satisfied removed) then m.(v) <- false)
+    t.stack;
+  m

@@ -1,0 +1,35 @@
+(** Bounded variable elimination (NiVER / SATeLite style).
+
+    A variable [v] is eliminated by replacing the clauses containing it
+    with all non-tautological resolvents on [v], accepted only when
+    that does not grow the clause count beyond a bound.  The result is
+    equisatisfiable, not equivalent: a model of the simplified formula
+    is extended to the eliminated variables by {!reconstruct}, walking
+    the elimination stack backwards (each variable is set so that its
+    original clauses are satisfied — resolution completeness guarantees
+    one of the two values works). *)
+
+open Berkmin_types
+
+type t
+(** Elimination record: the simplified formula plus the reconstruction
+    stack. *)
+
+val run : ?max_growth:int -> ?max_occurrences:int -> Cnf.t -> t
+(** [max_growth] (default 0) bounds the allowed increase in clause
+    count per elimination; [max_occurrences] (default 10) skips
+    variables occurring more often than this (resolvent sets grow
+    quadratically).  Tautologies are dropped on the way in. *)
+
+val cnf : t -> Cnf.t
+(** The simplified formula (same variable space; eliminated variables
+    simply no longer occur). *)
+
+val num_eliminated : t -> int
+
+val eliminated_vars : t -> int list
+(** In elimination order. *)
+
+val reconstruct : t -> bool array -> bool array
+(** Extends a model of {!cnf} to a model of the original formula
+    (fresh array).  The input array must cover the variable space. *)

@@ -1,0 +1,87 @@
+type t = {
+  activity : float array;
+  heap : int array;  (* heap.(i) = variable at heap position i *)
+  pos : int array;  (* pos.(v) = heap position of v, or -1 *)
+  mutable size : int;
+}
+
+(* Priority order: higher activity first, smaller index on ties —
+   matching the naive linear scan exactly so the two implementations
+   are interchangeable (and testable against each other). *)
+let before t a b =
+  t.activity.(a) > t.activity.(b)
+  || (t.activity.(a) = t.activity.(b) && a < b)
+
+let swap t i j =
+  let a = t.heap.(i) and b = t.heap.(j) in
+  t.heap.(i) <- b;
+  t.heap.(j) <- a;
+  t.pos.(b) <- i;
+  t.pos.(a) <- j
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before t t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < t.size && before t t.heap.(l) t.heap.(!best) then best := l;
+  if r < t.size && before t t.heap.(r) t.heap.(!best) then best := r;
+  if !best <> i then begin
+    swap t i !best;
+    sift_down t !best
+  end
+
+let create ~num_vars ~activity =
+  if Array.length activity < num_vars then
+    invalid_arg "Var_heap.create: activity array too short";
+  let t = {
+    activity;
+    heap = Array.init (max num_vars 1) (fun i -> i);
+    pos = Array.init (max num_vars 1) (fun i -> i);
+    size = num_vars;
+  } in
+  (* Initial activities are usually all equal (zero), in which case the
+     identity layout is already a valid heap; heapify for generality. *)
+  for i = (t.size / 2) - 1 downto 0 do
+    sift_down t i
+  done;
+  t
+
+let is_empty t = t.size = 0
+let size t = t.size
+let mem t v = t.pos.(v) >= 0 && t.pos.(v) < t.size && t.heap.(t.pos.(v)) = v
+
+let push t v =
+  if not (mem t v) then begin
+    t.heap.(t.size) <- v;
+    t.pos.(v) <- t.size;
+    t.size <- t.size + 1;
+    sift_up t (t.size - 1)
+  end
+
+let pop_max t =
+  if t.size = 0 then invalid_arg "Var_heap.pop_max: empty";
+  let top = t.heap.(0) in
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    let last = t.heap.(t.size) in
+    t.heap.(0) <- last;
+    t.pos.(last) <- 0;
+    sift_down t 0
+  end;
+  t.pos.(top) <- -1;
+  top
+
+let notify_increase t v = if mem t v then sift_up t t.pos.(v)
+
+let rebuild t =
+  for i = (t.size / 2) - 1 downto 0 do
+    sift_down t i
+  done

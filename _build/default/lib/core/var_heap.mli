@@ -1,0 +1,37 @@
+(** Indexed max-heap over variables keyed by an external activity
+    array.
+
+    The paper's Remark 1 notes that the released BerkMin561 replaced
+    the naive linear scan for the most active variable with an
+    optimized implementation ("strategy 3"); this heap is that
+    optimization.  Keys live in the caller's activity array: the heap
+    stores only variable indices and consults the array on comparison,
+    so the periodic uniform decay of all activities (which preserves
+    the ordering) needs no heap maintenance.  Increasing a single
+    variable's activity requires a {!notify_increase}. *)
+
+type t
+
+val create : num_vars:int -> activity:float array -> t
+(** Heap containing all of [0 .. num_vars-1] initially. *)
+
+val is_empty : t -> bool
+
+val size : t -> int
+
+val mem : t -> int -> bool
+
+val push : t -> int -> unit
+(** Inserts a variable; no-op if already present. *)
+
+val pop_max : t -> int
+(** Removes and returns the variable with the highest activity (ties
+    broken toward the smaller index, matching the naive scan).
+    @raise Invalid_argument when empty. *)
+
+val notify_increase : t -> int -> unit
+(** Restores the heap property after the caller increased the
+    activity of a variable currently in the heap; no-op if absent. *)
+
+val rebuild : t -> unit
+(** Re-heapifies everything — for non-monotone key changes. *)

@@ -1,0 +1,1 @@
+lib/dimacs/dimacs.ml: Array Berkmin_types Clause Cnf Format Fun List Lit Seq String

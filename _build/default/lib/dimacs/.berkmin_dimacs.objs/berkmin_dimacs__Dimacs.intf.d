@@ -1,0 +1,1 @@
+lib/dimacs/dimacs.mli: Berkmin_types Cnf Format

@@ -1,0 +1,153 @@
+open Berkmin_types
+
+exception Parse_error of { line : int; message : string }
+
+let fail line fmt =
+  Format.kasprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+type state = {
+  mutable line : int;
+  mutable declared_vars : int option;
+  mutable current : Lit.t list; (* literals of the clause being read *)
+  mutable stopped : bool; (* saw the SATLIB '%' terminator *)
+  cnf : Cnf.t;
+}
+
+let finish_clause st =
+  Cnf.add_clause st.cnf (List.rev st.current);
+  st.current <- []
+
+let handle_literal st n =
+  if n = 0 then finish_clause st
+  else begin
+    (match st.declared_vars with
+    | Some dv when abs n > dv ->
+      fail st.line "literal %d exceeds declared variable count %d" n dv
+    | Some _ | None -> ());
+    st.current <- Lit.of_dimacs n :: st.current
+  end
+
+let handle_header st tokens =
+  if st.declared_vars <> None then fail st.line "duplicate p-header";
+  match tokens with
+  | [ "p"; "cnf"; v; c ] -> (
+    match int_of_string_opt v, int_of_string_opt c with
+    | Some v, Some c when v >= 0 && c >= 0 ->
+      st.declared_vars <- Some v;
+      Cnf.ensure_vars st.cnf v
+    | _ -> fail st.line "malformed p-header")
+  | _ -> fail st.line "malformed p-header (expected `p cnf <vars> <clauses>')"
+
+let handle_line st line =
+  let tokens =
+    String.split_on_char ' ' (String.map (function '\t' | '\r' -> ' ' | c -> c) line)
+    |> List.filter (fun s -> s <> "")
+  in
+  match tokens with
+  | _ when st.stopped -> ()
+  | [] -> ()
+  | first :: _ when String.length first > 0 && first.[0] = 'c' -> ()
+  | "p" :: _ -> handle_header st tokens
+  | "%" :: _ ->
+    (* SATLIB instances end with a stray "%\n0"; ignore everything
+       after the percent sign. *)
+    st.stopped <- true
+  | tokens ->
+    List.iter
+      (fun tok ->
+        match int_of_string_opt tok with
+        | Some n -> handle_literal st n
+        | None -> fail st.line "unexpected token %S" tok)
+      tokens
+
+let parse_lines lines =
+  let st =
+    { line = 0; declared_vars = None; current = []; stopped = false;
+      cnf = Cnf.create () }
+  in
+  Seq.iter
+    (fun line ->
+      st.line <- st.line + 1;
+      handle_line st line)
+    lines;
+  if st.current <> [] then finish_clause st (* tolerate a missing final 0 *);
+  st.cnf
+
+let parse_string s = parse_lines (String.split_on_char '\n' s |> List.to_seq)
+
+let parse_channel ic =
+  let rec lines () =
+    match input_line ic with
+    | line -> Seq.Cons (line, lines)
+    | exception End_of_file -> Seq.Nil
+  in
+  parse_lines lines
+
+let parse_file path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> parse_channel ic)
+
+let print fmt cnf =
+  Format.fprintf fmt "p cnf %d %d\n" (Cnf.num_vars cnf) (Cnf.num_clauses cnf);
+  Cnf.iter
+    (fun c ->
+      Clause.iter (fun l -> Format.fprintf fmt "%d " (Lit.to_dimacs l)) c;
+      Format.fprintf fmt "0\n")
+    cnf
+
+let to_string cnf = Format.asprintf "%a" print cnf
+
+let write_file path cnf =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      let fmt = Format.formatter_of_out_channel oc in
+      print fmt cnf;
+      Format.pp_print_flush fmt ())
+
+let parse_solution s =
+  let lines = String.split_on_char '\n' s in
+  let answer = ref None in
+  let lits = ref [] in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let line = String.trim line in
+      if String.length line > 0 then
+        match line.[0] with
+        | 's' ->
+          let verdict = String.trim (String.sub line 1 (String.length line - 1)) in
+          (match verdict with
+          | "SATISFIABLE" -> answer := Some true
+          | "UNSATISFIABLE" -> answer := Some false
+          | other -> fail lineno "unknown verdict %S" other)
+        | 'v' ->
+          String.sub line 1 (String.length line - 1)
+          |> String.split_on_char ' '
+          |> List.iter (fun tok ->
+                 let tok = String.trim tok in
+                 if tok <> "" && tok <> "0" then
+                   match int_of_string_opt tok with
+                   | Some n -> lits := n :: !lits
+                   | None -> fail lineno "bad literal %S in v-line" tok)
+        | 'c' -> ()
+        | _ -> fail lineno "unexpected line %S" line)
+    lines;
+  match !answer with
+  | None -> fail 0 "missing s-line"
+  | Some false -> None
+  | Some true ->
+    let max_var = List.fold_left (fun m n -> max m (abs n)) 0 !lits in
+    let a = Array.make max_var false in
+    List.iter (fun n -> a.(abs n - 1) <- n > 0) !lits;
+    Some a
+
+let print_solution fmt = function
+  | None -> Format.fprintf fmt "s UNSATISFIABLE\n"
+  | Some a ->
+    Format.fprintf fmt "s SATISFIABLE\nv";
+    Array.iteri
+      (fun v b -> Format.fprintf fmt " %d" (if b then v + 1 else -(v + 1)))
+      a;
+    Format.fprintf fmt " 0\n"

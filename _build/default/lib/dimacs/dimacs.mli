@@ -1,0 +1,35 @@
+(** DIMACS CNF reader and writer.
+
+    Accepts the usual liberal dialect: [c] comment lines anywhere, one
+    [p cnf <vars> <clauses>] header, whitespace-separated literals with
+    clauses terminated by [0] (clauses may span lines; several clauses
+    may share a line).  The declared counts are checked loosely: more
+    variables than declared is an error, a clause-count mismatch is
+    tolerated (many published instances get it wrong). *)
+
+open Berkmin_types
+
+exception Parse_error of { line : int; message : string }
+
+val parse_string : string -> Cnf.t
+(** @raise Parse_error on malformed input. *)
+
+val parse_channel : in_channel -> Cnf.t
+
+val parse_file : string -> Cnf.t
+(** @raise Sys_error if the file cannot be opened. *)
+
+val print : Format.formatter -> Cnf.t -> unit
+(** Writes a well-formed DIMACS document including the [p cnf] header. *)
+
+val to_string : Cnf.t -> string
+
+val write_file : string -> Cnf.t -> unit
+
+val parse_solution : string -> bool array option
+(** Parses a SAT-competition style solution ("s SATISFIABLE" /
+    "v ..." lines).  Returns [None] for an UNSATISFIABLE answer.
+    @raise Parse_error on malformed input. *)
+
+val print_solution : Format.formatter -> bool array option -> unit
+(** Inverse of [parse_solution]. *)

@@ -1,0 +1,1 @@
+lib/gen/blocksworld.ml: Array Berkmin_types Cnf Instance List Lit Printf

@@ -1,0 +1,1 @@
+lib/gen/blocksworld.mli: Berkmin_types Cnf Instance

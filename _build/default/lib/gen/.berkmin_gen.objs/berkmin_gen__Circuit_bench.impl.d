@@ -1,0 +1,1 @@
+lib/gen/circuit_bench.ml: Array Berkmin_circuit Instance List Printf

@@ -1,0 +1,1 @@
+lib/gen/circuit_bench.mli: Berkmin_types Cnf Instance

@@ -1,0 +1,1 @@
+lib/gen/graph_coloring.ml: Berkmin_types Cnf Instance List Lit Printf Rng

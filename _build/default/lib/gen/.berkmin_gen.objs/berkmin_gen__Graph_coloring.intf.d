@@ -1,0 +1,1 @@
+lib/gen/graph_coloring.mli: Berkmin_types Cnf Instance

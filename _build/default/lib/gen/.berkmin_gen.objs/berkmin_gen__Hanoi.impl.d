@@ -1,0 +1,1 @@
+lib/gen/hanoi.ml: Array Berkmin_types Cnf Instance List Lit Printf

@@ -1,0 +1,1 @@
+lib/gen/hanoi.mli: Berkmin_types Cnf Instance

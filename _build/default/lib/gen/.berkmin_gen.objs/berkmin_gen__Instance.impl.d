@@ -1,0 +1,1 @@
+lib/gen/instance.ml: Berkmin_types Cnf

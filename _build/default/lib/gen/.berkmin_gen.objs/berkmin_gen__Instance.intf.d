@@ -1,0 +1,1 @@
+lib/gen/instance.mli: Berkmin_types Cnf

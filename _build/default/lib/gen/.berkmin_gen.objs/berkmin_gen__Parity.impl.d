@@ -1,0 +1,1 @@
+lib/gen/parity.ml: Array Berkmin_types Cnf Instance List Lit Printf Rng

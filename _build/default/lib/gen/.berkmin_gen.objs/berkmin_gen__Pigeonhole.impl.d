@@ -1,0 +1,1 @@
+lib/gen/pigeonhole.ml: Berkmin_types Cnf Instance List Lit Printf Stdlib

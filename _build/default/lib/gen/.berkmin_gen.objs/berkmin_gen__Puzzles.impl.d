@@ -1,0 +1,1 @@
+lib/gen/puzzles.ml: Array Berkmin_types Cnf Hashtbl Instance List Lit Option Printf

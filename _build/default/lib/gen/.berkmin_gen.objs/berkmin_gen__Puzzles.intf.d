@@ -1,0 +1,1 @@
+lib/gen/puzzles.mli: Berkmin_types Cnf Instance

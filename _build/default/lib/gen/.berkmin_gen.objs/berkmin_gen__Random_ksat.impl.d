@@ -1,0 +1,1 @@
+lib/gen/random_ksat.ml: Array Berkmin_types Cnf Instance Int Lit Printf Rng

@@ -1,0 +1,1 @@
+lib/gen/random_ksat.mli: Berkmin_types Cnf Instance

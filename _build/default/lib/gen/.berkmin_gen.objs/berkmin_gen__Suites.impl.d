@@ -1,0 +1,1 @@
+lib/gen/suites.ml: Blocksworld Circuit_bench Graph_coloring Hanoi Instance List Parity Pigeonhole Random_ksat

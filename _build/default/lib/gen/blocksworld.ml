@@ -1,0 +1,166 @@
+open Berkmin_types
+
+(* Positions: blocks 0..B-1 and the table, encoded as B. *)
+
+type layout = {
+  blocks : int;
+  horizon : int;
+  actions : (int * int * int) array;  (* (x, from, to) templates *)
+  clear_base : int;
+  move_base : int;
+}
+
+let layout ~blocks ~horizon =
+  let positions = blocks + 1 in
+  let actions =
+    Array.of_list
+      (List.concat_map
+         (fun x ->
+           List.concat_map
+             (fun f ->
+               if f = x then []
+               else
+                 List.filter_map
+                   (fun dst ->
+                     if dst = x || dst = f then None else Some (x, f, dst))
+                   (List.init positions (fun i -> i)))
+             (List.init positions (fun i -> i)))
+         (List.init blocks (fun i -> i)))
+  in
+  let on_count = (horizon + 1) * blocks * positions in
+  {
+    blocks;
+    horizon;
+    actions;
+    clear_base = on_count;
+    move_base = on_count + ((horizon + 1) * blocks);
+  }
+
+let table l = l.blocks
+
+let on_var l x y t =
+  (t * l.blocks * (l.blocks + 1)) + (x * (l.blocks + 1)) + y
+
+let clear_var l y t = l.clear_base + (t * l.blocks) + y
+
+let move_var l idx t = l.move_base + (t * Array.length l.actions) + idx
+
+let num_vars l = l.move_base + (l.horizon * Array.length l.actions)
+
+let encode ~blocks ~horizon =
+  if blocks < 2 then invalid_arg "Blocksworld.encode: blocks < 2";
+  if horizon < 0 then invalid_arg "Blocksworld.encode: horizon < 0";
+  let l = layout ~blocks ~horizon in
+  let cnf = Cnf.create ~num_vars:(num_vars l) () in
+  let positions = blocks + 1 in
+  let on x y t = Lit.pos (on_var l x y t) in
+  let not_on x y t = Lit.neg_of (on_var l x y t) in
+  let clear y t = Lit.pos (clear_var l y t) in
+  let not_clear y t = Lit.neg_of (clear_var l y t) in
+  let mv i t = Lit.pos (move_var l i t) in
+  let not_mv i t = Lit.neg_of (move_var l i t) in
+  for t = 0 to horizon do
+    for x = 0 to blocks - 1 do
+      (* A block is never on itself. *)
+      Cnf.add_clause cnf [ not_on x x t ];
+      (* Each block sits on exactly one position. *)
+      Cnf.add_clause cnf
+        (List.filter_map
+           (fun y -> if y = x then None else Some (on x y t))
+           (List.init positions (fun i -> i)));
+      for y1 = 0 to positions - 1 do
+        for y2 = y1 + 1 to positions - 1 do
+          if y1 <> x && y2 <> x then
+            Cnf.add_clause cnf [ not_on x y1 t; not_on x y2 t ]
+        done
+      done
+    done;
+    (* At most one block directly on any block. *)
+    for y = 0 to blocks - 1 do
+      for x1 = 0 to blocks - 1 do
+        for x2 = x1 + 1 to blocks - 1 do
+          Cnf.add_clause cnf [ not_on x1 y t; not_on x2 y t ]
+        done
+      done
+    done;
+    (* clear(y) <-> no block on y. *)
+    for y = 0 to blocks - 1 do
+      Cnf.add_clause cnf
+        (clear y t :: List.init blocks (fun x -> on x y t));
+      for x = 0 to blocks - 1 do
+        Cnf.add_clause cnf [ not_on x y t; not_clear y t ]
+      done
+    done
+  done;
+  let n_actions = Array.length l.actions in
+  for t = 0 to horizon - 1 do
+    (* Exactly one action per step. *)
+    Cnf.add_clause cnf (List.init n_actions (fun i -> mv i t));
+    for i = 0 to n_actions - 1 do
+      for j = i + 1 to n_actions - 1 do
+        Cnf.add_clause cnf [ not_mv i t; not_mv j t ]
+      done
+    done;
+    Array.iteri
+      (fun i (x, f, dst) ->
+        (* Preconditions. *)
+        Cnf.add_clause cnf [ not_mv i t; on x f t ];
+        Cnf.add_clause cnf [ not_mv i t; clear x t ];
+        if dst <> table l then Cnf.add_clause cnf [ not_mv i t; clear dst t ];
+        (* Effects. *)
+        Cnf.add_clause cnf [ not_mv i t; on x dst (t + 1) ];
+        Cnf.add_clause cnf [ not_mv i t; not_on x f (t + 1) ])
+      l.actions;
+    (* Explanatory frame axioms for every on(x, y) fluent. *)
+    for x = 0 to blocks - 1 do
+      for y = 0 to positions - 1 do
+        if y <> x then begin
+          let leaving = ref [] and arriving = ref [] in
+          Array.iteri
+            (fun i (x', f, dst) ->
+              if x' = x && f = y then leaving := mv i t :: !leaving;
+              if x' = x && dst = y then arriving := mv i t :: !arriving)
+            l.actions;
+          Cnf.add_clause cnf ([ not_on x y t; on x y (t + 1) ] @ !leaving);
+          Cnf.add_clause cnf ([ on x y t; not_on x y (t + 1) ] @ !arriving)
+        end
+      done
+    done
+  done;
+  (* Initial state: tower 0 on 1 on ... on (B-1) on table — fully
+     specified. *)
+  for x = 0 to blocks - 1 do
+    let support = if x = blocks - 1 then table l else x + 1 in
+    for y = 0 to positions - 1 do
+      if y <> x then
+        Cnf.add_clause cnf [ (if y = support then on x y 0 else not_on x y 0) ]
+    done
+  done;
+  (* Goal: the reversed tower. *)
+  for x = 0 to blocks - 1 do
+    let support = if x = 0 then table l else x - 1 in
+    Cnf.add_clause cnf [ on x support horizon ]
+  done;
+  cnf
+
+let optimal_horizon blocks = blocks
+
+let sat_instance blocks =
+  Instance.make
+    (Printf.sprintf "bw%d" blocks)
+    Instance.Expect_sat
+    (encode ~blocks ~horizon:(optimal_horizon blocks))
+
+let unsat_instance blocks =
+  Instance.make
+    (Printf.sprintf "bw%d_short" blocks)
+    Instance.Expect_unsat
+    (encode ~blocks ~horizon:(optimal_horizon blocks - 1))
+
+let suite ~max_blocks =
+  List.concat
+    (List.init
+       (max 0 (max_blocks - 2))
+       (fun i ->
+         let n = i + 3 in
+         [ sat_instance n; unsat_instance n ]))

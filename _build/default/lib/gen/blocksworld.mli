@@ -1,0 +1,24 @@
+(** Blocks-world planning as SAT (the paper's Blocksworld class).
+
+    [blocks] numbered blocks and a table; fluents [on(x, y, t)] (where
+    [y] ranges over blocks and the table), derived clearness, actions
+    [move(x, from, to, t)], exactly one action per step, explanatory
+    frame axioms.  The shipped scenario reverses a tower of [blocks]
+    blocks, whose optimal plan has exactly [blocks] moves. *)
+
+open Berkmin_types
+
+val encode : blocks:int -> horizon:int -> Cnf.t
+(** Tower-reversal instance at the given horizon.
+    @raise Invalid_argument for [blocks < 2] or [horizon < 0]. *)
+
+val optimal_horizon : int -> int
+(** [blocks] (one move per block for the reversal scenario). *)
+
+val sat_instance : int -> Instance.t
+
+val unsat_instance : int -> Instance.t
+(** One step short of optimal: UNSAT. *)
+
+val suite : max_blocks:int -> Instance.t list
+(** SAT and UNSAT members for sizes [3 .. max_blocks]. *)

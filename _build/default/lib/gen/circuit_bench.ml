@@ -1,0 +1,173 @@
+module C = Berkmin_circuit.Circuit
+module B = Berkmin_circuit.Bitvec
+module M = Berkmin_circuit.Miter
+module P = Berkmin_circuit.Pipeline
+module R = Berkmin_circuit.Random_circuit
+module T = Berkmin_circuit.Tseitin
+
+let adder ~width kind =
+  let c = C.create () in
+  let a = B.inputs c "a" width and b = B.inputs c "b" width in
+  let sum, cout =
+    match kind with
+    | `Ripple -> B.ripple_carry_add c a b
+    | `Carry_select -> B.carry_select_add c a b
+  in
+  B.set_outputs c "s" sum;
+  C.set_output c "cout" cout;
+  c
+
+let adder_miter ~width =
+  Instance.make
+    (Printf.sprintf "add_miter_w%d" width)
+    Instance.Expect_unsat
+    (M.to_cnf (adder ~width `Ripple) (adder ~width `Carry_select))
+
+let adder_buggy_miter ~width ~seed =
+  let good = adder ~width `Ripple in
+  Instance.make
+    (Printf.sprintf "add_fault_w%d_s%d" width seed)
+    Instance.Expect_sat
+    (M.to_cnf good (R.inject_fault good ~seed))
+
+let alu ~width =
+  let c = C.create () in
+  let op = B.inputs c "op" 3 in
+  let a = B.inputs c "a" width and b = B.inputs c "b" width in
+  B.set_outputs c "r" (B.alu c ~op_sel:op a b);
+  c
+
+let alu_miter ~width =
+  let left = alu ~width in
+  Instance.make
+    (Printf.sprintf "alu_miter_w%d" width)
+    Instance.Expect_unsat
+    (M.to_cnf left (R.restructure left))
+
+let multiplier ~width =
+  let c = C.create () in
+  let a = B.inputs c "a" width and b = B.inputs c "b" width in
+  B.set_outputs c "p" (B.mul_const_width c a b);
+  c
+
+let mul_miter ~width =
+  let left = multiplier ~width in
+  Instance.make
+    (Printf.sprintf "mul_miter_w%d" width)
+    Instance.Expect_unsat
+    (M.to_cnf left (R.restructure left))
+
+let random_miter ~gates ~seed =
+  let c =
+    R.generate ~num_inputs:(max 8 (gates / 10)) ~num_gates:gates ~num_outputs:4
+      ~seed
+  in
+  Instance.make
+    (Printf.sprintf "rc_miter_g%d_s%d" gates seed)
+    Instance.Expect_unsat
+    (M.to_cnf c (R.restructure c))
+
+let random_buggy_miter ~gates ~seed =
+  let c =
+    R.generate ~num_inputs:(max 8 (gates / 10)) ~num_gates:gates ~num_outputs:4
+      ~seed
+  in
+  let faulty = R.inject_fault c ~seed:(seed + 1) in
+  let expected =
+    match M.check_by_simulation ~samples:512 ~seed:(seed + 2) c faulty with
+    | M.Counterexample _ -> Instance.Expect_sat
+    | M.Equivalent -> Instance.Expect_any
+  in
+  Instance.make
+    (Printf.sprintf "rc_fault_g%d_s%d" gates seed)
+    expected
+    (M.to_cnf c faulty)
+
+let pipeline_unsat ~stages ~width =
+  Instance.make
+    (Printf.sprintf "pipe%d_w%d" stages width)
+    Instance.Expect_unsat
+    (P.unsat_miter { P.stages; num_regs = 4; width })
+
+let pipeline_sat ~stages ~width =
+  let expected =
+    if stages >= 3 then Instance.Expect_sat else Instance.Expect_any
+  in
+  Instance.make
+    (Printf.sprintf "pipe%d_w%d_bug" stages width)
+    expected
+    (P.sat_miter { P.stages; num_regs = 4; width })
+
+let miters_suite () =
+  [
+    adder_miter ~width:8;
+    adder_miter ~width:16;
+    alu_miter ~width:4;
+    mul_miter ~width:4;
+    random_miter ~gates:100 ~seed:5;
+    random_miter ~gates:200 ~seed:9;
+    random_buggy_miter ~gates:150 ~seed:21;
+  ]
+
+(* The Figure-1 construction: two copies of [gated-cone XOR other];
+   the cones compute the same function of the cone inputs but the
+   second copy carries an injected fault, so any differentiating input
+   must open the AND gate (control = 1) and drive the cone.  The
+   "other" half is an equivalent-but-restructured adder: honest UNSAT
+   work whose variables dominate decision-making while the cone is
+   closed. *)
+let cone_demo_cnf ~cone_gates ~seed =
+  let c = C.create () in
+  let control = C.input c "g" in
+  let n_cone_inputs = max 4 (cone_gates / 8) in
+  let xs = B.inputs c "x" n_cone_inputs in
+  let cone_start = C.num_nodes c in
+  (* Cone copy 1: a random circuit over the cone inputs. *)
+  let sub =
+    R.generate ~num_inputs:n_cone_inputs ~num_gates:cone_gates ~num_outputs:1
+      ~seed
+  in
+  let t1 = C.import c sub ~input_map:xs in
+  let cone1 = t1.(C.output_exn sub "o0") in
+  (* Cone copy 2: a De-Morgan restructuring — same function, different
+     netlist.  Refuting the cone difference is real work, but only
+     reachable while the AND gate is open (control = 1): exactly the
+     paper's picture of cone variables switching from idle to active. *)
+  let sub_equiv = R.restructure sub in
+  let t2 = C.import c sub_equiv ~input_map:xs in
+  let cone2 = t2.(C.output_exn sub_equiv "o0") in
+  let cone_end = C.num_nodes c in
+  let gated1 = C.and_ c control cone1 in
+  let gated2 = C.and_ c control cone2 in
+  (* Other half: a pipelined-datapath equivalence problem — a hard
+     UNSAT sub-miter whose variables dominate decision-making while
+     the cone's AND gate stays closed. *)
+  let pp = { P.stages = 2; num_regs = 4; width = 3 } in
+  let spec = P.specification pp and impl = P.implementation pp in
+  let shared =
+    Array.of_list
+      (List.mapi
+         (fun i _ -> C.input c (Printf.sprintf "y%d" i))
+         (C.input_names spec))
+  in
+  let ts = C.import c spec ~input_map:shared in
+  let ti = C.import c impl ~input_map:shared in
+  let diff_other =
+    C.or_many c
+      (List.map
+         (fun (name, id) ->
+           C.xor_ c ts.(id) ti.(C.output_exn impl name))
+         (C.outputs spec))
+  in
+  let diff_cone = C.xor_ c gated1 gated2 in
+  C.set_output c "miter" (C.or_ c diff_cone diff_other);
+  let m = T.encode c in
+  T.assert_output c m "miter" true;
+  (* Cone territory: the gate copies plus the cone's private inputs
+     (cone-gate values are mostly propagated, so the decisions that
+     "work the cone" land on its inputs). *)
+  let xs_set = Array.to_list xs in
+  let in_cone v =
+    (v >= cone_start && v < cone_end) || List.mem v xs_set
+  in
+  (m.T.cnf, in_cone)

@@ -1,0 +1,48 @@
+(** Circuit-derived benchmark instances: the Miters class and the
+    microprocessor-verification classes (Sss/Fvp/Vliw stand-ins).
+
+    See DESIGN.md section 3 for the substitution rationale. *)
+
+open Berkmin_types
+
+val adder_miter : width:int -> Instance.t
+(** Ripple-carry vs carry-select adder equivalence: UNSAT. *)
+
+val adder_buggy_miter : width:int -> seed:int -> Instance.t
+(** Ripple-carry adder vs a fault-injected copy: SAT. *)
+
+val alu_miter : width:int -> Instance.t
+(** ALU built from ripple adders vs one from carry-select: UNSAT. *)
+
+val mul_miter : width:int -> Instance.t
+(** Shift-and-add multiplier vs its restructured form: UNSAT.
+    Multiplier miters get hard very fast — width 4–5 is plenty. *)
+
+val random_miter : gates:int -> seed:int -> Instance.t
+(** Random circuit vs its De-Morgan restructuring: UNSAT. *)
+
+val random_buggy_miter : gates:int -> seed:int -> Instance.t
+(** Random circuit vs a fault-injected copy.  Usually SAT but the
+    fault can be untestable, so the instance is checked by random
+    simulation first and the expectation set accordingly (simulation
+    finding a difference proves SAT; otherwise the verdict is left
+    open). *)
+
+val pipeline_unsat : stages:int -> width:int -> Instance.t
+(** Correct forwarding network vs sequential spec: UNSAT. *)
+
+val pipeline_sat : stages:int -> width:int -> Instance.t
+(** Inverted forwarding priority vs spec: SAT for [stages >= 3]. *)
+
+val miters_suite : unit -> Instance.t list
+(** The paper's Miters class, scaled to minutes of total runtime. *)
+
+val cone_demo_cnf : cone_gates:int -> seed:int -> Cnf.t * (int -> bool)
+(** The Figure-1 construction: an UNSAT miter of [gated-cone XOR
+    pipeline-datapath], both halves equivalent-but-restructured.  The
+    cone's variables can only participate in conflicts while its AND
+    gate is open (control input = 1), so the fraction of decisions
+    landing in the cone over time shows how quickly a heuristic
+    migrates when the cone switches from idle to active.  Returns the
+    CNF and a predicate telling whether a CNF variable belongs to the
+    cone (gate copies plus the cone's private inputs). *)

@@ -1,0 +1,76 @@
+open Berkmin_types
+
+type graph = {
+  vertices : int;
+  edges : (int * int) list;
+}
+
+let encode g ~colors =
+  if g.vertices < 1 || colors < 1 then invalid_arg "Graph_coloring.encode";
+  let cnf = Cnf.create ~num_vars:(g.vertices * colors) () in
+  let var v c = (v * colors) + c in
+  for v = 0 to g.vertices - 1 do
+    Cnf.add_clause cnf (List.init colors (fun c -> Lit.pos (var v c)));
+    for c1 = 0 to colors - 1 do
+      for c2 = c1 + 1 to colors - 1 do
+        Cnf.add_clause cnf [ Lit.neg_of (var v c1); Lit.neg_of (var v c2) ]
+      done
+    done
+  done;
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= g.vertices || v < 0 || v >= g.vertices then
+        invalid_arg "Graph_coloring.encode: edge endpoint out of range";
+      if u <> v then
+        for c = 0 to colors - 1 do
+          Cnf.add_clause cnf [ Lit.neg_of (var u c); Lit.neg_of (var v c) ]
+        done)
+    g.edges;
+  cnf
+
+let clique n =
+  {
+    vertices = n;
+    edges =
+      List.concat
+        (List.init n (fun u -> List.init (n - u - 1) (fun i -> (u, u + i + 1))));
+  }
+
+let cycle n =
+  if n < 3 then invalid_arg "Graph_coloring.cycle";
+  { vertices = n; edges = List.init n (fun i -> (i, (i + 1) mod n)) }
+
+let random_graph ~vertices ~edge_prob ~seed =
+  let rng = Rng.create seed in
+  let edges = ref [] in
+  for u = 0 to vertices - 1 do
+    for v = u + 1 to vertices - 1 do
+      if Rng.float rng < edge_prob then edges := (u, v) :: !edges
+    done
+  done;
+  { vertices; edges = !edges }
+
+let clique_instance n ~colors =
+  let expected =
+    if colors >= n then Instance.Expect_sat else Instance.Expect_unsat
+  in
+  Instance.make
+    (Printf.sprintf "clique%d_c%d" n colors)
+    expected
+    (encode (clique n) ~colors)
+
+let cycle_instance n ~colors =
+  let expected =
+    if colors >= 3 || (colors = 2 && n mod 2 = 0) then Instance.Expect_sat
+    else Instance.Expect_unsat
+  in
+  Instance.make
+    (Printf.sprintf "cycle%d_c%d" n colors)
+    expected
+    (encode (cycle n) ~colors)
+
+let random_instance ~vertices ~edge_prob ~colors ~seed =
+  Instance.make
+    (Printf.sprintf "gcol_%d_p%.2f_c%d_s%d" vertices edge_prob colors seed)
+    Instance.Expect_any
+    (encode (random_graph ~vertices ~edge_prob ~seed) ~colors)

@@ -1,0 +1,31 @@
+(** Graph k-coloring as SAT.
+
+    Variables [color(v, c)]; every vertex gets at least one colour, no
+    vertex two colours, adjacent vertices differ.  Deterministic
+    families with known verdicts (cliques, odd cycles) plus random
+    G(n, p) graphs. *)
+
+open Berkmin_types
+
+type graph = {
+  vertices : int;
+  edges : (int * int) list;
+}
+
+val encode : graph -> colors:int -> Cnf.t
+
+val clique : int -> graph
+
+val cycle : int -> graph
+
+val random_graph : vertices:int -> edge_prob:float -> seed:int -> graph
+
+val clique_instance : int -> colors:int -> Instance.t
+(** SAT iff [colors >= n]. *)
+
+val cycle_instance : int -> colors:int -> Instance.t
+(** A cycle is 2-colorable iff even; always 3-colorable (n >= 3). *)
+
+val random_instance :
+  vertices:int -> edge_prob:float -> colors:int -> seed:int -> Instance.t
+(** Verdict unknown. *)

@@ -1,0 +1,137 @@
+open Berkmin_types
+
+(* Variable layout: all on(d,p,t) first, then all move(d,p,q,t).
+   Pegs are 0..2; disks 0..n-1 with 0 the smallest. *)
+
+let peg_pairs = [ (0, 1); (0, 2); (1, 0); (1, 2); (2, 0); (2, 1) ]
+
+let pair_index p q =
+  if q > p then (p * 2) + (q - 1) else (p * 2) + q
+
+type layout = {
+  disks : int;
+  horizon : int;
+  move_base : int;
+}
+
+let layout ~disks ~horizon =
+  { disks; horizon; move_base = (horizon + 1) * disks * 3 }
+
+let on_var l d p t = (t * l.disks * 3) + (d * 3) + p
+
+let move_var l d p q t =
+  l.move_base + (t * l.disks * 6) + (d * 6) + pair_index p q
+
+let num_vars l = l.move_base + (l.horizon * l.disks * 6)
+
+let encode ~disks ~horizon =
+  if disks < 1 then invalid_arg "Hanoi.encode: disks < 1";
+  if horizon < 0 then invalid_arg "Hanoi.encode: horizon < 0";
+  let l = layout ~disks ~horizon in
+  let cnf = Cnf.create ~num_vars:(num_vars l) () in
+  let on d p t = Lit.pos (on_var l d p t) in
+  let not_on d p t = Lit.neg_of (on_var l d p t) in
+  let mv d p q t = Lit.pos (move_var l d p q t) in
+  let not_mv d p q t = Lit.neg_of (move_var l d p q t) in
+  (* Each disk is on exactly one peg at every time point. *)
+  for t = 0 to horizon do
+    for d = 0 to disks - 1 do
+      Cnf.add_clause cnf [ on d 0 t; on d 1 t; on d 2 t ];
+      for p = 0 to 2 do
+        for q = p + 1 to 2 do
+          Cnf.add_clause cnf [ not_on d p t; not_on d q t ]
+        done
+      done
+    done
+  done;
+  for t = 0 to horizon - 1 do
+    (* Exactly one move per step. *)
+    let all_moves =
+      List.concat_map
+        (fun (p, q) -> List.init disks (fun d -> mv d p q t))
+        peg_pairs
+    in
+    Cnf.add_clause cnf all_moves;
+    let arr = Array.of_list all_moves in
+    for i = 0 to Array.length arr - 1 do
+      for j = i + 1 to Array.length arr - 1 do
+        Cnf.add_clause cnf [ Lit.negate arr.(i); Lit.negate arr.(j) ]
+      done
+    done;
+    for d = 0 to disks - 1 do
+      List.iter
+        (fun (p, q) ->
+          (* Precondition: the disk is on the source peg. *)
+          Cnf.add_clause cnf [ not_mv d p q t; on d p t ];
+          (* The disk is topmost and the target holds no smaller disk. *)
+          for d' = 0 to d - 1 do
+            Cnf.add_clause cnf [ not_mv d p q t; not_on d' p t ];
+            Cnf.add_clause cnf [ not_mv d p q t; not_on d' q t ]
+          done;
+          (* Effects. *)
+          Cnf.add_clause cnf [ not_mv d p q t; on d q (t + 1) ];
+          Cnf.add_clause cnf [ not_mv d p q t; not_on d p (t + 1) ])
+        peg_pairs
+    done;
+    (* Explanatory frame axioms: a fluent change implies a move. *)
+    for d = 0 to disks - 1 do
+      for p = 0 to 2 do
+        let leaving =
+          List.filter_map
+            (fun (p', q) -> if p' = p then Some (mv d p q t) else None)
+            peg_pairs
+        in
+        let arriving =
+          List.filter_map
+            (fun (p', q) -> if q = p then Some (mv d p' p t) else None)
+            peg_pairs
+        in
+        Cnf.add_clause cnf ([ not_on d p t; on d p (t + 1) ] @ leaving);
+        Cnf.add_clause cnf ([ on d p t; not_on d p (t + 1) ] @ arriving)
+      done
+    done
+  done;
+  (* Initial state: everything on peg 0; goal: everything on peg 2. *)
+  for d = 0 to disks - 1 do
+    Cnf.add_clause cnf [ on d 0 0 ];
+    Cnf.add_clause cnf [ not_on d 1 0 ];
+    Cnf.add_clause cnf [ not_on d 2 0 ];
+    Cnf.add_clause cnf [ on d 2 horizon ]
+  done;
+  cnf
+
+let optimal_horizon disks = (1 lsl disks) - 1
+
+let sat_instance disks =
+  Instance.make
+    (Printf.sprintf "hanoi%d" disks)
+    Instance.Expect_sat
+    (encode ~disks ~horizon:(optimal_horizon disks))
+
+let unsat_instance disks =
+  if disks < 1 then invalid_arg "Hanoi.unsat_instance";
+  Instance.make
+    (Printf.sprintf "hanoi%d_short" disks)
+    Instance.Expect_unsat
+    (encode ~disks ~horizon:(optimal_horizon disks - 1))
+
+let decode_plan ~disks ~horizon model =
+  let l = layout ~disks ~horizon in
+  let plan = ref [] in
+  for t = horizon - 1 downto 0 do
+    for d = 0 to disks - 1 do
+      List.iter
+        (fun (p, q) ->
+          if model.(move_var l d p q t) then plan := (d, p, q) :: !plan)
+        peg_pairs
+    done
+  done;
+  !plan
+
+let suite ~max_disks =
+  List.concat
+    (List.init
+       (max 0 (max_disks - 1))
+       (fun i ->
+         let n = i + 2 in
+         [ sat_instance n; unsat_instance n ]))

@@ -1,0 +1,29 @@
+(** Towers of Hanoi as SAT planning (the paper's Hanoi class).
+
+    A STRIPS-style linear encoding: fluents [on(disk, peg, t)] and
+    actions [move(disk, from, to, t)], exactly one action per step,
+    explanatory frame axioms.  Moving disk [d] requires [d] topmost on
+    its peg and no smaller disk on the target.  The optimal plan for
+    [n] disks has [2^n - 1] moves, so the encoding is SAT exactly at
+    horizon [>= 2^n - 1]. *)
+
+open Berkmin_types
+
+val encode : disks:int -> horizon:int -> Cnf.t
+(** @raise Invalid_argument for [disks < 1] or [horizon < 0]. *)
+
+val optimal_horizon : int -> int
+(** [2^disks - 1]. *)
+
+val sat_instance : int -> Instance.t
+(** [disks] at the optimal horizon: SAT. *)
+
+val unsat_instance : int -> Instance.t
+(** [disks] one step short of optimal: UNSAT.
+    @raise Invalid_argument for [disks < 1]. *)
+
+val decode_plan : disks:int -> horizon:int -> bool array -> (int * int * int) list
+(** Reads [(disk, from, to)] moves off a model, in time order. *)
+
+val suite : max_disks:int -> Instance.t list
+(** SAT and UNSAT members for sizes [2 .. max_disks]. *)

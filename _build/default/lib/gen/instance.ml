@@ -1,0 +1,25 @@
+open Berkmin_types
+
+type expected =
+  | Expect_sat
+  | Expect_unsat
+  | Expect_any
+
+type t = {
+  name : string;
+  cnf : Cnf.t;
+  expected : expected;
+}
+
+let make name expected cnf = { name; cnf; expected }
+
+let expected_to_string = function
+  | Expect_sat -> "SAT"
+  | Expect_unsat -> "UNSAT"
+  | Expect_any -> "?"
+
+let consistent t ~sat =
+  match t.expected with
+  | Expect_any -> true
+  | Expect_sat -> sat
+  | Expect_unsat -> not sat

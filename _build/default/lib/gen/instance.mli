@@ -1,0 +1,22 @@
+(** A benchmark instance: a formula with a name and, when the
+    construction guarantees it, the expected verdict. *)
+
+open Berkmin_types
+
+type expected =
+  | Expect_sat
+  | Expect_unsat
+  | Expect_any  (** construction does not fix satisfiability *)
+
+type t = {
+  name : string;
+  cnf : Cnf.t;
+  expected : expected;
+}
+
+val make : string -> expected -> Cnf.t -> t
+
+val expected_to_string : expected -> string
+
+val consistent : t -> sat:bool -> bool
+(** Whether verdict [sat] agrees with the expectation. *)

@@ -1,0 +1,106 @@
+open Berkmin_types
+
+(* Encode [xor lits = b] as the 2^(k-1) clauses forbidding every
+   assignment of the wrong parity. *)
+let add_xor cnf lits b =
+  let vars = Array.of_list lits in
+  let k = Array.length vars in
+  if k = 0 then begin
+    if b then Cnf.add_clause cnf [] (* 0 = 1: contradiction *)
+  end
+  else
+    for mask = 0 to (1 lsl k) - 1 do
+      let parity = ref false in
+      for i = 0 to k - 1 do
+        if (mask lsr i) land 1 = 1 then parity := not !parity
+      done;
+      if !parity <> b then begin
+        (* Forbid this assignment: for bit=1 (var true) add ¬v, else v. *)
+        let clause =
+          List.init k (fun i ->
+              if (mask lsr i) land 1 = 1 then Lit.neg_of vars.(i)
+              else Lit.pos vars.(i))
+        in
+        Cnf.add_clause cnf clause
+      end
+    done
+
+let chain ~num_vars ~extra ~seed =
+  if num_vars < 3 then invalid_arg "Parity.chain";
+  let rng = Rng.create seed in
+  let planted = Array.init num_vars (fun _ -> Rng.bool rng) in
+  let cnf = Cnf.create ~num_vars () in
+  let rhs vars = List.fold_left (fun acc v -> acc <> planted.(v)) false vars in
+  for i = 0 to num_vars - 3 do
+    let vars = [ i; i + 1; i + 2 ] in
+    add_xor cnf vars (rhs vars)
+  done;
+  for _ = 1 to extra do
+    let distinct3 () =
+      let a = Rng.int rng num_vars in
+      let b = ref (Rng.int rng num_vars) in
+      while !b = a do
+        b := Rng.int rng num_vars
+      done;
+      let c = ref (Rng.int rng num_vars) in
+      while !c = a || !c = !b do
+        c := Rng.int rng num_vars
+      done;
+      [ a; !b; !c ]
+    in
+    let vars = distinct3 () in
+    add_xor cnf vars (rhs vars)
+  done;
+  cnf
+
+let chain_instance ~num_vars ~extra ~seed =
+  Instance.make
+    (Printf.sprintf "par_%d_%d_s%d" num_vars extra seed)
+    Instance.Expect_sat
+    (chain ~num_vars ~extra ~seed)
+
+let inconsistent_cycle ~num_vars =
+  if num_vars < 2 then invalid_arg "Parity.inconsistent_cycle";
+  let cnf = Cnf.create ~num_vars () in
+  for i = 0 to num_vars - 2 do
+    add_xor cnf [ i; i + 1 ] false
+  done;
+  add_xor cnf [ num_vars - 1; 0 ] true;
+  cnf
+
+let tseitin_expander ~num_vars ~degree ~seed =
+  if num_vars < 2 || degree < 2 then invalid_arg "Parity.tseitin_expander";
+  if num_vars * degree mod 2 <> 0 then
+    invalid_arg "Parity.tseitin_expander: num_vars * degree must be even";
+  let rng = Rng.create seed in
+  (* Pairing model: d stubs per vertex, shuffled and paired. *)
+  let stubs = Array.init (num_vars * degree) (fun i -> i / degree) in
+  Rng.shuffle rng stubs;
+  let num_edges = Array.length stubs / 2 in
+  let incident = Array.make num_vars [] in
+  for e = 0 to num_edges - 1 do
+    let u = stubs.(2 * e) and v = stubs.((2 * e) + 1) in
+    (* A self-loop contributes its variable twice to the same XOR —
+       the pair cancels, so record nothing for it. *)
+    if u <> v then begin
+      incident.(u) <- e :: incident.(u);
+      incident.(v) <- e :: incident.(v)
+    end
+  done;
+  let cnf = Cnf.create ~num_vars:num_edges () in
+  for v = 0 to num_vars - 1 do
+    (* Odd charge at vertex 0 only: total charge odd => UNSAT. *)
+    add_xor cnf incident.(v) (v = 0)
+  done;
+  cnf
+
+let tseitin_instance ~num_vars ~degree ~seed =
+  Instance.make
+    (Printf.sprintf "tseitin_%d_%d_s%d" num_vars degree seed)
+    Instance.Expect_unsat
+    (tseitin_expander ~num_vars ~degree ~seed)
+
+let suite ~sizes ~seed =
+  List.mapi
+    (fun i n -> chain_instance ~num_vars:n ~extra:(n / 2) ~seed:(seed + i))
+    sizes

@@ -1,0 +1,30 @@
+(** XOR-constraint formulas: the Par16-like class and Tseitin-graph
+    hard UNSAT formulas.
+
+    Each 3-variable XOR equation [x + y + z = b (mod 2)] becomes the
+    four clauses ruling out the odd/even assignments, exactly the
+    structure of the DIMACS parity-learning instances. *)
+
+open Berkmin_types
+
+val chain : num_vars:int -> extra:int -> seed:int -> Cnf.t
+(** A sliding-window chain [x_i + x_(i+1) + x_(i+2) = b_i] plus
+    [extra] random 3-XOR equations, with every right-hand side computed
+    from a hidden planted assignment — always SAT. *)
+
+val chain_instance : num_vars:int -> extra:int -> seed:int -> Instance.t
+
+val inconsistent_cycle : num_vars:int -> Cnf.t
+(** The 2-XOR cycle [x_1+x_2 = 0, ..., x_(k-1)+x_k = 0, x_k+x_1 = 1]:
+    a minimal UNSAT parity formula. *)
+
+val tseitin_expander : num_vars:int -> degree:int -> seed:int -> Cnf.t
+(** Tseitin formula of a random [degree]-regular multigraph with an
+    odd total charge — UNSAT, and provably hard for resolution
+    (Urquhart).  [num_vars] is the number of graph vertices; edges
+    become the CNF variables. *)
+
+val tseitin_instance : num_vars:int -> degree:int -> seed:int -> Instance.t
+
+val suite : sizes:int list -> seed:int -> Instance.t list
+(** Par16-like class: one planted chain per size. *)

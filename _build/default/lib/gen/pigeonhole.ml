@@ -1,0 +1,31 @@
+open Berkmin_types
+
+let php pigeons holes =
+  if pigeons < 1 || holes < 1 then invalid_arg "Pigeonhole.php";
+  let cnf = Cnf.create ~num_vars:(pigeons * holes) () in
+  let var p h = (p * holes) + h in
+  (* Every pigeon sits somewhere. *)
+  for p = 0 to pigeons - 1 do
+    Cnf.add_clause cnf (List.init holes (fun h -> Lit.pos (var p h)))
+  done;
+  (* No two pigeons share a hole. *)
+  for h = 0 to holes - 1 do
+    for p1 = 0 to pigeons - 1 do
+      for p2 = p1 + 1 to pigeons - 1 do
+        Cnf.add_clause cnf [ Lit.neg_of (var p1 h); Lit.neg_of (var p2 h) ]
+      done
+    done
+  done;
+  cnf
+
+let instance pigeons holes =
+  let expected =
+    if pigeons > holes then Instance.Expect_unsat else Instance.Expect_sat
+  in
+  Instance.make (Printf.sprintf "hole_%d_%d" pigeons holes) expected
+    (php pigeons holes)
+
+let suite ~max =
+  List.init (Stdlib.max 0 (max - 3)) (fun i ->
+      let n = i + 4 in
+      instance (n + 1) n)

@@ -1,0 +1,18 @@
+(** Pigeonhole-principle formulas (the DIMACS Hole class).
+
+    [php p h] states that [p] pigeons fit into [h] holes with at most
+    one pigeon per hole: UNSAT iff [p > h].  These are the canonical
+    hard instances for resolution-based solvers — exponential lower
+    bounds are known — which is why the paper's Hole class is the one
+    where learning buys the least. *)
+
+open Berkmin_types
+
+val php : int -> int -> Cnf.t
+(** Variable [(p * holes) + h] means pigeon [p] sits in hole [h]. *)
+
+val instance : int -> int -> Instance.t
+(** Named [hole_p_h], expectation derived from the counts. *)
+
+val suite : max:int -> Instance.t list
+(** The paper-style class: [php (n+1) n] for [n = 4 .. max]. *)

@@ -1,0 +1,151 @@
+open Berkmin_types
+
+(* ------------------------------------------------------------------ *)
+(* N-queens                                                            *)
+
+let queens n =
+  if n < 1 then invalid_arg "Puzzles.queens";
+  let cnf = Cnf.create ~num_vars:(n * n) () in
+  let v r c = (r * n) + c in
+  let at_most_one cells =
+    let arr = Array.of_list cells in
+    for i = 0 to Array.length arr - 1 do
+      for j = i + 1 to Array.length arr - 1 do
+        Cnf.add_clause cnf [ Lit.neg_of arr.(i); Lit.neg_of arr.(j) ]
+      done
+    done
+  in
+  (* One queen per row. *)
+  for r = 0 to n - 1 do
+    Cnf.add_clause cnf (List.init n (fun c -> Lit.pos (v r c)));
+    at_most_one (List.init n (v r))
+  done;
+  (* At most one per column. *)
+  for c = 0 to n - 1 do
+    at_most_one (List.init n (fun r -> v r c))
+  done;
+  (* Diagonals. *)
+  let cells = List.concat (List.init n (fun r -> List.init n (fun c -> (r, c)))) in
+  let diag key =
+    let tbl = Hashtbl.create 32 in
+    List.iter
+      (fun (r, c) ->
+        Hashtbl.replace tbl (key r c)
+          (v r c :: Option.value ~default:[] (Hashtbl.find_opt tbl (key r c))))
+      cells;
+    Hashtbl.iter (fun _ group -> at_most_one group) tbl
+  in
+  diag (fun r c -> r - c);
+  diag (fun r c -> r + c);
+  cnf
+
+let queens_instance n =
+  let expected =
+    if n = 1 || n >= 4 then Instance.Expect_sat
+    else Instance.Expect_unsat
+  in
+  Instance.make (Printf.sprintf "queens%d" n) expected (queens n)
+
+let decode_queens n model =
+  Array.init n (fun r ->
+      let rec find c =
+        if c >= n then -1 else if model.((r * n) + c) then c else find (c + 1)
+      in
+      find 0)
+
+let valid_queens n placement =
+  Array.length placement = n
+  && Array.for_all (fun c -> c >= 0 && c < n) placement
+  && begin
+       let ok = ref true in
+       for r1 = 0 to n - 1 do
+         for r2 = r1 + 1 to n - 1 do
+           let c1 = placement.(r1) and c2 = placement.(r2) in
+           if c1 = c2 || abs (c1 - c2) = r2 - r1 then ok := false
+         done
+       done;
+       !ok
+     end
+
+(* ------------------------------------------------------------------ *)
+(* Sudoku                                                              *)
+
+let sudoku_var r c d = (((r * 9) + c) * 9) + (d - 1)
+
+let sudoku ?(givens = []) () =
+  let cnf = Cnf.create ~num_vars:729 () in
+  let at_most_one cells =
+    let arr = Array.of_list cells in
+    for i = 0 to Array.length arr - 1 do
+      for j = i + 1 to Array.length arr - 1 do
+        Cnf.add_clause cnf [ Lit.neg_of arr.(i); Lit.neg_of arr.(j) ]
+      done
+    done
+  in
+  (* Each cell holds exactly one digit. *)
+  for r = 0 to 8 do
+    for c = 0 to 8 do
+      Cnf.add_clause cnf (List.init 9 (fun i -> Lit.pos (sudoku_var r c (i + 1))));
+      at_most_one (List.init 9 (fun i -> sudoku_var r c (i + 1)))
+    done
+  done;
+  (* Each digit once per row, column and box. *)
+  for d = 1 to 9 do
+    for r = 0 to 8 do
+      at_most_one (List.init 9 (fun c -> sudoku_var r c d))
+    done;
+    for c = 0 to 8 do
+      at_most_one (List.init 9 (fun r -> sudoku_var r c d))
+    done;
+    for box = 0 to 8 do
+      let r0 = 3 * (box / 3) and c0 = 3 * (box mod 3) in
+      at_most_one
+        (List.init 9 (fun i -> sudoku_var (r0 + (i / 3)) (c0 + (i mod 3)) d))
+    done
+  done;
+  List.iter
+    (fun (r, c, d) ->
+      if r < 0 || r > 8 || c < 0 || c > 8 || d < 1 || d > 9 then
+        invalid_arg "Puzzles.sudoku: clue out of range";
+      Cnf.add_clause cnf [ Lit.pos (sudoku_var r c d) ])
+    givens;
+  cnf
+
+let sudoku_instance ?(givens = []) ~name () =
+  let expected =
+    if givens = [] then Instance.Expect_sat else Instance.Expect_any
+  in
+  Instance.make name expected (sudoku ~givens ())
+
+let decode_sudoku model =
+  Array.init 9 (fun r ->
+      Array.init 9 (fun c ->
+          let rec find d =
+            if d > 9 then 0
+            else if model.(sudoku_var r c d) then d
+            else find (d + 1)
+          in
+          find 1))
+
+let valid_sudoku grid =
+  let group_ok cells =
+    let seen = Array.make 10 false in
+    List.for_all
+      (fun (r, c) ->
+        let d = grid.(r).(c) in
+        d >= 1 && d <= 9
+        && if seen.(d) then false
+           else begin
+             seen.(d) <- true;
+             true
+           end)
+      cells
+  in
+  let idx = List.init 9 (fun i -> i) in
+  List.for_all (fun r -> group_ok (List.map (fun c -> (r, c)) idx)) idx
+  && List.for_all (fun c -> group_ok (List.map (fun r -> (r, c)) idx)) idx
+  && List.for_all
+       (fun box ->
+         let r0 = 3 * (box / 3) and c0 = 3 * (box mod 3) in
+         group_ok (List.map (fun i -> (r0 + (i / 3), c0 + (i mod 3))) idx))
+       idx

@@ -1,0 +1,36 @@
+(** Classic puzzle encodings: N-queens and Sudoku.
+
+    Not part of the paper's benchmark classes — included as friendly,
+    verifiable workloads for examples and tests (both have easily
+    checked models and known satisfiability). *)
+
+open Berkmin_types
+
+val queens : int -> Cnf.t
+(** [queens n]: variable [(r * n) + c] places a queen on row [r],
+    column [c]; one queen per row, at most one per column and
+    diagonal.  SAT iff [n = 1] or [n >= 4]. *)
+
+val queens_instance : int -> Instance.t
+
+val decode_queens : int -> bool array -> int array
+(** Column of the queen in each row. *)
+
+val valid_queens : int -> int array -> bool
+(** Checks a decoded placement. *)
+
+val sudoku : ?givens:(int * int * int) list -> unit -> Cnf.t
+(** 9x9 Sudoku: variable [(((r * 9) + c) * 9) + (d - 1)] means digit
+    [d] in cell [(r, c)].  [givens] are [(row, col, digit)] clues
+    (0-based rows/columns, digits 1-9).  With no clues: SAT.
+    @raise Invalid_argument on out-of-range clues. *)
+
+val sudoku_instance : ?givens:(int * int * int) list -> name:string -> unit -> Instance.t
+(** Expectation [Expect_any] when clues are present (clues may be
+    contradictory), [Expect_sat] otherwise. *)
+
+val decode_sudoku : bool array -> int array array
+(** 9x9 grid of digits from a model. *)
+
+val valid_sudoku : int array array -> bool
+(** Full Sudoku rules check on a decoded grid. *)

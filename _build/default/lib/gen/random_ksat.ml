@@ -1,0 +1,63 @@
+open Berkmin_types
+
+let check_args ~num_vars ~num_clauses ~k =
+  if num_vars < 1 || num_clauses < 0 || k < 1 then
+    invalid_arg "Random_ksat: non-positive parameter";
+  if k > num_vars then invalid_arg "Random_ksat: k > num_vars"
+
+let random_clause_vars rng ~num_vars ~k =
+  let chosen = Array.make k (-1) in
+  for i = 0 to k - 1 do
+    let rec draw () =
+      let v = Rng.int rng num_vars in
+      if Array.exists (Int.equal v) chosen then draw () else v
+    in
+    chosen.(i) <- draw ()
+  done;
+  chosen
+
+let generate ~num_vars ~num_clauses ~k ~seed =
+  check_args ~num_vars ~num_clauses ~k;
+  let rng = Rng.create seed in
+  let cnf = Cnf.create ~num_vars () in
+  for _ = 1 to num_clauses do
+    let vars = random_clause_vars rng ~num_vars ~k in
+    Cnf.add_clause cnf
+      (Array.to_list
+         (Array.map (fun v -> Lit.make v (Rng.bool rng)) vars))
+  done;
+  cnf
+
+let planted ~num_vars ~num_clauses ~k ~seed =
+  check_args ~num_vars ~num_clauses ~k;
+  let rng = Rng.create seed in
+  let hidden = Array.init num_vars (fun _ -> Rng.bool rng) in
+  let cnf = Cnf.create ~num_vars () in
+  for _ = 1 to num_clauses do
+    let vars = random_clause_vars rng ~num_vars ~k in
+    let lits = Array.map (fun v -> Lit.make v (Rng.bool rng)) vars in
+    let satisfied =
+      Array.exists (fun l -> hidden.(Lit.var l) = Lit.is_pos l) lits
+    in
+    if not satisfied then begin
+      (* Flip one literal to agree with the hidden assignment. *)
+      let i = Rng.int rng k in
+      lits.(i) <- Lit.make (Lit.var lits.(i)) hidden.(Lit.var lits.(i))
+    end;
+    Cnf.add_clause cnf (Array.to_list lits)
+  done;
+  cnf
+
+let instance ~num_vars ~ratio ~seed =
+  let num_clauses = int_of_float (ratio *. float_of_int num_vars) in
+  Instance.make
+    (Printf.sprintf "rand3_%d_r%.2f_s%d" num_vars ratio seed)
+    Instance.Expect_any
+    (generate ~num_vars ~num_clauses ~k:3 ~seed)
+
+let planted_instance ~num_vars ~ratio ~seed =
+  let num_clauses = int_of_float (ratio *. float_of_int num_vars) in
+  Instance.make
+    (Printf.sprintf "plant3_%d_r%.2f_s%d" num_vars ratio seed)
+    Instance.Expect_sat
+    (planted ~num_vars ~num_clauses ~k:3 ~seed)

@@ -1,0 +1,22 @@
+(** Uniform random k-SAT.
+
+    Used by the property-based tests (cross-checking the CDCL engine
+    against the DPLL oracle on thousands of small formulas) and for
+    phase-transition sweeps.  At clause/variable ratio ~4.26, random
+    3-SAT is maximally hard on average. *)
+
+open Berkmin_types
+
+val generate : num_vars:int -> num_clauses:int -> k:int -> seed:int -> Cnf.t
+(** Clauses of [k] distinct variables with random polarities.
+    @raise Invalid_argument if [k > num_vars] or arguments are
+    non-positive. *)
+
+val planted : num_vars:int -> num_clauses:int -> k:int -> seed:int -> Cnf.t
+(** Like {!generate} but every clause is checked against a hidden
+    random assignment and re-polarised to satisfy it — always SAT. *)
+
+val instance : num_vars:int -> ratio:float -> seed:int -> Instance.t
+(** Random 3-SAT at the given clause/variable ratio, verdict unknown. *)
+
+val planted_instance : num_vars:int -> ratio:float -> seed:int -> Instance.t

@@ -1,0 +1,33 @@
+(** The paper's twelve benchmark classes, regenerated synthetically.
+
+    Sizes are scaled so the whole Table-1-style sweep finishes in
+    minutes on one core (the paper's originals took hours on a 450 MHz
+    UltraSPARC); see DESIGN.md section 3 for the class-by-class
+    substitution table.  Names match Table 1. *)
+
+val hole : unit -> Instance.t list
+val blocksworld : unit -> Instance.t list
+val par16 : unit -> Instance.t list
+val sss10 : unit -> Instance.t list
+val sss10a : unit -> Instance.t list
+val sss_sat10 : unit -> Instance.t list
+val fvp_unsat10 : unit -> Instance.t list
+val vliw_sat10 : unit -> Instance.t list
+val beijing : unit -> Instance.t list
+val hanoi : unit -> Instance.t list
+val miters : unit -> Instance.t list
+val fvp_unsat20 : unit -> Instance.t list
+
+val all : unit -> (string * Instance.t list) list
+(** The twelve classes in Table 1's order. *)
+
+val quick : unit -> (string * Instance.t list) list
+(** A cut-down sweep (a few easy classes) for smoke runs. *)
+
+val hard_instances : unit -> Instance.t list
+(** The single hard instances used by Tables 3, 8, 9 and 10: one
+    representative per hard class, ordered as the paper's
+    miter/hanoi/beijing/fvp list. *)
+
+val find_class : string -> Instance.t list
+(** @raise Not_found for an unknown class name. *)

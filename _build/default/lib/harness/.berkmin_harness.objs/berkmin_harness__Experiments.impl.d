@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Array Berkmin Berkmin_gen Circuit_bench Hanoi Instance List Parity Pigeonhole Printf Runner String Suites Table

@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Array Berkmin Berkmin_gen Berkmin_types Cnf Instance List Sys

@@ -1,0 +1,1 @@
+lib/harness/runner.mli: Berkmin Berkmin_gen Instance

@@ -1,0 +1,85 @@
+open Berkmin_types
+open Berkmin_gen
+
+type verdict =
+  | V_sat
+  | V_unsat
+  | V_aborted
+
+type outcome = {
+  instance_name : string;
+  expected : Instance.expected;
+  verdict : verdict;
+  correct : bool;
+  seconds : float;
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  learnt_total : int;
+  max_live_clauses : int;
+  initial_clauses : int;
+  skin : int array;
+}
+
+let verdict_to_string = function
+  | V_sat -> "SAT"
+  | V_unsat -> "UNSAT"
+  | V_aborted -> "aborted"
+
+let default_budget =
+  { Berkmin.Solver.max_conflicts = Some 500_000; max_seconds = Some 60.0 }
+
+let quick_budget =
+  { Berkmin.Solver.max_conflicts = Some 50_000; max_seconds = Some 10.0 }
+
+let run_instance ?(budget = default_budget) config inst =
+  let cnf = inst.Instance.cnf in
+  let solver = Berkmin.Solver.create ~config cnf in
+  let started = Sys.time () in
+  let result = Berkmin.Solver.solve ~budget solver in
+  let seconds = Sys.time () -. started in
+  let verdict, correct =
+    match result with
+    | Berkmin.Solver.Sat model ->
+      ( V_sat,
+        Cnf.satisfied_by cnf model && Instance.consistent inst ~sat:true )
+    | Berkmin.Solver.Unsat -> (V_unsat, Instance.consistent inst ~sat:false)
+    | Berkmin.Solver.Unknown -> (V_aborted, true)
+  in
+  let st = Berkmin.Solver.stats solver in
+  {
+    instance_name = inst.Instance.name;
+    expected = inst.Instance.expected;
+    verdict;
+    correct;
+    seconds;
+    conflicts = st.Berkmin.Stats.conflicts;
+    decisions = st.Berkmin.Stats.decisions;
+    propagations = st.Berkmin.Stats.propagations;
+    learnt_total = st.Berkmin.Stats.learnt_total;
+    max_live_clauses = st.Berkmin.Stats.max_live_clauses;
+    initial_clauses = Berkmin.Solver.num_original_clauses solver;
+    skin = Array.copy st.Berkmin.Stats.skin;
+  }
+
+type class_result = {
+  class_name : string;
+  outcomes : outcome list;
+  total_seconds : float;
+  aborted : int;
+  wrong : int;
+}
+
+let run_class ?budget config class_name instances =
+  let outcomes = List.map (run_instance ?budget config) instances in
+  {
+    class_name;
+    outcomes;
+    total_seconds = List.fold_left (fun a o -> a +. o.seconds) 0.0 outcomes;
+    aborted =
+      List.length (List.filter (fun o -> o.verdict = V_aborted) outcomes);
+    wrong = List.length (List.filter (fun o -> not o.correct) outcomes);
+  }
+
+let adjusted_seconds ~penalty r =
+  r.total_seconds +. (penalty *. float_of_int r.aborted)

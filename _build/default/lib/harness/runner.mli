@@ -1,0 +1,56 @@
+(** Runs solver configurations over benchmark instances and collects
+    per-run records — the machinery shared by every table. *)
+
+open Berkmin_gen
+
+type verdict =
+  | V_sat
+  | V_unsat
+  | V_aborted  (** budget exhausted, the paper's ">" rows *)
+
+type outcome = {
+  instance_name : string;
+  expected : Instance.expected;
+  verdict : verdict;
+  correct : bool;
+      (** model verified / verdict consistent with the expectation *)
+  seconds : float;  (** CPU seconds *)
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  learnt_total : int;
+  max_live_clauses : int;
+  initial_clauses : int;
+  skin : int array;  (** Table 3 histogram *)
+}
+
+val verdict_to_string : verdict -> string
+
+val run_instance :
+  ?budget:Berkmin.Solver.budget -> Berkmin.Config.t -> Instance.t -> outcome
+(** Runs one instance; SAT models are re-verified against the formula. *)
+
+type class_result = {
+  class_name : string;
+  outcomes : outcome list;
+  total_seconds : float;
+  aborted : int;
+  wrong : int;  (** verdicts contradicting expectations: must be 0 *)
+}
+
+val run_class :
+  ?budget:Berkmin.Solver.budget ->
+  Berkmin.Config.t ->
+  string ->
+  Instance.t list ->
+  class_result
+
+val adjusted_seconds : penalty:float -> class_result -> float
+(** Total time with [penalty] added per aborted instance — the paper's
+    "lower number plus 60,000 times the number of aborted" rows. *)
+
+val default_budget : Berkmin.Solver.budget
+(** 500k conflicts or 60 CPU seconds per instance. *)
+
+val quick_budget : Berkmin.Solver.budget
+(** 50k conflicts or 10 CPU seconds, for smoke runs. *)

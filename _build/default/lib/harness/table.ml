@@ -1,0 +1,54 @@
+type align =
+  | Left
+  | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+
+let render ~header ?aligns rows =
+  let cols = List.length header in
+  let aligns =
+    match aligns with
+    | Some a -> a
+    | None -> List.init cols (fun i -> if i = 0 then Left else Right)
+  in
+  let all = header :: rows in
+  let widths =
+    List.init cols (fun i ->
+        List.fold_left
+          (fun w row ->
+            match List.nth_opt row i with
+            | Some cell -> max w (String.length cell)
+            | None -> w)
+          0 all)
+  in
+  let line row =
+    String.concat "  "
+      (List.mapi
+         (fun i cell ->
+           pad (List.nth aligns i) (List.nth widths i) cell)
+         row)
+  in
+  let sep =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n" (line header :: sep :: List.map line rows) ^ "\n"
+
+let print ~header ?aligns rows =
+  print_string (render ~header ?aligns rows)
+
+let seconds s = Printf.sprintf "%.2f" s
+
+let seconds_aborted total aborted ~penalty =
+  if aborted = 0 then Printf.sprintf "%.2f" total
+  else Printf.sprintf "> %.2f (%d)" (total +. (penalty *. float_of_int aborted)) aborted
+
+let ratio r = Printf.sprintf "%.2f" r
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')

@@ -1,0 +1,26 @@
+(** Plain-text table rendering for the experiment reports. *)
+
+type align =
+  | Left
+  | Right
+
+val render :
+  header:string list -> ?aligns:align list -> string list list -> string
+(** Pads columns to the widest cell; default alignment is Left for the
+    first column and Right for the rest. *)
+
+val print :
+  header:string list -> ?aligns:align list -> string list list -> unit
+
+val seconds : float -> string
+(** Two-decimal rendering, e.g. ["12.34"]. *)
+
+val seconds_aborted : float -> int -> penalty:float -> string
+(** The paper's abort notation: ["12.3"] with no aborts, ["> 132.3 (2)"]
+    (time plus penalty per abort) otherwise. *)
+
+val ratio : float -> string
+(** e.g. ["2.40"]. *)
+
+val section : string -> unit
+(** Prints an underlined section heading. *)

@@ -1,0 +1,1 @@
+lib/proof/drup.ml: Array Berkmin_types Buffer Clause Cnf Fun Hashtbl List Lit Option Printf String Value Vec

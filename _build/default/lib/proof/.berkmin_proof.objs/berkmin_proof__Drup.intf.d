@@ -1,0 +1,1 @@
+lib/proof/drup.mli: Berkmin_types Clause Cnf

@@ -1,0 +1,182 @@
+open Berkmin_types
+
+type event =
+  | Add of Clause.t
+  | Delete of Clause.t
+
+type t = { trace : event Vec.t }
+
+let dummy_event = Add (Clause.of_list [])
+
+let create () = { trace = Vec.create ~dummy:dummy_event () }
+let record t e = Vec.push t.trace e
+let events t = Vec.to_list t.trace
+let length t = Vec.length t.trace
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  Vec.iter
+    (fun e ->
+      let c =
+        match e with
+        | Add c -> c
+        | Delete c ->
+          Buffer.add_string buf "d ";
+          c
+      in
+      Clause.iter
+        (fun l ->
+          Buffer.add_string buf (Lit.to_string l);
+          Buffer.add_char buf ' ')
+        c;
+      Buffer.add_string buf "0\n")
+    t.trace;
+  Buffer.contents buf
+
+let parse_string s =
+  let t = create () in
+  String.split_on_char '\n' s
+  |> List.iteri (fun i line ->
+         let line = String.trim line in
+         if line <> "" then begin
+           let is_delete = String.length line > 1 && line.[0] = 'd' in
+           let body =
+             if is_delete then String.sub line 1 (String.length line - 1)
+             else line
+           in
+           let lits =
+             String.split_on_char ' ' body
+             |> List.filter_map (fun tok ->
+                    let tok = String.trim tok in
+                    if tok = "" || tok = "0" then None
+                    else
+                      match int_of_string_opt tok with
+                      | Some n -> Some (Lit.of_dimacs n)
+                      | None ->
+                        failwith
+                          (Printf.sprintf "Drup.parse: line %d: bad token %S"
+                             (i + 1) tok))
+           in
+           let c = Clause.of_list lits in
+           record t (if is_delete then Delete c else Add c)
+         end)
+  |> ignore;
+  t
+
+let write_file path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string t))
+
+type check_result =
+  | Valid
+  | Invalid of { step : int; clause : Clause.t; reason : string }
+
+(* Unit propagation over an explicit clause list under initial
+   assumptions; returns [true] when a conflict is reached. *)
+let propagates_to_conflict ~num_vars clauses assumptions =
+  let assigns = Array.make (max num_vars 1) Value.Unassigned in
+  let conflict = ref false in
+  let assign l =
+    let v = Lit.var l in
+    match assigns.(v) with
+    | Value.Unassigned ->
+      assigns.(v) <- (if Lit.is_pos l then Value.True else Value.False);
+      true
+    | Value.True -> if Lit.is_pos l then false else (conflict := true; false)
+    | Value.False -> if Lit.is_pos l then (conflict := true; false) else false
+  in
+  List.iter (fun l -> ignore (assign l)) assumptions;
+  let changed = ref true in
+  while !changed && not !conflict do
+    changed := false;
+    List.iter
+      (fun c ->
+        if not !conflict then begin
+          let unassigned = ref None and n_unassigned = ref 0 and sat = ref false in
+          Clause.iter
+            (fun l ->
+              let v = Lit.var l in
+              match assigns.(v) with
+              | Value.Unassigned ->
+                incr n_unassigned;
+                unassigned := Some l
+              | Value.True -> if Lit.is_pos l then sat := true
+              | Value.False -> if not (Lit.is_pos l) then sat := true)
+            c;
+          if not !sat then
+            if !n_unassigned = 0 then conflict := true
+            else if !n_unassigned = 1 then
+              match !unassigned with
+              | Some l -> if assign l then changed := true
+              | None -> assert false
+        end)
+      clauses
+  done;
+  !conflict
+
+let is_rup cnf ~extra c =
+  let num_vars =
+    List.fold_left
+      (fun m d -> max m (Clause.max_var d + 1))
+      (max (Cnf.num_vars cnf) (Clause.max_var c + 1))
+      extra
+  in
+  let clauses = Cnf.clauses cnf @ extra in
+  let assumptions = List.map Lit.negate (Clause.to_list c) in
+  (* A tautological addition is vacuously fine: assuming both phases of a
+     variable is itself an immediate conflict. *)
+  if Clause.is_tautology c then true
+  else propagates_to_conflict ~num_vars clauses assumptions
+
+let check cnf t =
+  let table : (Clause.t, int) Hashtbl.t = Hashtbl.create 256 in
+  let current () =
+    Hashtbl.fold
+      (fun c n acc -> List.init n (fun _ -> c) @ acc)
+      table []
+  in
+  let add c =
+    Hashtbl.replace table c (1 + Option.value ~default:0 (Hashtbl.find_opt table c))
+  in
+  let remove c =
+    match Hashtbl.find_opt table c with
+    | None | Some 0 -> false
+    | Some 1 ->
+      Hashtbl.remove table c;
+      true
+    | Some n ->
+      Hashtbl.replace table c (n - 1);
+      true
+  in
+  let derived_empty = ref false in
+  let result = ref Valid in
+  let step = ref 0 in
+  (try
+     Vec.iter
+       (fun e ->
+         incr step;
+         match e with
+         | Add c ->
+           if not (is_rup cnf ~extra:(current ()) c) then begin
+             result := Invalid { step = !step; clause = c; reason = "not RUP" };
+             raise Exit
+           end;
+           if Clause.is_empty c then derived_empty := true;
+           add c
+         | Delete c ->
+           if not (remove c) then begin
+             result :=
+               Invalid { step = !step; clause = c; reason = "deleting unknown clause" };
+             raise Exit
+           end)
+       t.trace
+   with Exit -> ());
+  match !result with
+  | Invalid _ as r -> r
+  | Valid ->
+    if !derived_empty then Valid
+    else
+      Invalid
+        { step = length t; clause = Clause.of_list []; reason = "empty clause never derived" }

@@ -1,0 +1,56 @@
+(** DRUP proofs: logging and checking.
+
+    A CDCL solver's UNSAT answer is certified by the sequence of learnt
+    clauses it added and the clauses it deleted: every added clause must
+    follow from the current database by reverse unit propagation (RUP),
+    and the sequence must end in the empty clause.  The solver emits
+    [event]s through a callback; this module collects them, serialises
+    them in the standard DRUP text format, and checks them.
+
+    The checker here is a straightforward forward checker (fresh unit
+    propagation per added clause) — quadratic-ish but entirely adequate
+    for validating the test and bench instances; it exists to certify
+    correctness, not to win checking races. *)
+
+open Berkmin_types
+
+type event =
+  | Add of Clause.t
+  | Delete of Clause.t
+
+type t
+(** A collected proof: an event trace. *)
+
+val create : unit -> t
+
+val record : t -> event -> unit
+
+val events : t -> event list
+(** In emission order. *)
+
+val length : t -> int
+
+val to_string : t -> string
+(** Standard DRUP text: one clause per line, deletions prefixed [d],
+    each line terminated by [0]. *)
+
+val parse_string : string -> t
+(** @raise Failure on malformed input. *)
+
+val write_file : string -> t -> unit
+
+type check_result =
+  | Valid
+  | Invalid of { step : int; clause : Clause.t; reason : string }
+
+val check : Cnf.t -> t -> check_result
+(** [check cnf proof] verifies that every [Add] is a RUP consequence of
+    the original formula plus previously added (and not yet deleted)
+    clauses, and that the trace derives the empty clause.  Deleting an
+    unknown clause is an error; adding is checked before the clause is
+    installed. *)
+
+val is_rup : Cnf.t -> extra:Clause.t list -> Clause.t -> bool
+(** [is_rup cnf ~extra c] checks the single reverse-unit-propagation
+    step: assuming the negation of every literal of [c], unit
+    propagation over [cnf]'s clauses plus [extra] derives a conflict. *)

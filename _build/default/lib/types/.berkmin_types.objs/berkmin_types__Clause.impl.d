@@ -1,0 +1,1 @@
+lib/types/clause.ml: Array Format Int List Lit Seq Stdlib String Value

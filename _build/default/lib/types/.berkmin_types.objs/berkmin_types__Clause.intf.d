@@ -1,0 +1,1 @@
+lib/types/clause.mli: Format Lit Value

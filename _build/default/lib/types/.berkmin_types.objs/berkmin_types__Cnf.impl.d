@@ -1,0 +1,1 @@
+lib/types/cnf.ml: Array Clause Format Value Vec

@@ -1,0 +1,1 @@
+lib/types/cnf.mli: Clause Format Lit Value

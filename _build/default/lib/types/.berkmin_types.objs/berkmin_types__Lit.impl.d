@@ -1,0 +1,1 @@
+lib/types/lit.ml: Format Int

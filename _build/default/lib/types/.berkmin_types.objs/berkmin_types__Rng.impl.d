@@ -1,0 +1,1 @@
+lib/types/rng.ml: Array Int64

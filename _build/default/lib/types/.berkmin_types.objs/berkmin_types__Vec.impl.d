@@ -1,0 +1,1 @@
+lib/types/vec.ml: Array Printf

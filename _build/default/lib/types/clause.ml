@@ -1,0 +1,85 @@
+type t = Lit.t array
+
+let dedup_sorted a =
+  let n = Array.length a in
+  if n <= 1 then a
+  else begin
+    let j = ref 0 in
+    for i = 1 to n - 1 do
+      if a.(i) <> a.(!j) then begin
+        incr j;
+        a.(!j) <- a.(i)
+      end
+    done;
+    if !j + 1 = n then a else Array.sub a 0 (!j + 1)
+  end
+
+let of_array a =
+  let a = Array.copy a in
+  Array.sort Int.compare a;
+  dedup_sorted a
+
+let of_list l = of_array (Array.of_list l)
+let to_list = Array.to_list
+let to_array = Array.copy
+let length = Array.length
+let get c i = c.(i)
+let is_empty c = Array.length c = 0
+
+let is_tautology c =
+  (* Sorted encoding puts [2v] directly before [2v+1]. *)
+  let n = Array.length c in
+  let rec loop i = i + 1 < n && (c.(i + 1) = Lit.negate c.(i) || loop (i + 1)) in
+  loop 0
+
+let mem l c = Array.exists (Lit.equal l) c
+let exists = Array.exists
+let for_all = Array.for_all
+let iter = Array.iter
+let fold f acc c = Array.fold_left f acc c
+let max_var c = Array.fold_left (fun m l -> max m (Lit.var l)) (-1) c
+
+let resolve c1 c2 v =
+  let p = Lit.pos v and n = Lit.neg_of v in
+  let has_p1 = mem p c1 and has_n1 = mem n c1 in
+  let has_p2 = mem p c2 and has_n2 = mem n c2 in
+  let clash = (has_p1 && has_n2 && not (has_n1 || has_p2))
+           || (has_n1 && has_p2 && not (has_p1 || has_n2)) in
+  if not clash then None
+  else begin
+    let keep l = Lit.var l <> v in
+    let lits = Array.to_list (Array.of_seq (Seq.filter keep (Array.to_seq c1)))
+             @ Array.to_list (Array.of_seq (Seq.filter keep (Array.to_seq c2))) in
+    Some (of_list lits)
+  end
+
+let subsumes c d =
+  (* Both sorted: linear merge test. *)
+  let nc = Array.length c and nd = Array.length d in
+  let rec loop i j =
+    if i = nc then true
+    else if j = nd then false
+    else if c.(i) = d.(j) then loop (i + 1) (j + 1)
+    else if c.(i) > d.(j) then loop i (j + 1)
+    else false
+  in
+  loop 0 0
+
+let eval valuation c =
+  let sat = ref false and unknown = ref false in
+  Array.iter
+    (fun l ->
+      match valuation (Lit.var l) with
+      | Value.Unassigned -> unknown := true
+      | Value.True -> if Lit.is_pos l then sat := true
+      | Value.False -> if not (Lit.is_pos l) then sat := true)
+    c;
+  if !sat then Value.True else if !unknown then Value.Unassigned else Value.False
+
+let equal c d = c = d
+let compare = Stdlib.compare
+
+let to_string c =
+  String.concat " " (List.map Lit.to_string (to_list c))
+
+let pp fmt c = Format.pp_print_string fmt (to_string c)

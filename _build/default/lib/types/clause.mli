@@ -1,0 +1,62 @@
+(** Immutable clauses as sorted, duplicate-free literal arrays.
+
+    This is the interchange representation used by the CNF container,
+    generators, DIMACS I/O and the proof checker.  The solver keeps its
+    own mutable clause records internally. *)
+
+type t = private Lit.t array
+
+val of_list : Lit.t list -> t
+(** Sorts and deduplicates. *)
+
+val of_array : Lit.t array -> t
+(** Copies, sorts and deduplicates. *)
+
+val to_list : t -> Lit.t list
+
+val to_array : t -> Lit.t array
+(** Fresh copy. *)
+
+val length : t -> int
+
+val get : t -> int -> Lit.t
+
+val is_empty : t -> bool
+
+val is_tautology : t -> bool
+(** [true] when the clause contains both phases of some variable. *)
+
+val mem : Lit.t -> t -> bool
+
+val exists : (Lit.t -> bool) -> t -> bool
+
+val for_all : (Lit.t -> bool) -> t -> bool
+
+val iter : (Lit.t -> unit) -> t -> unit
+
+val fold : ('acc -> Lit.t -> 'acc) -> 'acc -> t -> 'acc
+
+val max_var : t -> int
+(** Largest variable index, [-1] for the empty clause. *)
+
+val resolve : t -> t -> int -> t option
+(** [resolve c1 c2 v] is the resolvent of [c1] and [c2] on variable [v],
+    or [None] if the clauses do not clash on [v] (exactly one of them
+    must contain the positive and the other the negative literal). The
+    resolvent may be a tautology; the caller decides what to do then. *)
+
+val subsumes : t -> t -> bool
+(** [subsumes c d] is [true] when every literal of [c] occurs in [d]. *)
+
+val eval : (int -> Value.t) -> t -> Value.t
+(** Evaluate under a variable valuation: [True] if some literal is
+    satisfied, [False] if all are falsified, [Unassigned] otherwise. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val to_string : t -> string
+(** Space-separated DIMACS literals, without the trailing 0. *)
+
+val pp : Format.formatter -> t -> unit

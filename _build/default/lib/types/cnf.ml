@@ -1,0 +1,63 @@
+type t = {
+  mutable nvars : int;
+  cls : Clause.t Vec.t;
+}
+
+let empty_clause = Clause.of_list []
+
+let create ?(num_vars = 0) () =
+  if num_vars < 0 then invalid_arg "Cnf.create";
+  { nvars = num_vars; cls = Vec.create ~dummy:empty_clause () }
+
+let num_vars t = t.nvars
+let num_clauses t = Vec.length t.cls
+
+let fresh_var t =
+  let v = t.nvars in
+  t.nvars <- v + 1;
+  v
+
+let ensure_vars t n = if n > t.nvars then t.nvars <- n
+
+let add t c =
+  ensure_vars t (Clause.max_var c + 1);
+  Vec.push t.cls c
+
+let add_clause t lits = add t (Clause.of_list lits)
+let add_clause_a t lits = add t (Clause.of_array lits)
+let get t i = Vec.get t.cls i
+let iter f t = Vec.iter f t.cls
+let iteri f t = Vec.iteri f t.cls
+let fold f acc t = Vec.fold f acc t.cls
+let clauses t = Vec.to_list t.cls
+
+let copy t = { nvars = t.nvars; cls = Vec.copy t.cls }
+
+let append dst src =
+  ensure_vars dst src.nvars;
+  iter (fun c -> Vec.push dst.cls c) src
+
+let eval t assignment =
+  if Array.length assignment < t.nvars then
+    invalid_arg "Cnf.eval: assignment too short";
+  let valuation v = Value.of_bool assignment.(v) in
+  let result = ref Value.True in
+  iter
+    (fun c ->
+      match Clause.eval valuation c with
+      | Value.False -> result := Value.False
+      | Value.Unassigned ->
+        if Value.equal !result Value.True then result := Value.Unassigned
+      | Value.True -> ())
+    t;
+  !result
+
+let satisfied_by t assignment = Value.equal (eval t assignment) Value.True
+
+let num_literals t = fold (fun acc c -> acc + Clause.length c) 0 t
+
+let has_empty_clause t = Vec.exists Clause.is_empty t.cls
+
+let pp_stats fmt t =
+  Format.fprintf fmt "vars=%d clauses=%d lits=%d" t.nvars (num_clauses t)
+    (num_literals t)

@@ -1,0 +1,59 @@
+(** CNF formulas: a variable count plus a bag of clauses.
+
+    Acts as a builder (generators push clauses and allocate fresh
+    variables) and as the interchange format handed to solvers. *)
+
+type t
+
+val create : ?num_vars:int -> unit -> t
+(** Empty formula over [num_vars] variables (default 0). *)
+
+val num_vars : t -> int
+
+val num_clauses : t -> int
+
+val fresh_var : t -> int
+(** Allocates and returns a new variable index. *)
+
+val ensure_vars : t -> int -> unit
+(** Raise the variable count to at least [n]. *)
+
+val add_clause : t -> Lit.t list -> unit
+(** Normalises (sort + dedup) and appends; grows the variable count if
+    the clause mentions unseen variables.  Tautologies are kept — the
+    solver front end removes them — so that generators stay simple. *)
+
+val add_clause_a : t -> Lit.t array -> unit
+
+val add : t -> Clause.t -> unit
+
+val get : t -> int -> Clause.t
+
+val iter : (Clause.t -> unit) -> t -> unit
+
+val iteri : (int -> Clause.t -> unit) -> t -> unit
+
+val fold : ('acc -> Clause.t -> 'acc) -> 'acc -> t -> 'acc
+
+val clauses : t -> Clause.t list
+
+val copy : t -> t
+
+val append : t -> t -> unit
+(** [append dst src] adds all clauses of [src] to [dst] (no variable
+    renaming: both must share a variable space). *)
+
+val eval : t -> bool array -> Value.t
+(** Evaluate under a total assignment (array indexed by variable).
+    @raise Invalid_argument if the array is shorter than [num_vars]. *)
+
+val satisfied_by : t -> bool array -> bool
+(** [true] iff every clause is satisfied. *)
+
+val num_literals : t -> int
+(** Total literal occurrences across all clauses. *)
+
+val has_empty_clause : t -> bool
+
+val pp_stats : Format.formatter -> t -> unit
+(** One-line ["vars=.. clauses=.. lits=.."] summary. *)

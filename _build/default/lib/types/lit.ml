@@ -1,0 +1,21 @@
+type t = int
+
+let make v pos =
+  if v < 0 then invalid_arg "Lit.make: negative variable";
+  (v lsl 1) lor (if pos then 0 else 1)
+
+let pos v = v lsl 1
+let neg_of v = (v lsl 1) lor 1
+let var l = l lsr 1
+let negate l = l lxor 1
+let is_pos l = l land 1 = 0
+
+let of_dimacs n =
+  if n = 0 then invalid_arg "Lit.of_dimacs: zero";
+  if n > 0 then pos (n - 1) else neg_of (-n - 1)
+
+let to_dimacs l = if is_pos l then var l + 1 else -(var l + 1)
+let to_string l = string_of_int (to_dimacs l)
+let pp fmt l = Format.pp_print_string fmt (to_string l)
+let compare = Int.compare
+let equal = Int.equal

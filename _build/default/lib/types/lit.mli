@@ -1,0 +1,44 @@
+(** Propositional literals.
+
+    A literal is an integer: variable [v] (0-based) yields the positive
+    literal [2 * v] and the negative literal [2 * v + 1].  This packed
+    encoding lets watched-literal tables and activity counters be plain
+    arrays indexed by literal.  DIMACS uses signed 1-based integers; the
+    [to_dimacs]/[of_dimacs] pair converts. *)
+
+type t = int
+
+val make : int -> bool -> t
+(** [make v pos] is the literal of variable [v], positive iff [pos].
+    Requires [v >= 0]. *)
+
+val pos : int -> t
+(** [pos v] is the positive literal of variable [v]. *)
+
+val neg_of : int -> t
+(** [neg_of v] is the negative literal of variable [v]. *)
+
+val var : t -> int
+(** Variable index of a literal. *)
+
+val negate : t -> t
+(** The complementary literal. *)
+
+val is_pos : t -> bool
+(** [true] iff the literal is the positive phase of its variable. *)
+
+val of_dimacs : int -> t
+(** [of_dimacs n] converts a nonzero signed DIMACS literal (1-based).
+    @raise Invalid_argument on [0]. *)
+
+val to_dimacs : t -> int
+(** Inverse of [of_dimacs]. *)
+
+val to_string : t -> string
+(** DIMACS-style rendering, e.g. ["-3"]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool

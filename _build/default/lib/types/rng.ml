@@ -1,0 +1,36 @@
+type t = { mutable state : int64 }
+
+let create seed =
+  let s = Int64.of_int seed in
+  let s = if Int64.equal s 0L then 0x9E3779B97F4A7C15L else s in
+  { state = s }
+
+let copy t = { state = t.state }
+
+(* xorshift64* : Marsaglia's xorshift with a multiplicative finalizer. *)
+let next t =
+  let x = t.state in
+  let x = Int64.logxor x (Int64.shift_left x 13) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+  let x = Int64.logxor x (Int64.shift_left x 17) in
+  t.state <- x;
+  Int64.mul x 0x2545F4914F6CDD1DL
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let r = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+  r mod bound
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let float t =
+  let r = Int64.to_int (Int64.shift_right_logical (next t) 11) in
+  float_of_int r /. 9007199254740992.0 (* 2^53 *)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,29 @@
+(** Deterministic pseudo-random number generator (xorshift64-star).
+
+    The solver must be reproducible: the same configuration and instance
+    always yield the same run, so randomized heuristics (e.g. BerkMin's
+    random tie-breaking of [nb_two] and the [Take_rand] polarity ablation)
+    draw from a seeded generator owned by the solver rather than the
+    global [Random] state. *)
+
+type t
+
+val create : int -> t
+(** [create seed] builds a generator.  A zero seed is remapped to a fixed
+    nonzero constant (xorshift has an all-zero fixed point). *)
+
+val copy : t -> t
+
+val next : t -> int64
+(** Raw 64-bit step. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+
+val bool : t -> bool
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

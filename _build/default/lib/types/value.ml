@@ -1,0 +1,32 @@
+type t =
+  | True
+  | False
+  | Unassigned
+
+let negate = function
+  | True -> False
+  | False -> True
+  | Unassigned -> Unassigned
+
+let of_bool b = if b then True else False
+
+let to_bool = function
+  | True -> Some true
+  | False -> Some false
+  | Unassigned -> None
+
+let is_assigned = function
+  | True | False -> true
+  | Unassigned -> false
+
+let equal a b =
+  match a, b with
+  | True, True | False, False | Unassigned, Unassigned -> true
+  | (True | False | Unassigned), _ -> false
+
+let to_string = function
+  | True -> "true"
+  | False -> "false"
+  | Unassigned -> "unassigned"
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)

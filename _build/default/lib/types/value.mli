@@ -1,0 +1,22 @@
+(** Three-valued assignment state of a variable or literal. *)
+
+type t =
+  | True
+  | False
+  | Unassigned
+
+val negate : t -> t
+(** Swaps [True] and [False]; [Unassigned] is fixed. *)
+
+val of_bool : bool -> t
+
+val to_bool : t -> bool option
+(** [Some b] for assigned values, [None] for [Unassigned]. *)
+
+val is_assigned : t -> bool
+
+val equal : t -> t -> bool
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Array Berkmin Berkmin_circuit Filename Fun List Printf QCheck QCheck_alcotest Sys

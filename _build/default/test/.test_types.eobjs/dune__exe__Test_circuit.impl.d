@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Berkmin Berkmin_circuit Berkmin_types Cnf Hashtbl List Lit Printf QCheck QCheck_alcotest Rng

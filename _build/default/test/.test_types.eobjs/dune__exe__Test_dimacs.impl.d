@@ -1,0 +1,1 @@
+test/test_dimacs.ml: Alcotest Berkmin_dimacs Berkmin_gen Berkmin_types Clause Cnf Filename Format Fun Hashtbl List Lit QCheck QCheck_alcotest Sys

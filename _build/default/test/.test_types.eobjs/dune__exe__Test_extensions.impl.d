@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Berkmin Berkmin_circuit Berkmin_gen Berkmin_proof Berkmin_types Clause Cnf List Lit Printf QCheck QCheck_alcotest Rng

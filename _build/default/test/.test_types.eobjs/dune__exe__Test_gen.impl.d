@@ -1,0 +1,1 @@
+test/test_gen.ml: Alcotest Array Berkmin Berkmin_gen Berkmin_types Clause Cnf List QCheck QCheck_alcotest

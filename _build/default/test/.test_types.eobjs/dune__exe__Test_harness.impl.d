@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Berkmin Berkmin_gen Berkmin_harness List String

@@ -1,0 +1,1 @@
+test/test_proof.ml: Alcotest Berkmin Berkmin_gen Berkmin_proof Berkmin_types Clause Cnf List Lit Printf

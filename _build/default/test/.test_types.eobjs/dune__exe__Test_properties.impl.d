@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Berkmin Berkmin_gen Berkmin_proof Berkmin_types Bool Cnf List Lit Printf QCheck QCheck_alcotest Rng

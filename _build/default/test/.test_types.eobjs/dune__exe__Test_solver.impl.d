@@ -1,0 +1,1 @@
+test/test_solver.ml: Alcotest Array Berkmin Berkmin_gen Berkmin_types Cnf List Lit Printf Sys Value

@@ -1,0 +1,1 @@
+test/test_types.ml: Alcotest Array Berkmin_types Clause Cnf Gen Hashtbl List Lit QCheck QCheck_alcotest Rng Value Vec

@@ -1,0 +1,346 @@
+(* Tests for the application substrates: sequential circuits + BMC,
+   stuck-at ATPG, and the BLIF front end. *)
+
+module C = Berkmin_circuit.Circuit
+module B = Berkmin_circuit.Bitvec
+module Seq = Berkmin_circuit.Seq
+module Bmc = Berkmin_circuit.Bmc
+module Atpg = Berkmin_circuit.Atpg
+module Blif = Berkmin_circuit.Blif
+module M = Berkmin_circuit.Miter
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* A [bits]-wide counter with an enable input; output "bad" fires when
+   the count equals [target]. *)
+
+let counter ~bits ~target ~with_enable =
+  let c = C.create () in
+  let s = Seq.create c in
+  let enable = if with_enable then C.input c "en" else C.const c true in
+  let regs =
+    List.init bits (fun i ->
+        Seq.add_register s ~name:(Printf.sprintf "q%d" i) ~init:false)
+  in
+  let q = Array.of_list (List.map (fun r -> r.Seq.state_input) regs) in
+  (* Increment: q + enable (ripple). *)
+  let carry = ref enable in
+  List.iteri
+    (fun i r ->
+      let next = C.xor_ c q.(i) !carry in
+      carry := C.and_ c q.(i) !carry;
+      Seq.connect s r ~next)
+    regs;
+  let hit =
+    C.and_many c
+      (List.init bits (fun i ->
+           if (target lsr i) land 1 = 1 then q.(i) else C.not_ c q.(i)))
+  in
+  C.set_output c "bad" hit;
+  s
+
+let test_simulate_counter () =
+  let s = counter ~bits:3 ~target:5 ~with_enable:false in
+  Seq.validate s;
+  check Alcotest.int "no free inputs" 0 (Seq.free_inputs s);
+  let frames = List.init 8 (fun _ -> [||]) in
+  let outs = List.map (List.assoc "bad") (Seq.simulate s frames) in
+  (* bad output is combinational on the CURRENT count: frame t sees
+     count = t, so it fires exactly at frame 5. *)
+  check (Alcotest.list Alcotest.bool) "bad fires at count 5"
+    [ false; false; false; false; false; true; false; false ]
+    outs
+
+let test_simulate_enable () =
+  let s = counter ~bits:3 ~target:2 ~with_enable:true in
+  let run enables =
+    Seq.simulate s (List.map (fun e -> [| e |]) enables)
+    |> List.map (List.assoc "bad")
+  in
+  (* Never enabled: never reaches 2. *)
+  check Alcotest.bool "never enabled" false
+    (List.mem true (run [ false; false; false; false ]));
+  (* Enabled twice: third frame sees count=2. *)
+  check (Alcotest.list Alcotest.bool) "two increments"
+    [ false; false; true ]
+    (run [ true; true; false ])
+
+let test_bmc_finds_counterexample () =
+  let s = counter ~bits:3 ~target:5 ~with_enable:false in
+  match Bmc.check s ~bad:"bad" ~bound:8 with
+  | Bmc.Counterexample { depth; frames } ->
+    check Alcotest.int "depth" 5 depth;
+    check Alcotest.int "one frame vector per step" 6 (List.length frames)
+  | Bmc.Safe _ | Bmc.Inconclusive -> Alcotest.fail "count 5 is reachable"
+
+let test_bmc_safe_below_horizon () =
+  let s = counter ~bits:3 ~target:5 ~with_enable:false in
+  match Bmc.check s ~bad:"bad" ~bound:5 with
+  | Bmc.Safe 5 -> ()
+  | Bmc.Safe _ | Bmc.Counterexample _ | Bmc.Inconclusive ->
+    Alcotest.fail "count 5 needs 6 frames"
+
+let test_bmc_trace_replays () =
+  (* The counterexample's input trace, replayed on the simulator, must
+     actually drive [bad] to 1 at the reported depth. *)
+  let s = counter ~bits:4 ~target:3 ~with_enable:true in
+  match Bmc.check s ~bad:"bad" ~bound:10 with
+  | Bmc.Counterexample { depth; frames } ->
+    let outs = Seq.simulate s frames in
+    let bad_at_depth = List.assoc "bad" (List.nth outs depth) in
+    check Alcotest.bool "replay hits bad" true bad_at_depth;
+    (* Plain check gives SOME counterexample within the bound (not
+       necessarily the shortest; see the incremental test for that). *)
+    check Alcotest.bool "within bound" true (depth >= 3 && depth < 10)
+  | Bmc.Safe _ | Bmc.Inconclusive -> Alcotest.fail "target 3 reachable with enables"
+
+let test_bmc_incremental_agrees () =
+  let s = counter ~bits:3 ~target:6 ~with_enable:false in
+  (match Bmc.check_incremental s ~bad:"bad" ~max_bound:10 with
+  | Bmc.Counterexample { depth; _ } -> check Alcotest.int "depth" 6 depth
+  | Bmc.Safe _ | Bmc.Inconclusive -> Alcotest.fail "reachable");
+  let s2 = counter ~bits:2 ~target:3 ~with_enable:true in
+  (* Count 3 is first visible at frame 3, i.e. the 4th frame. *)
+  match Bmc.check_incremental s2 ~bad:"bad" ~max_bound:4 with
+  | Bmc.Counterexample { depth; frames } ->
+    check Alcotest.int "needs 3 increments" 3 depth;
+    (* Every enable along the way must be 1. *)
+    List.iteri
+      (fun i frame ->
+        if i < 3 then check Alcotest.bool "enabled" true frame.(0))
+      frames
+  | Bmc.Safe _ | Bmc.Inconclusive -> Alcotest.fail "reachable at depth 3"
+
+let test_unconnected_register_rejected () =
+  let c = C.create () in
+  let s = Seq.create c in
+  let _r = Seq.add_register s ~name:"q" ~init:false in
+  Alcotest.check_raises "unconnected"
+    (Invalid_argument "Seq.validate: unconnected register") (fun () ->
+      Seq.validate s)
+
+(* ------------------------------------------------------------------ *)
+(* ATPG                                                                *)
+
+let test_atpg_fault_list () =
+  let c = C.create () in
+  let a = C.input c "a" and b = C.input c "b" in
+  C.set_output c "o" (C.and_ c a b);
+  (* 3 non-const nodes, two polarities each. *)
+  check Alcotest.int "faults" 6 (List.length (Atpg.fault_list c))
+
+let redundant_circuit () =
+  (* out = a & (a | b): the or-gate stuck-at-1 is classically
+     untestable (a=1 forces or=1 anyway; a=0 masks it). *)
+  let c = C.create () in
+  let a = C.input c "a" and b = C.input c "b" in
+  let or_gate = C.or_ c a b in
+  C.set_output c "o" (C.and_ c a or_gate);
+  (c, or_gate)
+
+let test_atpg_untestable_fault () =
+  let c, or_gate = redundant_circuit () in
+  match Atpg.generate_test c { Atpg.node = or_gate; stuck_at = true } with
+  | Atpg.Untestable -> ()
+  | Atpg.Detected _ -> Alcotest.fail "stuck-at-1 on the OR is redundant"
+  | Atpg.Undecided -> Alcotest.fail "unexpected Undecided"
+
+let test_atpg_detectable_fault () =
+  let c, or_gate = redundant_circuit () in
+  match Atpg.generate_test c { Atpg.node = or_gate; stuck_at = false } with
+  | Atpg.Detected pattern ->
+    check Alcotest.bool "pattern verified by simulation" true
+      (Atpg.detects c { Atpg.node = or_gate; stuck_at = false } pattern)
+  | Atpg.Untestable | Atpg.Undecided -> Alcotest.fail "stuck-at-0 is testable"
+
+let test_atpg_full_adder_coverage () =
+  let c = C.create () in
+  let a = B.inputs c "a" 2 and b = B.inputs c "b" 2 in
+  let sum, carry = B.ripple_carry_add c a b in
+  B.set_outputs c "s" sum;
+  C.set_output c "cout" carry;
+  let report = Atpg.run c in
+  check Alcotest.int "nothing undecided" 0 report.Atpg.undecided;
+  check Alcotest.bool "full coverage of testable faults" true
+    (Atpg.coverage report >= 1.0);
+  (* Every detected fault's stored pattern really detects it. *)
+  List.iter
+    (fun (fault, d) ->
+      match d with
+      | Atpg.Detected p ->
+        check Alcotest.bool "pattern detects" true (Atpg.detects c fault p)
+      | Atpg.Untestable | Atpg.Undecided -> ())
+    report.Atpg.results
+
+let test_atpg_untestable_is_really_untestable () =
+  (* Exhaustively simulate every input vector: no pattern may detect a
+     fault the solver called untestable. *)
+  let c, _ = redundant_circuit () in
+  let report = Atpg.run c in
+  check Alcotest.bool "found a redundancy" true (report.Atpg.untestable > 0);
+  List.iter
+    (fun (fault, d) ->
+      if d = Atpg.Untestable then
+        for v = 0 to 3 do
+          let pattern = [| v land 1 = 1; v land 2 = 2 |] in
+          if Atpg.detects c fault pattern then
+            Alcotest.fail "solver declared a testable fault untestable"
+        done)
+    report.Atpg.results
+
+let prop_atpg_random_circuits =
+  QCheck.Test.make ~name:"atpg: patterns verified, coverage counted" ~count:15
+    QCheck.small_int
+    (fun seed ->
+      let c =
+        Berkmin_circuit.Random_circuit.generate ~num_inputs:5 ~num_gates:15
+          ~num_outputs:2 ~seed
+      in
+      let report = Atpg.run c in
+      report.Atpg.detected + report.Atpg.untestable + report.Atpg.undecided
+      = report.Atpg.total_faults
+      && List.for_all
+           (fun (fault, d) ->
+             match d with
+             | Atpg.Detected p -> Atpg.detects c fault p
+             | Atpg.Untestable | Atpg.Undecided -> true)
+           report.Atpg.results)
+
+(* ------------------------------------------------------------------ *)
+(* BLIF                                                                *)
+
+let simple_blif =
+  ".model test\n.inputs a b\n.outputs o\n.names a b o\n11 1\n.end\n"
+
+let test_blif_parse_and () =
+  let c = Blif.parse_string simple_blif in
+  check Alcotest.int "inputs" 2 (C.num_inputs c);
+  check Alcotest.bool "and(1,1)" true (List.assoc "o" (C.eval_outputs c [| true; true |]));
+  check Alcotest.bool "and(1,0)" false (List.assoc "o" (C.eval_outputs c [| true; false |]))
+
+let test_blif_inverted_cover () =
+  (* Output column 0: the cover describes the OFF-set. *)
+  let c =
+    Blif.parse_string ".inputs a b\n.outputs o\n.names a b o\n11 0\n.end\n"
+  in
+  check Alcotest.bool "nand(1,1)" false (List.assoc "o" (C.eval_outputs c [| true; true |]));
+  check Alcotest.bool "nand(0,1)" true (List.assoc "o" (C.eval_outputs c [| false; true |]))
+
+let test_blif_constants () =
+  let c =
+    Blif.parse_string ".outputs t f\n.names t\n1\n.names f\n.end\n"
+  in
+  let outs = C.eval_outputs c [||] in
+  check Alcotest.bool "const 1" true (List.assoc "t" outs);
+  check Alcotest.bool "const 0" false (List.assoc "f" outs)
+
+let test_blif_dont_cares_and_order () =
+  (* Definitions out of order plus '-' columns. *)
+  let text =
+    ".inputs a b c\n.outputs o\n.names x c o\n11 1\n.names a b x\n1- 1\n-1 1\n.end\n"
+  in
+  let c = Blif.parse_string text in
+  (* o = (a | b) & c *)
+  check Alcotest.bool "101" true (List.assoc "o" (C.eval_outputs c [| true; false; true |]));
+  check Alcotest.bool "100" false (List.assoc "o" (C.eval_outputs c [| true; false; false |]))
+
+let test_blif_errors () =
+  let expect_fail text =
+    match Blif.parse_string text with
+    | exception Blif.Parse_error _ -> ()
+    | _ -> Alcotest.fail ("accepted: " ^ text)
+  in
+  expect_fail ".inputs a\n.outputs o\n.names a o\n11 1\n.end\n" (* width *)
+  ;
+  expect_fail ".inputs a\n.outputs o\n.latch a o\n.end\n" (* unsupported *)
+  ;
+  expect_fail ".inputs a\n.outputs o\n.names a o\n1 2\n.end\n" (* bad output *)
+  ;
+  expect_fail ".outputs o\n.end\n" (* undefined output *)
+  ;
+  expect_fail ".inputs a\n.outputs o\n.names x o\n1 1\n.names o x\n1 1\n.end\n"
+  (* cycle *)
+
+let test_blif_comments_continuations () =
+  let text =
+    "# header comment\n.model m\n.inputs a \\\nb\n.outputs o\n.names a b o # gate\n11 1\n.end\n"
+  in
+  let c = Blif.parse_string text in
+  check Alcotest.int "inputs joined across continuation" 2 (C.num_inputs c)
+
+let prop_blif_roundtrip =
+  QCheck.Test.make ~name:"blif: print/parse preserves the function" ~count:25
+    QCheck.small_int
+    (fun seed ->
+      let c =
+        Berkmin_circuit.Random_circuit.generate ~num_inputs:5 ~num_gates:25
+          ~num_outputs:3 ~seed
+      in
+      let c' = Blif.parse_string (Blif.to_string c) in
+      match M.check_by_simulation ~samples:64 ~seed:(seed + 1) c c' with
+      | M.Equivalent -> (
+        (* Confirm with the solver on a few of them. *)
+        if seed mod 5 <> 0 then true
+        else
+          match Berkmin.Solver.solve_cnf (M.to_cnf c c') with
+          | Berkmin.Solver.Unsat -> true
+          | Berkmin.Solver.Sat _ | Berkmin.Solver.Unknown -> false)
+      | M.Counterexample _ -> false)
+
+let test_blif_file_roundtrip () =
+  let c =
+    Berkmin_circuit.Random_circuit.generate ~num_inputs:4 ~num_gates:10
+      ~num_outputs:2 ~seed:3
+  in
+  let path = Filename.temp_file "berkmin_test" ".blif" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Blif.write_file path c;
+      let c' = Blif.parse_file path in
+      check Alcotest.int "inputs" (C.num_inputs c) (C.num_inputs c'))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "apps"
+    [
+      ( "seq+bmc",
+        [
+          Alcotest.test_case "simulate counter" `Quick test_simulate_counter;
+          Alcotest.test_case "simulate enable" `Quick test_simulate_enable;
+          Alcotest.test_case "bmc counterexample" `Quick
+            test_bmc_finds_counterexample;
+          Alcotest.test_case "bmc safe below horizon" `Quick
+            test_bmc_safe_below_horizon;
+          Alcotest.test_case "bmc trace replays" `Quick test_bmc_trace_replays;
+          Alcotest.test_case "bmc incremental" `Quick test_bmc_incremental_agrees;
+          Alcotest.test_case "unconnected register" `Quick
+            test_unconnected_register_rejected;
+        ] );
+      ( "atpg",
+        [
+          Alcotest.test_case "fault list" `Quick test_atpg_fault_list;
+          Alcotest.test_case "untestable fault" `Quick test_atpg_untestable_fault;
+          Alcotest.test_case "detectable fault" `Quick test_atpg_detectable_fault;
+          Alcotest.test_case "adder coverage" `Slow test_atpg_full_adder_coverage;
+          Alcotest.test_case "untestable is untestable" `Quick
+            test_atpg_untestable_is_really_untestable;
+          qtest prop_atpg_random_circuits;
+        ] );
+      ( "blif",
+        [
+          Alcotest.test_case "parse and" `Quick test_blif_parse_and;
+          Alcotest.test_case "inverted cover" `Quick test_blif_inverted_cover;
+          Alcotest.test_case "constants" `Quick test_blif_constants;
+          Alcotest.test_case "don't cares / order" `Quick
+            test_blif_dont_cares_and_order;
+          Alcotest.test_case "errors" `Quick test_blif_errors;
+          Alcotest.test_case "comments/continuations" `Quick
+            test_blif_comments_continuations;
+          qtest prop_blif_roundtrip;
+          Alcotest.test_case "file roundtrip" `Quick test_blif_file_roundtrip;
+        ] );
+    ]

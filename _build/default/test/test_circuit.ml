@@ -1,0 +1,447 @@
+(* Tests for the gate-level circuit substrate: netlist construction and
+   evaluation, word-level arithmetic against OCaml integer semantics,
+   Tseitin encoding, miters, restructuring, fault injection and the
+   pipeline generator. *)
+
+module C = Berkmin_circuit.Circuit
+module B = Berkmin_circuit.Bitvec
+module T = Berkmin_circuit.Tseitin
+module M = Berkmin_circuit.Miter
+module R = Berkmin_circuit.Random_circuit
+module P = Berkmin_circuit.Pipeline
+open Berkmin_types
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Basic gates                                                         *)
+
+let test_gate_truth_tables () =
+  let cases =
+    [
+      ("and", C.and_, [| false; false; false; true |]);
+      ("or", C.or_, [| false; true; true; true |]);
+      ("xor", C.xor_, [| false; true; true; false |]);
+      ("nand", C.nand, [| true; true; true; false |]);
+      ("nor", C.nor, [| true; false; false; false |]);
+      ("xnor", C.xnor, [| true; false; false; true |]);
+      ("implies", C.implies, [| true; true; false; true |]);
+    ]
+  in
+  List.iter
+    (fun (name, gate, expect) ->
+      let c = C.create () in
+      let a = C.input c "a" and b = C.input c "b" in
+      C.set_output c "o" (gate c a b);
+      List.iteri
+        (fun i (va, vb) ->
+          let out = List.assoc "o" (C.eval_outputs c [| va; vb |]) in
+          check Alcotest.bool (Printf.sprintf "%s %b %b" name va vb) expect.(i) out)
+        [ (false, false); (false, true); (true, false); (true, true) ])
+    cases
+
+let test_not_const_mux () =
+  let c = C.create () in
+  let a = C.input c "a" and s = C.input c "s" in
+  C.set_output c "not" (C.not_ c a);
+  C.set_output c "t" (C.const c true);
+  C.set_output c "mux" (C.mux c ~sel:s ~if_true:a ~if_false:(C.not_ c a));
+  let outs v = C.eval_outputs c v in
+  check Alcotest.bool "not" false (List.assoc "not" (outs [| true; false |]));
+  check Alcotest.bool "const" true (List.assoc "t" (outs [| false; false |]));
+  check Alcotest.bool "mux sel" true (List.assoc "mux" (outs [| true; true |]));
+  check Alcotest.bool "mux !sel" false (List.assoc "mux" (outs [| true; false |]))
+
+let test_many_gates () =
+  let c = C.create () in
+  let xs = Array.to_list (B.inputs c "x" 5) in
+  C.set_output c "and" (C.and_many c xs);
+  C.set_output c "or" (C.or_many c xs);
+  C.set_output c "xor" (C.xor_many c xs);
+  let v = [| true; true; false; true; true |] in
+  let outs = C.eval_outputs c v in
+  check Alcotest.bool "and_many" false (List.assoc "and" outs);
+  check Alcotest.bool "or_many" true (List.assoc "or" outs);
+  check Alcotest.bool "xor_many" false (List.assoc "xor" outs);
+  (* Empty cases are constants. *)
+  let c2 = C.create () in
+  C.set_output c2 "t" (C.and_many c2 []);
+  C.set_output c2 "f" (C.or_many c2 []);
+  let outs2 = C.eval_outputs c2 [||] in
+  check Alcotest.bool "and_many []" true (List.assoc "t" outs2);
+  check Alcotest.bool "or_many []" false (List.assoc "f" outs2)
+
+let test_bad_ids_rejected () =
+  let c = C.create () in
+  let a = C.input c "a" in
+  Alcotest.check_raises "bad operand"
+    (Invalid_argument "Circuit.and_: bad node id 99") (fun () ->
+      ignore (C.and_ c a 99))
+
+let test_import () =
+  let src = C.create () in
+  let a = C.input src "a" and b = C.input src "b" in
+  C.set_output src "o" (C.xor_ src a b);
+  let dst = C.create () in
+  let x = C.input dst "x" and y = C.input dst "y" in
+  let table = C.import dst src ~input_map:[| x; y |] in
+  C.set_output dst "o" table.(C.output_exn src "o");
+  check Alcotest.bool "imported xor" true
+    (List.assoc "o" (C.eval_outputs dst [| true; false |]))
+
+(* ------------------------------------------------------------------ *)
+(* Word-level arithmetic vs integers                                   *)
+
+let width = 6
+let mask = (1 lsl width) - 1
+
+let eval_binop build a_int b_int =
+  let c = C.create () in
+  let a = B.inputs c "a" width and b = B.inputs c "b" width in
+  let result = build c a b in
+  B.set_outputs c "r" result;
+  let inputs =
+    Array.append
+      (Array.init width (fun i -> (a_int lsr i) land 1 = 1))
+      (Array.init width (fun i -> (b_int lsr i) land 1 = 1))
+  in
+  let values = C.eval c inputs in
+  B.to_int values result
+
+let prop_arith name build semantics =
+  QCheck.Test.make ~name ~count:200
+    QCheck.(pair (int_range 0 mask) (int_range 0 mask))
+    (fun (x, y) -> eval_binop build x y = semantics x y land mask)
+
+let prop_ripple_add =
+  prop_arith "bitvec: ripple add = (+)"
+    (fun c a b -> fst (B.ripple_carry_add c a b))
+    ( + )
+
+let prop_carry_select_add =
+  prop_arith "bitvec: carry-select add = (+)"
+    (fun c a b -> fst (B.carry_select_add c ~block:3 a b))
+    ( + )
+
+let prop_subtract =
+  prop_arith "bitvec: subtract = (-)"
+    (fun c a b -> fst (B.subtract c a b))
+    ( - )
+
+let prop_multiply =
+  prop_arith "bitvec: multiplier = ( * )"
+    (fun c a b -> B.mul_const_width c a b)
+    ( * )
+
+let prop_bitwise_ops =
+  QCheck.Test.make ~name:"bitvec: and/or/xor/not" ~count:100
+    QCheck.(pair (int_range 0 mask) (int_range 0 mask))
+    (fun (x, y) ->
+      eval_binop B.and_bv x y = x land y
+      && eval_binop B.or_bv x y = x lor y
+      && eval_binop B.xor_bv x y = x lxor y
+      && eval_binop (fun c a _ -> B.not_bv c a) x y = lnot x land mask)
+
+let prop_comparators =
+  QCheck.Test.make ~name:"bitvec: eq and less_than" ~count:200
+    QCheck.(pair (int_range 0 mask) (int_range 0 mask))
+    (fun (x, y) ->
+      let c = C.create () in
+      let a = B.inputs c "a" width and b = B.inputs c "b" width in
+      C.set_output c "eq" (B.equal_bv c a b);
+      C.set_output c "lt" (B.less_than c a b);
+      let inputs =
+        Array.append
+          (Array.init width (fun i -> (x lsr i) land 1 = 1))
+          (Array.init width (fun i -> (y lsr i) land 1 = 1))
+      in
+      let outs = C.eval_outputs c inputs in
+      List.assoc "eq" outs = (x = y) && List.assoc "lt" outs = (x < y))
+
+let prop_negate =
+  QCheck.Test.make ~name:"bitvec: negate = two's complement" ~count:100
+    QCheck.(int_range 0 mask)
+    (fun x ->
+      eval_binop (fun c a _ -> B.negate_bv c a) x 0 = -x land mask)
+
+let prop_shift =
+  QCheck.Test.make ~name:"bitvec: shift_left_const" ~count:100
+    QCheck.(pair (int_range 0 mask) (int_range 0 (width - 1)))
+    (fun (x, k) ->
+      eval_binop (fun c a _ -> B.shift_left_const c a k) x 0
+      = (x lsl k) land mask)
+
+let prop_mux_bv =
+  QCheck.Test.make ~name:"bitvec: mux_bv selects" ~count:100
+    QCheck.(triple bool (int_range 0 mask) (int_range 0 mask))
+    (fun (sel, x, y) ->
+      let c = C.create () in
+      let s = C.input c "s" in
+      let a = B.inputs c "a" width and b = B.inputs c "b" width in
+      let r = B.mux_bv c ~sel:s ~if_true:a ~if_false:b in
+      B.set_outputs c "r" r;
+      let inputs =
+        Array.concat
+          [
+            [| sel |];
+            Array.init width (fun i -> (x lsr i) land 1 = 1);
+            Array.init width (fun i -> (y lsr i) land 1 = 1);
+          ]
+      in
+      let values = C.eval c inputs in
+      B.to_int values r = if sel then x else y)
+
+let test_const_int () =
+  let c = C.create () in
+  let bv = B.const_int c ~width:8 173 in
+  B.set_outputs c "k" bv;
+  let values = C.eval c [||] in
+  Alcotest.(check int) "constant value" 173 (B.to_int values bv)
+
+let test_width_mismatch_rejected () =
+  let c = C.create () in
+  let a = B.inputs c "a" 4 and b = B.inputs c "b" 5 in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Bitvec.ripple_carry_add: width mismatch (4 vs 5)")
+    (fun () -> ignore (B.ripple_carry_add c a b))
+
+let prop_alu =
+  QCheck.Test.make ~name:"bitvec: alu matches op semantics" ~count:200
+    QCheck.(
+      triple (int_range 0 4) (int_range 0 mask) (int_range 0 mask))
+    (fun (op, x, y) ->
+      let c = C.create () in
+      let sel = B.inputs c "op" 3 in
+      let a = B.inputs c "a" width and b = B.inputs c "b" width in
+      B.set_outputs c "r" (B.alu c ~op_sel:sel a b);
+      let bits n w = Array.init w (fun i -> (n lsr i) land 1 = 1) in
+      let inputs = Array.concat [ bits op 3; bits x width; bits y width ] in
+      let values = C.eval c inputs in
+      let r =
+        B.to_int values
+          (Array.init width (fun i ->
+               C.output_exn c (Printf.sprintf "r.%d" i)))
+      in
+      let expected =
+        match op with
+        | 0 -> (x + y) land mask
+        | 1 -> (x - y) land mask
+        | 2 -> x land y
+        | 3 -> x lor y
+        | _ -> x lxor y
+      in
+      r = expected)
+
+(* ------------------------------------------------------------------ *)
+(* Tseitin                                                             *)
+
+let solve cnf = Berkmin.Solver.solve_cnf cnf
+
+let prop_tseitin_faithful =
+  (* Forcing the inputs to a random vector and the output to the
+     simulated value must be SAT; to the opposite value, UNSAT. *)
+  QCheck.Test.make ~name:"tseitin: encodes the simulated function" ~count:50
+    QCheck.(pair small_int small_int)
+    (fun (seed, vec_seed) ->
+      let circuit =
+        R.generate ~num_inputs:5 ~num_gates:30 ~num_outputs:1 ~seed:(seed + 1)
+      in
+      let rng = Rng.create (vec_seed + 1) in
+      let inputs = Array.init 5 (fun _ -> Rng.bool rng) in
+      let out_value = List.assoc "o0" (C.eval_outputs circuit inputs) in
+      let build force =
+        let m = T.encode circuit in
+        T.assert_output circuit m "o0" force;
+        let in_vars = T.input_vars circuit m in
+        Array.iteri
+          (fun i v ->
+            Cnf.add_clause m.T.cnf
+              [ (if inputs.(i) then Lit.pos v else Lit.neg_of v) ])
+          in_vars;
+        m.T.cnf
+      in
+      let sat_result = solve (build out_value) in
+      let unsat_result = solve (build (not out_value)) in
+      (match sat_result with Berkmin.Solver.Sat _ -> true | _ -> false)
+      && (match unsat_result with Berkmin.Solver.Unsat -> true | _ -> false))
+
+let test_tseitin_counts () =
+  let c = C.create () in
+  let a = C.input c "a" and b = C.input c "b" in
+  C.set_output c "o" (C.and_ c a b);
+  let m = T.encode c in
+  check Alcotest.int "3 clauses for one AND" 3 (Cnf.num_clauses m.T.cnf);
+  check Alcotest.int "one var per node" (C.num_nodes c) (Cnf.num_vars m.T.cnf)
+
+(* ------------------------------------------------------------------ *)
+(* Miters / restructure / fault injection                              *)
+
+let test_miter_arity_mismatch () =
+  let c1 = C.create () in
+  ignore (C.input c1 "a");
+  C.set_output c1 "o" (C.const c1 true);
+  let c2 = C.create () in
+  C.set_output c2 "o" (C.const c2 true);
+  Alcotest.check_raises "arity" (Invalid_argument "Miter.build: input arity mismatch")
+    (fun () -> ignore (M.build c1 c2))
+
+let test_miter_equivalent_unsat () =
+  (* x ^ y built two ways. *)
+  let direct = C.create () in
+  let a = C.input direct "a" and b = C.input direct "b" in
+  C.set_output direct "o" (C.xor_ direct a b);
+  let via_andor = C.create () in
+  let a2 = C.input via_andor "a" and b2 = C.input via_andor "b" in
+  C.set_output via_andor "o"
+    (C.and_ via_andor
+       (C.or_ via_andor a2 b2)
+       (C.nand via_andor a2 b2));
+  match solve (M.to_cnf direct via_andor) with
+  | Berkmin.Solver.Unsat -> ()
+  | _ -> Alcotest.fail "equivalent circuits must give UNSAT miter"
+
+let test_miter_inequivalent_sat () =
+  let c1 = C.create () in
+  let a = C.input c1 "a" and b = C.input c1 "b" in
+  C.set_output c1 "o" (C.and_ c1 a b);
+  let c2 = C.create () in
+  let a2 = C.input c2 "a" and b2 = C.input c2 "b" in
+  C.set_output c2 "o" (C.or_ c2 a2 b2);
+  match solve (M.to_cnf c1 c2) with
+  | Berkmin.Solver.Sat _ -> ()
+  | _ -> Alcotest.fail "and vs or must differ"
+
+let prop_restructure_equivalent =
+  QCheck.Test.make ~name:"restructure: simulation agrees" ~count:40
+    QCheck.small_int
+    (fun seed ->
+      let c = R.generate ~num_inputs:6 ~num_gates:40 ~num_outputs:3 ~seed in
+      let r = R.restructure c in
+      let rng = Rng.create (seed + 77) in
+      let ok = ref true in
+      for _ = 1 to 32 do
+        let inputs = Array.init 6 (fun _ -> Rng.bool rng) in
+        if C.eval_outputs c inputs <> C.eval_outputs r inputs then ok := false
+      done;
+      !ok)
+
+let prop_restructure_unsat_miter =
+  QCheck.Test.make ~name:"restructure: miter UNSAT by solver" ~count:10
+    QCheck.small_int
+    (fun seed ->
+      let c = R.generate ~num_inputs:5 ~num_gates:25 ~num_outputs:2 ~seed in
+      match solve (M.to_cnf c (R.restructure c)) with
+      | Berkmin.Solver.Unsat -> true
+      | _ -> false)
+
+let test_fault_changes_netlist () =
+  let c = R.generate ~num_inputs:5 ~num_gates:30 ~num_outputs:2 ~seed:3 in
+  let f = R.inject_fault c ~seed:4 in
+  check Alcotest.int "same node count" (C.num_nodes c) (C.num_nodes f);
+  let differs = ref false in
+  for id = 0 to C.num_nodes c - 1 do
+    if C.node c id <> C.node f id then differs := true
+  done;
+  check Alcotest.bool "one gate flipped" true !differs
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline                                                            *)
+
+let pipeline_inputs (p : P.params) rng =
+  let idx_bits =
+    let rec log2 k acc = if 1 lsl acc >= k then acc else log2 k (acc + 1) in
+    max 1 (log2 p.P.num_regs 0)
+  in
+  let n = (p.P.num_regs * p.P.width) + (p.P.stages * (3 + (3 * idx_bits))) in
+  Array.init n (fun _ -> Rng.bool rng)
+
+let prop_pipeline_spec_equals_impl =
+  QCheck.Test.make ~name:"pipeline: spec = impl on random programs" ~count:30
+    QCheck.(pair (int_range 1 4) (int_range 1 4))
+    (fun (stages, width) ->
+      let p = { P.stages; num_regs = 4; width } in
+      let spec = P.specification p and impl = P.implementation p in
+      let rng = Rng.create (Hashtbl.hash (stages, width)) in
+      let ok = ref true in
+      for _ = 1 to 24 do
+        let inputs = pipeline_inputs p rng in
+        if C.eval_outputs spec inputs <> C.eval_outputs impl inputs then
+          ok := false
+      done;
+      !ok)
+
+let test_pipeline_buggy_differs () =
+  (* The inverted-priority bug needs two writes to the same register
+     followed by a read; 3 stages suffice to expose it. *)
+  let p = { P.stages = 3; num_regs = 4; width = 2 } in
+  let spec = P.specification p and buggy = P.buggy_implementation p in
+  match M.check_by_simulation ~samples:4096 ~seed:5 spec buggy with
+  | M.Counterexample _ -> ()
+  | M.Equivalent -> Alcotest.fail "bug not exposed by simulation"
+
+let test_pipeline_miters_by_solver () =
+  let p = { P.stages = 2; num_regs = 4; width = 2 } in
+  (match solve (P.unsat_miter p) with
+  | Berkmin.Solver.Unsat -> ()
+  | _ -> Alcotest.fail "correct pipeline must verify");
+  let p3 = { P.stages = 3; num_regs = 4; width = 2 } in
+  match solve (P.sat_miter p3) with
+  | Berkmin.Solver.Sat _ -> ()
+  | _ -> Alcotest.fail "buggy pipeline must be caught"
+
+let test_pipeline_params_validated () =
+  Alcotest.check_raises "stages" (Invalid_argument "Pipeline: stages must be >= 1")
+    (fun () -> ignore (P.specification { P.stages = 0; num_regs = 4; width = 2 }));
+  Alcotest.check_raises "regs"
+    (Invalid_argument "Pipeline: num_regs must be a power of two >= 2")
+    (fun () -> ignore (P.specification { P.stages = 1; num_regs = 3; width = 2 }))
+
+let () =
+  Alcotest.run "circuit"
+    [
+      ( "gates",
+        [
+          Alcotest.test_case "truth tables" `Quick test_gate_truth_tables;
+          Alcotest.test_case "not/const/mux" `Quick test_not_const_mux;
+          Alcotest.test_case "and_many/or_many/xor_many" `Quick test_many_gates;
+          Alcotest.test_case "bad ids" `Quick test_bad_ids_rejected;
+          Alcotest.test_case "import" `Quick test_import;
+        ] );
+      ( "bitvec",
+        [
+          qtest prop_ripple_add;
+          qtest prop_carry_select_add;
+          qtest prop_subtract;
+          qtest prop_multiply;
+          qtest prop_bitwise_ops;
+          qtest prop_comparators;
+          qtest prop_negate;
+          qtest prop_shift;
+          qtest prop_mux_bv;
+          Alcotest.test_case "const_int" `Quick test_const_int;
+          Alcotest.test_case "width mismatch" `Quick test_width_mismatch_rejected;
+          qtest prop_alu;
+        ] );
+      ( "tseitin",
+        [
+          Alcotest.test_case "clause counts" `Quick test_tseitin_counts;
+          qtest prop_tseitin_faithful;
+        ] );
+      ( "miter",
+        [
+          Alcotest.test_case "arity mismatch" `Quick test_miter_arity_mismatch;
+          Alcotest.test_case "equivalent -> UNSAT" `Quick test_miter_equivalent_unsat;
+          Alcotest.test_case "inequivalent -> SAT" `Quick test_miter_inequivalent_sat;
+          qtest prop_restructure_equivalent;
+          qtest prop_restructure_unsat_miter;
+          Alcotest.test_case "fault changes netlist" `Quick test_fault_changes_netlist;
+        ] );
+      ( "pipeline",
+        [
+          qtest prop_pipeline_spec_equals_impl;
+          Alcotest.test_case "buggy differs" `Quick test_pipeline_buggy_differs;
+          Alcotest.test_case "miters by solver" `Quick test_pipeline_miters_by_solver;
+          Alcotest.test_case "params validated" `Quick test_pipeline_params_validated;
+        ] );
+    ]

@@ -1,0 +1,125 @@
+(* Tests for the DIMACS reader/writer. *)
+
+open Berkmin_types
+module Dimacs = Berkmin_dimacs.Dimacs
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let test_parse_basic () =
+  let cnf = Dimacs.parse_string "p cnf 3 2\n1 -2 0\n2 3 0\n" in
+  check Alcotest.int "vars" 3 (Cnf.num_vars cnf);
+  check Alcotest.int "clauses" 2 (Cnf.num_clauses cnf);
+  check Alcotest.bool "first clause" true
+    (Clause.equal (Cnf.get cnf 0) (Clause.of_list [ Lit.pos 0; Lit.neg_of 1 ]))
+
+let test_parse_comments_and_blanks () =
+  let cnf =
+    Dimacs.parse_string
+      "c a comment\nc another\n\np cnf 2 1\nc inline comment\n1 2 0\n\n"
+  in
+  check Alcotest.int "clauses" 1 (Cnf.num_clauses cnf)
+
+let test_parse_multiline_clause () =
+  let cnf = Dimacs.parse_string "p cnf 4 1\n1 2\n3 4 0\n" in
+  check Alcotest.int "clauses" 1 (Cnf.num_clauses cnf);
+  check Alcotest.int "clause length" 4 (Clause.length (Cnf.get cnf 0))
+
+let test_parse_several_clauses_one_line () =
+  let cnf = Dimacs.parse_string "p cnf 3 3\n1 0 2 0 -3 0\n" in
+  check Alcotest.int "clauses" 3 (Cnf.num_clauses cnf)
+
+let test_parse_missing_final_zero () =
+  let cnf = Dimacs.parse_string "p cnf 2 2\n1 0\n-1 2" in
+  check Alcotest.int "clauses" 2 (Cnf.num_clauses cnf)
+
+let test_parse_no_header () =
+  (* Header-less files occur in the wild; the reader tolerates them. *)
+  let cnf = Dimacs.parse_string "1 2 0\n-1 0\n" in
+  check Alcotest.int "vars inferred" 2 (Cnf.num_vars cnf);
+  check Alcotest.int "clauses" 2 (Cnf.num_clauses cnf)
+
+let test_parse_satlib_percent () =
+  (* The stray "%\n0" tail of SATLIB files must not become an empty
+     clause. *)
+  let cnf = Dimacs.parse_string "p cnf 1 1\n1 0\n%\n0\n" in
+  check Alcotest.int "clauses" 1 (Cnf.num_clauses cnf);
+  check Alcotest.bool "no empty clause" false (Cnf.has_empty_clause cnf)
+
+let expect_error input =
+  match Dimacs.parse_string input with
+  | exception Dimacs.Parse_error _ -> ()
+  | _ -> Alcotest.fail "expected Parse_error"
+
+let test_parse_errors () =
+  expect_error "p cnf x y\n";
+  expect_error "p cnf 2 1\n1 junk 0\n";
+  expect_error "p cnf 2 1\np cnf 2 1\n1 0\n";
+  expect_error "p cnf 1 1\n5 0\n" (* literal above declared count *)
+
+let test_print_roundtrip () =
+  let cnf = Cnf.create ~num_vars:4 () in
+  Cnf.add_clause cnf [ Lit.pos 0; Lit.neg_of 3 ];
+  Cnf.add_clause cnf [ Lit.neg_of 1 ];
+  let text = Dimacs.to_string cnf in
+  let cnf2 = Dimacs.parse_string text in
+  check Alcotest.int "vars" (Cnf.num_vars cnf) (Cnf.num_vars cnf2);
+  check Alcotest.int "clauses" (Cnf.num_clauses cnf) (Cnf.num_clauses cnf2);
+  check Alcotest.bool "clauses equal" true
+    (List.for_all2 Clause.equal (Cnf.clauses cnf) (Cnf.clauses cnf2))
+
+let test_file_roundtrip () =
+  let cnf = Berkmin_gen.Pigeonhole.php 4 3 in
+  let path = Filename.temp_file "berkmin_test" ".cnf" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Dimacs.write_file path cnf;
+      let cnf2 = Dimacs.parse_file path in
+      check Alcotest.int "clauses" (Cnf.num_clauses cnf) (Cnf.num_clauses cnf2))
+
+let test_solution_roundtrip () =
+  let model = Some [| true; false; true |] in
+  let text = Format.asprintf "%a" Dimacs.print_solution model in
+  (match Dimacs.parse_solution text with
+  | Some m -> check (Alcotest.array Alcotest.bool) "model" [| true; false; true |] m
+  | None -> Alcotest.fail "expected a model");
+  let text = Format.asprintf "%a" Dimacs.print_solution None in
+  check Alcotest.bool "unsat roundtrip" true (Dimacs.parse_solution text = None)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"dimacs: random cnf roundtrip" ~count:100
+    QCheck.(pair (int_range 1 20) (int_range 0 30))
+    (fun (nv, nc) ->
+      let cnf =
+        Berkmin_gen.Random_ksat.generate ~num_vars:nv
+          ~num_clauses:nc ~k:(min 3 nv) ~seed:(Hashtbl.hash (nv, nc))
+      in
+      let cnf2 = Dimacs.parse_string (Dimacs.to_string cnf) in
+      Cnf.num_clauses cnf = Cnf.num_clauses cnf2
+      && List.for_all2 Clause.equal (Cnf.clauses cnf) (Cnf.clauses cnf2))
+
+let () =
+  Alcotest.run "dimacs"
+    [
+      ( "parse",
+        [
+          Alcotest.test_case "basic" `Quick test_parse_basic;
+          Alcotest.test_case "comments/blanks" `Quick test_parse_comments_and_blanks;
+          Alcotest.test_case "multiline clause" `Quick test_parse_multiline_clause;
+          Alcotest.test_case "several per line" `Quick
+            test_parse_several_clauses_one_line;
+          Alcotest.test_case "missing final zero" `Quick
+            test_parse_missing_final_zero;
+          Alcotest.test_case "no header" `Quick test_parse_no_header;
+          Alcotest.test_case "satlib tail" `Quick test_parse_satlib_percent;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+      ( "print",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_print_roundtrip;
+          Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+          Alcotest.test_case "solution roundtrip" `Quick test_solution_roundtrip;
+          qtest prop_roundtrip;
+        ] );
+    ]

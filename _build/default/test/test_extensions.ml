@@ -1,0 +1,597 @@
+(* Tests for the engine extensions beyond the paper's 2002
+   configuration: the Var_heap variable order (BerkMin561 strategy 3),
+   incremental solving with assumptions and failed cores, learnt-clause
+   minimization, and the top-window decision generalisation
+   (Remark 2). *)
+
+open Berkmin_types
+module Solver = Berkmin.Solver
+module Config = Berkmin.Config
+module Var_heap = Berkmin.Var_heap
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let cnf_of lists =
+  let cnf = Cnf.create () in
+  List.iter (fun c -> Cnf.add_clause cnf (List.map Lit.of_dimacs c)) lists;
+  cnf
+
+(* ------------------------------------------------------------------ *)
+(* Var_heap                                                            *)
+
+let test_heap_basic () =
+  let activity = [| 1.0; 5.0; 3.0; 5.0 |] in
+  let h = Var_heap.create ~num_vars:4 ~activity in
+  check Alcotest.int "size" 4 (Var_heap.size h);
+  (* Max activity 5.0 shared by vars 1 and 3: smaller index first. *)
+  check Alcotest.int "max" 1 (Var_heap.pop_max h);
+  check Alcotest.int "next" 3 (Var_heap.pop_max h);
+  check Alcotest.int "then" 2 (Var_heap.pop_max h);
+  check Alcotest.int "last" 0 (Var_heap.pop_max h);
+  check Alcotest.bool "empty" true (Var_heap.is_empty h);
+  Alcotest.check_raises "pop empty" (Invalid_argument "Var_heap.pop_max: empty")
+    (fun () -> ignore (Var_heap.pop_max h))
+
+let test_heap_push_and_mem () =
+  let activity = [| 1.0; 2.0; 3.0 |] in
+  let h = Var_heap.create ~num_vars:3 ~activity in
+  check Alcotest.bool "mem 1" true (Var_heap.mem h 1);
+  ignore (Var_heap.pop_max h);
+  check Alcotest.bool "popped gone" false (Var_heap.mem h 2);
+  Var_heap.push h 2;
+  check Alcotest.bool "back" true (Var_heap.mem h 2);
+  Var_heap.push h 2;
+  check Alcotest.int "no duplicate" 3 (Var_heap.size h)
+
+let test_heap_notify_increase () =
+  let activity = [| 1.0; 2.0; 3.0; 4.0 |] in
+  let h = Var_heap.create ~num_vars:4 ~activity in
+  activity.(0) <- 10.0;
+  Var_heap.notify_increase h 0;
+  check Alcotest.int "promoted" 0 (Var_heap.pop_max h)
+
+let prop_heap_matches_naive_scan =
+  (* Drain the heap after a random mix of pops, pushes and increases;
+     each pop must match the naive scan on the live set. *)
+  QCheck.Test.make ~name:"var_heap: agrees with linear scan" ~count:300
+    QCheck.(pair (int_range 1 30) (list (pair (int_range 0 29) (int_range 0 100))))
+    (fun (n, updates) ->
+      let activity = Array.make n 0.0 in
+      let h = Var_heap.create ~num_vars:n ~activity in
+      let live = Array.make n true in
+      let naive_max () =
+        let best = ref (-1) in
+        for v = 0 to n - 1 do
+          if live.(v)
+             && (!best < 0
+                || activity.(v) > activity.(!best)
+                || (activity.(v) = activity.(!best) && v < !best))
+          then best := v
+        done;
+        !best
+      in
+      List.iter
+        (fun (v, bump) ->
+          let v = v mod n in
+          if bump mod 3 = 0 && live.(v) then begin
+            activity.(v) <- activity.(v) +. float_of_int bump;
+            Var_heap.notify_increase h v
+          end
+          else if bump mod 3 = 1 && not live.(v) then begin
+            live.(v) <- true;
+            Var_heap.push h v
+          end
+          else if live.(v) then begin
+            let expected = naive_max () in
+            let got = Var_heap.pop_max h in
+            if got <> expected then QCheck.Test.fail_report "pop mismatch";
+            live.(got) <- false
+          end)
+        updates;
+      (* Drain. *)
+      let ok = ref true in
+      while not (Var_heap.is_empty h) do
+        let expected = naive_max () in
+        let got = Var_heap.pop_max h in
+        if got <> expected then ok := false;
+        live.(got) <- false
+      done;
+      !ok)
+
+let test_heap_mode_same_decisions () =
+  (* strategy 3 must reproduce the naive scan's run exactly. *)
+  let cnf = Berkmin_gen.Pigeonhole.php 7 6 in
+  let run config =
+    let s = Solver.create ~config cnf in
+    ignore (Solver.solve s);
+    let st = Solver.stats s in
+    (st.Berkmin.Stats.decisions, st.Berkmin.Stats.conflicts)
+  in
+  check
+    (Alcotest.pair Alcotest.int Alcotest.int)
+    "identical traces"
+    (run Config.berkmin)
+    (run { Config.berkmin with Config.use_var_heap = true })
+
+let prop_heap_mode_identical_runs =
+  QCheck.Test.make ~name:"heap mode: identical run statistics" ~count:150
+    QCheck.(pair (int_range 3 10) (int_range 0 1_000_000))
+    (fun (nv, seed) ->
+      let cnf =
+        Berkmin_gen.Random_ksat.generate ~num_vars:nv ~num_clauses:(4 * nv)
+          ~k:3 ~seed
+      in
+      let run config =
+        let s = Solver.create ~config cnf in
+        let r = Solver.solve s in
+        let st = Solver.stats s in
+        ( (match r with Solver.Sat _ -> 1 | Solver.Unsat -> 0 | Solver.Unknown -> 2),
+          st.Berkmin.Stats.decisions,
+          st.Berkmin.Stats.conflicts,
+          st.Berkmin.Stats.propagations )
+      in
+      run Config.berkmin
+      = run { Config.berkmin with Config.use_var_heap = true })
+
+(* ------------------------------------------------------------------ *)
+(* Assumptions                                                         *)
+
+let test_assumptions_basic () =
+  (* (x | y): SAT under x=0; UNSAT under x=0, y=0. *)
+  let s = Solver.create (cnf_of [ [ 1; 2 ] ]) in
+  (match Solver.solve_with_assumptions s [ Lit.neg_of 0 ] with
+  | Solver.A_sat m ->
+    check Alcotest.bool "x false" false m.(0);
+    check Alcotest.bool "y true" true m.(1)
+  | Solver.A_unsat | Solver.A_unsat_assuming _ | Solver.A_unknown ->
+    Alcotest.fail "expected SAT");
+  match Solver.solve_with_assumptions s [ Lit.neg_of 0; Lit.neg_of 1 ] with
+  | Solver.A_unsat_assuming core ->
+    check Alcotest.bool "core subset of assumptions" true
+      (List.for_all (fun l -> List.mem l [ Lit.neg_of 0; Lit.neg_of 1 ]) core);
+    check Alcotest.bool "core nonempty" true (core <> [])
+  | Solver.A_sat _ | Solver.A_unsat | Solver.A_unknown ->
+    Alcotest.fail "expected UNSAT under assumptions"
+
+let test_assumptions_global_unsat () =
+  let s = Solver.create (cnf_of [ [ 1 ]; [ -1 ] ]) in
+  match Solver.solve_with_assumptions s [ Lit.pos 1 ] with
+  | Solver.A_unsat -> ()
+  | Solver.A_sat _ | Solver.A_unsat_assuming _ | Solver.A_unknown ->
+    Alcotest.fail "globally UNSAT regardless of assumptions"
+
+let test_assumptions_contradictory () =
+  let s = Solver.create (cnf_of [ [ 1; 2 ] ]) in
+  match Solver.solve_with_assumptions s [ Lit.pos 0; Lit.neg_of 0 ] with
+  | Solver.A_unsat_assuming core ->
+    check Alcotest.bool "both phases in core" true
+      (List.mem (Lit.pos 0) core && List.mem (Lit.neg_of 0) core)
+  | Solver.A_sat _ | Solver.A_unsat | Solver.A_unknown ->
+    Alcotest.fail "expected failure"
+
+let test_assumptions_reusable () =
+  (* The same solver answers a sequence of queries — the incremental
+     use case (e.g. one miter, many output assumptions). *)
+  let s = Solver.create (cnf_of [ [ 1; 2 ]; [ -1; 3 ]; [ -2; 3 ] ]) in
+  let sat assumptions =
+    match Solver.solve_with_assumptions s assumptions with
+    | Solver.A_sat _ -> true
+    | Solver.A_unsat | Solver.A_unsat_assuming _ -> false
+    | Solver.A_unknown -> Alcotest.fail "unexpected Unknown"
+  in
+  check Alcotest.bool "q1" true (sat [ Lit.pos 0 ]);
+  check Alcotest.bool "q2: ~z forces ~x,~y conflict" false (sat [ Lit.neg_of 2 ]);
+  check Alcotest.bool "q3" true (sat [ Lit.pos 1 ]);
+  check Alcotest.bool "q4 repeat" false (sat [ Lit.neg_of 2 ]);
+  (* Plain solve still works afterwards. *)
+  match Solver.solve s with
+  | Solver.Sat _ -> ()
+  | Solver.Unsat | Solver.Unknown -> Alcotest.fail "formula is SAT"
+
+let test_assumptions_unknown_var_rejected () =
+  let s = Solver.create (cnf_of [ [ 1 ] ]) in
+  Alcotest.check_raises "unknown variable"
+    (Invalid_argument "solve_with_assumptions: unknown variable") (fun () ->
+      ignore (Solver.solve_with_assumptions s [ Lit.pos 99 ]))
+
+let prop_assumptions_agree_with_conjoined =
+  (* solve_with_assumptions F A must equal solve (F ∧ A as units). *)
+  QCheck.Test.make ~name:"assumptions = conjoined units" ~count:400
+    QCheck.(triple (int_range 3 10) (int_range 0 1_000_000) (int_range 1 3))
+    (fun (nv, seed, n_assumptions) ->
+      let cnf =
+        Berkmin_gen.Random_ksat.generate ~num_vars:nv ~num_clauses:(4 * nv)
+          ~k:3 ~seed
+      in
+      let rng = Rng.create (seed + 13) in
+      let assumptions =
+        List.init n_assumptions (fun _ ->
+            Lit.make (Rng.int rng nv) (Rng.bool rng))
+      in
+      let conjoined = Cnf.copy cnf in
+      List.iter (fun l -> Cnf.add_clause conjoined [ l ]) assumptions;
+      let expected =
+        match Solver.solve_cnf conjoined with
+        | Solver.Sat _ -> true
+        | Solver.Unsat -> false
+        | Solver.Unknown -> QCheck.assume_fail ()
+      in
+      let s = Solver.create cnf in
+      match Solver.solve_with_assumptions s assumptions with
+      | Solver.A_sat m ->
+        expected
+        && Cnf.satisfied_by cnf m
+        && List.for_all
+             (fun l -> m.(Lit.var l) = Lit.is_pos l)
+             assumptions
+      | Solver.A_unsat | Solver.A_unsat_assuming _ -> not expected
+      | Solver.A_unknown -> QCheck.Test.fail_report "unexpected Unknown")
+
+let prop_failed_core_is_sufficient =
+  (* Re-solving under just the failed core must still be UNSAT. *)
+  QCheck.Test.make ~name:"failed core alone is still contradictory" ~count:300
+    QCheck.(pair (int_range 3 9) (int_range 0 1_000_000))
+    (fun (nv, seed) ->
+      let cnf =
+        Berkmin_gen.Random_ksat.generate ~num_vars:nv ~num_clauses:(5 * nv)
+          ~k:3 ~seed
+      in
+      let rng = Rng.create (seed + 5) in
+      let assumptions =
+        List.init 3 (fun _ -> Lit.make (Rng.int rng nv) (Rng.bool rng))
+      in
+      let s = Solver.create cnf in
+      match Solver.solve_with_assumptions s assumptions with
+      | Solver.A_unsat_assuming core -> (
+        let s2 = Solver.create cnf in
+        match Solver.solve_with_assumptions s2 core with
+        | Solver.A_unsat_assuming _ | Solver.A_unsat -> true
+        | Solver.A_sat _ -> QCheck.Test.fail_report "core was not contradictory"
+        | Solver.A_unknown -> QCheck.Test.fail_report "unexpected Unknown")
+      | Solver.A_sat _ | Solver.A_unsat -> QCheck.assume_fail ()
+      | Solver.A_unknown -> QCheck.Test.fail_report "unexpected Unknown")
+
+let test_assumptions_incremental_equivalence_queries () =
+  (* The classic EDA use: one Tseitin encoding, per-output queries. *)
+  let module C = Berkmin_circuit.Circuit in
+  let module B = Berkmin_circuit.Bitvec in
+  let module T = Berkmin_circuit.Tseitin in
+  let c = C.create () in
+  let a = B.inputs c "a" 4 and b = B.inputs c "b" 4 in
+  let r_sum, r_carry = B.ripple_carry_add c a b in
+  let s_sum, s_carry = B.carry_select_add c ~block:2 a b in
+  let diffs =
+    Array.to_list (Array.map2 (C.xor_ c) r_sum s_sum)
+    @ [ C.xor_ c r_carry s_carry ]
+  in
+  List.iteri (fun i d -> C.set_output c (Printf.sprintf "d%d" i) d) diffs;
+  let m = T.encode c in
+  let solver = Solver.create m.T.cnf in
+  List.iteri
+    (fun i _ ->
+      let out = C.output_exn c (Printf.sprintf "d%d" i) in
+      match Solver.solve_with_assumptions solver [ Lit.pos m.T.node_var.(out) ] with
+      | Solver.A_unsat | Solver.A_unsat_assuming _ -> ()
+      | Solver.A_sat _ -> Alcotest.fail (Printf.sprintf "output %d differs" i)
+      | Solver.A_unknown -> Alcotest.fail "unexpected Unknown")
+    diffs
+
+(* ------------------------------------------------------------------ *)
+(* Minimization                                                        *)
+
+let minimizing = { Config.berkmin with Config.minimize_learnt = true }
+
+let prop_minimization_preserves_verdicts =
+  QCheck.Test.make ~name:"minimization: verdicts unchanged" ~count:400
+    QCheck.(pair (int_range 3 10) (int_range 0 1_000_000))
+    (fun (nv, seed) ->
+      let cnf =
+        Berkmin_gen.Random_ksat.generate ~num_vars:nv ~num_clauses:(9 * nv / 2)
+          ~k:3 ~seed
+      in
+      let verdict config =
+        match Solver.solve_cnf ~config cnf with
+        | Solver.Sat m ->
+          if not (Cnf.satisfied_by cnf m) then
+            QCheck.Test.fail_report "invalid model under minimization";
+          true
+        | Solver.Unsat -> false
+        | Solver.Unknown -> QCheck.Test.fail_report "unexpected Unknown"
+      in
+      verdict Config.berkmin = verdict minimizing)
+
+let prop_minimized_proofs_still_check =
+  QCheck.Test.make ~name:"minimization: DRUP proofs stay valid" ~count:100
+    QCheck.(pair (int_range 4 9) (int_range 0 1_000_000))
+    (fun (nv, seed) ->
+      let cnf =
+        Berkmin_gen.Random_ksat.generate ~num_vars:nv ~num_clauses:(5 * nv)
+          ~k:3 ~seed
+      in
+      let s = Solver.create ~config:minimizing cnf in
+      let proof = Berkmin_proof.Drup.create () in
+      Solver.set_proof_logger s (Berkmin_proof.Drup.record proof);
+      match Solver.solve s with
+      | Solver.Sat _ -> QCheck.assume_fail ()
+      | Solver.Unknown -> QCheck.Test.fail_report "unexpected Unknown"
+      | Solver.Unsat -> (
+        match Berkmin_proof.Drup.check cnf proof with
+        | Berkmin_proof.Drup.Valid -> true
+        | Berkmin_proof.Drup.Invalid _ -> false))
+
+let test_minimization_shortens_clauses () =
+  let cnf = Berkmin_gen.Pigeonhole.php 8 7 in
+  let run config =
+    let s = Solver.create ~config cnf in
+    ignore (Solver.solve s);
+    Solver.stats s
+  in
+  let plain = run Config.berkmin in
+  let minimized = run minimizing in
+  check Alcotest.bool "literals were dropped" true
+    (minimized.Berkmin.Stats.minimized_literals > 0);
+  check Alcotest.int "plain never minimizes" 0
+    plain.Berkmin.Stats.minimized_literals
+
+(* ------------------------------------------------------------------ *)
+(* Top-window decisions (Remark 2)                                     *)
+
+let windowed k = { Config.berkmin with Config.top_window = k }
+
+let prop_window_preserves_verdicts =
+  QCheck.Test.make ~name:"top_window: verdicts unchanged" ~count:300
+    QCheck.(
+      triple (int_range 3 10) (int_range 0 1_000_000) (int_range 2 8))
+    (fun (nv, seed, w) ->
+      let cnf =
+        Berkmin_gen.Random_ksat.generate ~num_vars:nv ~num_clauses:(9 * nv / 2)
+          ~k:3 ~seed
+      in
+      let verdict config =
+        match Solver.solve_cnf ~config cnf with
+        | Solver.Sat m -> Cnf.satisfied_by cnf m || QCheck.Test.fail_report "bad model"
+        | Solver.Unsat -> false
+        | Solver.Unknown -> QCheck.Test.fail_report "unexpected Unknown"
+      in
+      verdict Config.berkmin = verdict (windowed w))
+
+let test_window_solves_known () =
+  List.iter
+    (fun w ->
+      let config = windowed w in
+      (match Solver.solve_cnf ~config (Berkmin_gen.Pigeonhole.php 7 6) with
+      | Solver.Unsat -> ()
+      | Solver.Sat _ | Solver.Unknown ->
+        Alcotest.fail (Printf.sprintf "window %d: php(7,6) must be UNSAT" w));
+      match
+        Solver.solve_cnf ~config
+          (Berkmin_gen.Hanoi.encode ~disks:3 ~horizon:7)
+      with
+      | Solver.Sat _ -> ()
+      | Solver.Unsat | Solver.Unknown ->
+        Alcotest.fail (Printf.sprintf "window %d: hanoi3 must be SAT" w))
+    [ 2; 4; 16 ]
+
+(* ------------------------------------------------------------------ *)
+(* Simplify (subsumption + self-subsuming resolution)                  *)
+
+let test_simplify_subsumption () =
+  (* (x) subsumes (x | y) and (x | y | z). *)
+  let cnf = cnf_of [ [ 1 ]; [ 1; 2 ]; [ 1; 2; 3 ]; [ -2; 3 ] ] in
+  let r = Berkmin.Simplify.run cnf in
+  check Alcotest.int "two subsumed" 2 r.Berkmin.Simplify.subsumed;
+  check Alcotest.int "two clauses left" 2
+    (Cnf.num_clauses r.Berkmin.Simplify.cnf)
+
+let test_simplify_strengthening () =
+  (* (x | a) and (~x | a | b): the second strengthens to (a | b). *)
+  let cnf = cnf_of [ [ 1; 2 ]; [ -1; 2; 3 ] ] in
+  let r = Berkmin.Simplify.run cnf in
+  check Alcotest.bool "strengthened" true (r.Berkmin.Simplify.strengthened >= 1);
+  let has_clause lits =
+    List.exists
+      (Clause.equal (Clause.of_list (List.map Lit.of_dimacs lits)))
+      (Cnf.clauses r.Berkmin.Simplify.cnf)
+  in
+  check Alcotest.bool "(a|b) present" true (has_clause [ 2; 3 ]);
+  check Alcotest.bool "original long clause gone" false (has_clause [ -1; 2; 3 ])
+
+let test_simplify_derives_empty () =
+  (* (x) and (~x) strengthen/subsume down to the empty clause. *)
+  let cnf = cnf_of [ [ 1 ]; [ -1 ] ] in
+  let r = Berkmin.Simplify.run cnf in
+  check Alcotest.bool "empty clause derived" true
+    (Cnf.has_empty_clause r.Berkmin.Simplify.cnf)
+
+let test_simplify_tautology_and_duplicates () =
+  let cnf = cnf_of [ [ 1; -1 ]; [ 2; 3 ]; [ 3; 2 ] ] in
+  let r = Berkmin.Simplify.run cnf in
+  check Alcotest.int "one clause" 1 (Cnf.num_clauses r.Berkmin.Simplify.cnf)
+
+let prop_simplify_preserves_equivalence =
+  QCheck.Test.make ~name:"simplify: logically equivalent output" ~count:400
+    QCheck.(pair (int_range 3 10) (int_range 0 1_000_000))
+    (fun (nv, seed) ->
+      let cnf =
+        Berkmin_gen.Random_ksat.generate ~num_vars:nv ~num_clauses:(5 * nv)
+          ~k:3 ~seed
+      in
+      let r = Berkmin.Simplify.run cnf in
+      let simplified = r.Berkmin.Simplify.cnf in
+      (* Same verdict, and SAT models transfer in both directions
+         (the rewrites preserve equivalence). *)
+      match Solver.solve_cnf cnf, Solver.solve_cnf simplified with
+      | Solver.Sat m, Solver.Sat m' ->
+        Cnf.satisfied_by simplified m && Cnf.satisfied_by cnf m'
+      | Solver.Unsat, Solver.Unsat -> true
+      | (Solver.Sat _ | Solver.Unsat | Solver.Unknown), _ ->
+        QCheck.Test.fail_report "verdict changed")
+
+let prop_simplify_never_grows =
+  QCheck.Test.make ~name:"simplify: clause count never grows" ~count:200
+    QCheck.(pair (int_range 3 12) (int_range 0 1_000_000))
+    (fun (nv, seed) ->
+      let cnf =
+        Berkmin_gen.Random_ksat.generate ~num_vars:nv ~num_clauses:(4 * nv)
+          ~k:3 ~seed
+      in
+      let r = Berkmin.Simplify.run cnf in
+      Cnf.num_clauses r.Berkmin.Simplify.cnf <= Cnf.num_clauses cnf)
+
+(* ------------------------------------------------------------------ *)
+(* Bounded variable elimination                                        *)
+
+let test_var_elim_pure () =
+  (* x1 occurs only positively: zero resolvents, trivially eliminated. *)
+  let cnf = cnf_of [ [ 1; 2 ]; [ 1; -2 ]; [ 2; 3 ] ] in
+  let r = Berkmin.Var_elim.run cnf in
+  check Alcotest.bool "x1 eliminated" true
+    (List.mem 0 (Berkmin.Var_elim.eliminated_vars r))
+
+let test_var_elim_resolution () =
+  (* (x|a) (¬x|b): eliminating x yields (a|b), after which a and b are
+     pure and cascade away too — everything eliminated, zero clauses
+     left, and reconstruction must still rebuild a real model. *)
+  let cnf = cnf_of [ [ 1; 2 ]; [ -1; 3 ] ] in
+  let r = Berkmin.Var_elim.run cnf in
+  check Alcotest.bool "x eliminated" true
+    (List.mem 0 (Berkmin.Var_elim.eliminated_vars r));
+  check Alcotest.int "fully collapsed" 0
+    (Cnf.num_clauses (Berkmin.Var_elim.cnf r));
+  let model = Berkmin.Var_elim.reconstruct r [| false; false; false |] in
+  check Alcotest.bool "reconstructed model works" true
+    (Cnf.satisfied_by cnf model)
+
+let test_var_elim_growth_bound () =
+  (* 3 pos x 3 neg = up to 9 resolvents > 6 clauses: with growth 0 the
+     variable must be kept. *)
+  let cnf =
+    cnf_of
+      [ [ 1; 2 ]; [ 1; 3 ]; [ 1; 4 ]; [ -1; 5 ]; [ -1; 6 ]; [ -1; 7 ] ]
+  in
+  let r = Berkmin.Var_elim.run ~max_growth:0 cnf in
+  check Alcotest.bool "kept under growth bound" false
+    (List.mem 0 (Berkmin.Var_elim.eliminated_vars r))
+
+let prop_var_elim_equisatisfiable =
+  QCheck.Test.make ~name:"var_elim: equisatisfiable + model reconstructs"
+    ~count:400
+    QCheck.(pair (int_range 3 10) (int_range 0 1_000_000))
+    (fun (nv, seed) ->
+      let cnf =
+        Berkmin_gen.Random_ksat.generate ~num_vars:nv ~num_clauses:(4 * nv)
+          ~k:3 ~seed
+      in
+      let r = Berkmin.Var_elim.run ~max_growth:2 cnf in
+      match Solver.solve_cnf cnf, Solver.solve_cnf (Berkmin.Var_elim.cnf r) with
+      | Solver.Unsat, Solver.Unsat -> true
+      | Solver.Sat _, Solver.Sat m ->
+        Cnf.satisfied_by cnf (Berkmin.Var_elim.reconstruct r m)
+      | (Solver.Sat _ | Solver.Unsat | Solver.Unknown), _ ->
+        QCheck.Test.fail_report "verdict changed by elimination")
+
+let prop_var_elim_removes_occurrences =
+  QCheck.Test.make ~name:"var_elim: eliminated vars no longer occur" ~count:200
+    QCheck.(pair (int_range 3 12) (int_range 0 1_000_000))
+    (fun (nv, seed) ->
+      let cnf =
+        Berkmin_gen.Random_ksat.generate ~num_vars:nv ~num_clauses:(3 * nv)
+          ~k:3 ~seed
+      in
+      let r = Berkmin.Var_elim.run cnf in
+      let gone = Berkmin.Var_elim.eliminated_vars r in
+      List.for_all
+        (fun v ->
+          not
+            (List.exists
+               (fun c ->
+                 Clause.mem (Lit.pos v) c || Clause.mem (Lit.neg_of v) c)
+               (Cnf.clauses (Berkmin.Var_elim.cnf r))))
+        gone)
+
+(* Chained front end: simplify, then eliminate variables, then solve —
+   the full 2000s preprocessing pipeline must preserve answers through
+   both transformations and the two model-repair steps compose. *)
+let prop_preprocessing_pipeline =
+  QCheck.Test.make ~name:"pipeline: simplify |> var_elim |> solve" ~count:300
+    QCheck.(pair (int_range 3 10) (int_range 0 1_000_000))
+    (fun (nv, seed) ->
+      let original =
+        Berkmin_gen.Random_ksat.generate ~num_vars:nv ~num_clauses:(4 * nv)
+          ~k:3 ~seed
+      in
+      let simplified = (Berkmin.Simplify.run original).Berkmin.Simplify.cnf in
+      let elim = Berkmin.Var_elim.run ~max_growth:2 simplified in
+      let expected =
+        match Solver.solve_cnf original with
+        | Solver.Sat _ -> true
+        | Solver.Unsat -> false
+        | Solver.Unknown -> QCheck.assume_fail ()
+      in
+      match Solver.solve_cnf (Berkmin.Var_elim.cnf elim) with
+      | Solver.Sat m ->
+        expected
+        && Cnf.satisfied_by original (Berkmin.Var_elim.reconstruct elim m)
+      | Solver.Unsat -> not expected
+      | Solver.Unknown -> QCheck.Test.fail_report "unexpected Unknown")
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "var_heap",
+        [
+          Alcotest.test_case "basic order" `Quick test_heap_basic;
+          Alcotest.test_case "push/mem" `Quick test_heap_push_and_mem;
+          Alcotest.test_case "notify_increase" `Quick test_heap_notify_increase;
+          qtest prop_heap_matches_naive_scan;
+          Alcotest.test_case "same decisions as naive" `Quick
+            test_heap_mode_same_decisions;
+          qtest prop_heap_mode_identical_runs;
+        ] );
+      ( "assumptions",
+        [
+          Alcotest.test_case "basic" `Quick test_assumptions_basic;
+          Alcotest.test_case "global unsat" `Quick test_assumptions_global_unsat;
+          Alcotest.test_case "contradictory" `Quick test_assumptions_contradictory;
+          Alcotest.test_case "reusable solver" `Quick test_assumptions_reusable;
+          Alcotest.test_case "unknown var" `Quick
+            test_assumptions_unknown_var_rejected;
+          Alcotest.test_case "incremental equivalence" `Quick
+            test_assumptions_incremental_equivalence_queries;
+          qtest prop_assumptions_agree_with_conjoined;
+          qtest prop_failed_core_is_sufficient;
+        ] );
+      ( "minimization",
+        [
+          qtest prop_minimization_preserves_verdicts;
+          qtest prop_minimized_proofs_still_check;
+          Alcotest.test_case "shortens clauses" `Quick
+            test_minimization_shortens_clauses;
+        ] );
+      ( "top-window",
+        [
+          qtest prop_window_preserves_verdicts;
+          Alcotest.test_case "solves known instances" `Quick
+            test_window_solves_known;
+        ] );
+      ( "simplify",
+        [
+          Alcotest.test_case "subsumption" `Quick test_simplify_subsumption;
+          Alcotest.test_case "strengthening" `Quick test_simplify_strengthening;
+          Alcotest.test_case "derives empty" `Quick test_simplify_derives_empty;
+          Alcotest.test_case "tautology/duplicates" `Quick
+            test_simplify_tautology_and_duplicates;
+          qtest prop_simplify_preserves_equivalence;
+          qtest prop_simplify_never_grows;
+        ] );
+      ( "var_elim",
+        [
+          Alcotest.test_case "pure literal" `Quick test_var_elim_pure;
+          Alcotest.test_case "resolution" `Quick test_var_elim_resolution;
+          Alcotest.test_case "growth bound" `Quick test_var_elim_growth_bound;
+          qtest prop_var_elim_equisatisfiable;
+          qtest prop_var_elim_removes_occurrences;
+          qtest prop_preprocessing_pipeline;
+        ] );
+    ]

@@ -1,0 +1,163 @@
+(* Tests for the experiment harness: runner records, table formatting,
+   stats helpers. *)
+
+module Runner = Berkmin_harness.Runner
+module Table = Berkmin_harness.Table
+module Stats = Berkmin.Stats
+
+let check = Alcotest.check
+
+let test_run_instance_sat () =
+  let inst = Berkmin_gen.Pigeonhole.instance 4 4 in
+  let o = Runner.run_instance Berkmin.Config.berkmin inst in
+  check Alcotest.bool "verdict" true (o.Runner.verdict = Runner.V_sat);
+  check Alcotest.bool "correct" true o.Runner.correct;
+  check Alcotest.bool "time recorded" true (o.Runner.seconds >= 0.0);
+  check Alcotest.bool "initial clauses" true (o.Runner.initial_clauses > 0)
+
+let test_run_instance_unsat () =
+  let inst = Berkmin_gen.Pigeonhole.instance 5 4 in
+  let o = Runner.run_instance Berkmin.Config.berkmin inst in
+  check Alcotest.bool "verdict" true (o.Runner.verdict = Runner.V_unsat);
+  check Alcotest.bool "correct" true o.Runner.correct
+
+let test_run_instance_abort () =
+  let inst = Berkmin_gen.Pigeonhole.instance 10 9 in
+  let o =
+    Runner.run_instance
+      ~budget:(Berkmin.Solver.budget_conflicts 100)
+      Berkmin.Config.berkmin inst
+  in
+  check Alcotest.bool "aborted" true (o.Runner.verdict = Runner.V_aborted);
+  check Alcotest.bool "abort counted correct" true o.Runner.correct
+
+let test_run_class () =
+  let instances =
+    [ Berkmin_gen.Pigeonhole.instance 4 4; Berkmin_gen.Pigeonhole.instance 5 4 ]
+  in
+  let r = Runner.run_class Berkmin.Config.berkmin "Hole" instances in
+  check Alcotest.int "outcomes" 2 (List.length r.Runner.outcomes);
+  check Alcotest.int "no aborts" 0 r.Runner.aborted;
+  check Alcotest.int "no wrong" 0 r.Runner.wrong;
+  check (Alcotest.float 0.001) "adjusted = total when no aborts"
+    r.Runner.total_seconds
+    (Runner.adjusted_seconds ~penalty:100.0 r)
+
+let test_adjusted_seconds_with_aborts () =
+  let instances = [ Berkmin_gen.Pigeonhole.instance 9 8 ] in
+  let r =
+    Runner.run_class
+      ~budget:(Berkmin.Solver.budget_conflicts 10)
+      Berkmin.Config.berkmin "Hole" instances
+  in
+  check Alcotest.int "one abort" 1 r.Runner.aborted;
+  check Alcotest.bool "penalty applied" true
+    (Runner.adjusted_seconds ~penalty:50.0 r >= 50.0)
+
+(* ------------------------------------------------------------------ *)
+
+let test_table_render () =
+  let out =
+    Table.render
+      ~header:[ "a"; "b" ]
+      [ [ "x"; "1" ]; [ "longer"; "22" ] ]
+  in
+  let lines = String.split_on_char '\n' out in
+  check Alcotest.int "4 lines + trailing" 5 (List.length lines);
+  (* All non-empty lines are equally wide. *)
+  let widths =
+    List.filter_map
+      (fun l -> if l = "" then None else Some (String.length l))
+      lines
+  in
+  List.iter (fun w -> check Alcotest.int "aligned" (List.hd widths) w) widths
+
+let test_table_seconds () =
+  check Alcotest.string "plain" "12.35" (Table.seconds 12.345);
+  check Alcotest.string "no aborts" "1.00"
+    (Table.seconds_aborted 1.0 0 ~penalty:60.0);
+  check Alcotest.string "with aborts" "> 121.00 (2)"
+    (Table.seconds_aborted 1.0 2 ~penalty:60.0)
+
+(* ------------------------------------------------------------------ *)
+
+let test_stats_skin () =
+  let st = Stats.create () in
+  Stats.record_skin st 0;
+  Stats.record_skin st 0;
+  Stats.record_skin st 5;
+  Stats.record_skin st 1000;
+  check Alcotest.int "f(0)" 2 (Stats.skin_at st 0);
+  check Alcotest.int "f(5)" 1 (Stats.skin_at st 5);
+  check Alcotest.int "f(1000)" 1 (Stats.skin_at st 1000);
+  check Alcotest.int "f(3) empty" 0 (Stats.skin_at st 3);
+  check Alcotest.int "out of range" 0 (Stats.skin_at st 999999)
+
+let test_stats_ratios () =
+  let st = Stats.create () in
+  st.Stats.learnt_total <- 20;
+  Stats.note_live_clauses st 35;
+  check (Alcotest.float 0.001) "db ratio" 3.0 (Stats.db_ratio st ~initial:10);
+  check (Alcotest.float 0.001) "peak ratio" 3.5 (Stats.peak_ratio st ~initial:10);
+  check (Alcotest.float 0.001) "zero initial" 0.0 (Stats.db_ratio st ~initial:0)
+
+let test_stats_reset () =
+  let st = Stats.create () in
+  st.Stats.conflicts <- 5;
+  Stats.record_skin st 3;
+  Stats.reset st;
+  check Alcotest.int "conflicts reset" 0 st.Stats.conflicts;
+  check Alcotest.int "skin reset" 0 (Stats.skin_at st 3)
+
+(* ------------------------------------------------------------------ *)
+
+let test_config_presets_distinct () =
+  let presets = Berkmin.Config.presets in
+  check Alcotest.int "eleven presets" 11 (List.length presets);
+  let names = List.map fst presets in
+  check Alcotest.int "unique names" (List.length names)
+    (List.length (List.sort_uniq compare names));
+  List.iter
+    (fun (name, c) ->
+      check Alcotest.string ("name_of " ^ name) name (Berkmin.Config.name_of c))
+    presets
+
+let test_experiment_names () =
+  let names = Berkmin_harness.Experiments.names in
+  check Alcotest.int "seventeen experiments" 17 (List.length names);
+  check Alcotest.bool "table7 present" true (List.mem "table7" names);
+  check Alcotest.bool "figure1 present" true (List.mem "figure1" names);
+  check Alcotest.bool "ext-restarts present" true (List.mem "ext-restarts" names);
+  check Alcotest.bool "unknown rejected" false
+    (Berkmin_harness.Experiments.run_one Berkmin_harness.Experiments.quick_opts
+       "nonsense")
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "runner",
+        [
+          Alcotest.test_case "sat outcome" `Quick test_run_instance_sat;
+          Alcotest.test_case "unsat outcome" `Quick test_run_instance_unsat;
+          Alcotest.test_case "abort outcome" `Quick test_run_instance_abort;
+          Alcotest.test_case "class" `Quick test_run_class;
+          Alcotest.test_case "adjusted seconds" `Quick
+            test_adjusted_seconds_with_aborts;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "seconds" `Quick test_table_seconds;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "skin" `Quick test_stats_skin;
+          Alcotest.test_case "ratios" `Quick test_stats_ratios;
+          Alcotest.test_case "reset" `Quick test_stats_reset;
+        ] );
+      ( "config",
+        [
+          Alcotest.test_case "presets distinct" `Quick test_config_presets_distinct;
+          Alcotest.test_case "experiment names" `Quick test_experiment_names;
+        ] );
+    ]

@@ -1,0 +1,185 @@
+(* Tests for DRUP proof logging and checking. *)
+
+open Berkmin_types
+module Drup = Berkmin_proof.Drup
+
+let check = Alcotest.check
+
+let cl lits = Clause.of_list (List.map Lit.of_dimacs lits)
+
+let cnf_of lists =
+  let cnf = Cnf.create () in
+  List.iter (fun c -> Cnf.add_clause cnf (List.map Lit.of_dimacs c)) lists;
+  cnf
+
+let is_valid = function Drup.Valid -> true | Drup.Invalid _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* is_rup                                                              *)
+
+let test_is_rup_direct_conflict () =
+  (* From (x) and (~x | y), the clause (y) is RUP. *)
+  let cnf = cnf_of [ [ 1 ]; [ -1; 2 ] ] in
+  check Alcotest.bool "unit consequence" true (Drup.is_rup cnf ~extra:[] (cl [ 2 ]));
+  check Alcotest.bool "non-consequence" false (Drup.is_rup cnf ~extra:[] (cl [ -2 ]))
+
+let test_is_rup_uses_extra () =
+  let cnf = cnf_of [ [ 1; 2 ] ] in
+  check Alcotest.bool "without extra" false (Drup.is_rup cnf ~extra:[] (cl [ 2 ]));
+  check Alcotest.bool "with extra" true
+    (Drup.is_rup cnf ~extra:[ cl [ -1 ] ] (cl [ 2 ]))
+
+let test_is_rup_tautology () =
+  let cnf = cnf_of [] in
+  check Alcotest.bool "tautology vacuous" true
+    (Drup.is_rup cnf ~extra:[] (cl [ 1; -1 ]))
+
+let test_is_rup_empty_clause () =
+  let cnf = cnf_of [ [ 1 ]; [ -1 ] ] in
+  check Alcotest.bool "contradictory units give empty" true
+    (Drup.is_rup cnf ~extra:[] (cl []))
+
+(* ------------------------------------------------------------------ *)
+(* check                                                               *)
+
+let test_check_hand_proof () =
+  (* php(2,1): (p1) (p2) (~p1|~p2).  Unit propagation alone refutes it,
+     so adding just the empty clause is a valid DRUP proof. *)
+  let cnf = cnf_of [ [ 1 ]; [ 2 ]; [ -1; -2 ] ] in
+  let proof = Drup.create () in
+  Drup.record proof (Drup.Add (cl []));
+  check Alcotest.bool "valid" true (is_valid (Drup.check cnf proof))
+
+let test_check_rejects_non_rup () =
+  let cnf = cnf_of [ [ 1; 2 ] ] in
+  let proof = Drup.create () in
+  Drup.record proof (Drup.Add (cl [ 1 ]));
+  (match Drup.check cnf proof with
+  | Drup.Invalid { step = 1; reason = "not RUP"; _ } -> ()
+  | Drup.Invalid _ | Drup.Valid -> Alcotest.fail "expected not-RUP at step 1")
+
+let test_check_requires_empty_clause () =
+  let cnf = cnf_of [ [ 1 ]; [ -1; 2 ] ] in
+  let proof = Drup.create () in
+  Drup.record proof (Drup.Add (cl [ 2 ]));
+  (match Drup.check cnf proof with
+  | Drup.Invalid { reason; _ } ->
+    check Alcotest.string "reason" "empty clause never derived" reason
+  | Drup.Valid -> Alcotest.fail "proof without empty clause accepted")
+
+let test_check_rejects_unknown_delete () =
+  let cnf = cnf_of [ [ 1 ] ] in
+  let proof = Drup.create () in
+  Drup.record proof (Drup.Delete (cl [ 5; 6 ]));
+  (match Drup.check cnf proof with
+  | Drup.Invalid { reason = "deleting unknown clause"; _ } -> ()
+  | Drup.Invalid _ | Drup.Valid -> Alcotest.fail "expected delete error")
+
+let test_check_delete_weakens () =
+  (* Add (y), delete it, then (z) must no longer be derivable from it. *)
+  let cnf = cnf_of [ [ 1 ]; [ -1; 2 ]; [ -2; 3 ] ] in
+  let proof = Drup.create () in
+  Drup.record proof (Drup.Add (cl [ 2 ]));
+  Drup.record proof (Drup.Delete (cl [ 2 ]));
+  Drup.record proof (Drup.Add (cl [ 3 ]));
+  (* (3) is still RUP from the original clauses, so this stays valid
+     except for the missing empty clause. *)
+  (match Drup.check cnf proof with
+  | Drup.Invalid { reason = "empty clause never derived"; _ } -> ()
+  | Drup.Invalid { reason; _ } -> Alcotest.fail ("unexpected: " ^ reason)
+  | Drup.Valid -> Alcotest.fail "no refutation was given")
+
+(* ------------------------------------------------------------------ *)
+(* Serialisation                                                       *)
+
+let test_to_string_format () =
+  let proof = Drup.create () in
+  Drup.record proof (Drup.Add (cl [ 1; -2 ]));
+  Drup.record proof (Drup.Delete (cl [ 3 ]));
+  Drup.record proof (Drup.Add (cl []));
+  (* Clause literals are stored sorted by the internal encoding, which
+     orders by variable then phase: 1 before -2. *)
+  check Alcotest.string "drup text" "1 -2 0\nd 3 0\n0\n" (Drup.to_string proof)
+
+let test_parse_roundtrip () =
+  let text = "1 2 0\nd -3 0\n0\n" in
+  let proof = Drup.parse_string text in
+  check Alcotest.int "events" 3 (Drup.length proof);
+  check Alcotest.string "roundtrip" text (Drup.to_string proof)
+
+let test_parse_rejects_garbage () =
+  match Drup.parse_string "1 banana 0\n" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected Failure"
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: solver proofs check on every UNSAT family.              *)
+
+let solver_proof_cases =
+  let unsat_instances =
+    [
+      Berkmin_gen.Pigeonhole.instance 5 4;
+      Berkmin_gen.Pigeonhole.instance 6 5;
+      Berkmin_gen.Hanoi.unsat_instance 2;
+      Berkmin_gen.Blocksworld.unsat_instance 3;
+      Berkmin_gen.Instance.make "cycle10" Berkmin_gen.Instance.Expect_unsat
+        (Berkmin_gen.Parity.inconsistent_cycle ~num_vars:10);
+      Berkmin_gen.Graph_coloring.clique_instance 5 ~colors:4;
+      Berkmin_gen.Parity.tseitin_instance ~num_vars:8 ~degree:3 ~seed:7;
+      Berkmin_gen.Circuit_bench.adder_miter ~width:4;
+    ]
+  in
+  let configs =
+    [ "berkmin", Berkmin.Config.berkmin; "chaff", Berkmin.Config.chaff ]
+  in
+  List.concat_map
+    (fun (cname, config) ->
+      List.map
+        (fun inst ->
+          let name =
+            Printf.sprintf "%s proof on %s" cname
+              inst.Berkmin_gen.Instance.name
+          in
+          Alcotest.test_case name `Slow (fun () ->
+              let cnf = inst.Berkmin_gen.Instance.cnf in
+              let solver = Berkmin.Solver.create ~config cnf in
+              let proof = Drup.create () in
+              Berkmin.Solver.set_proof_logger solver (Drup.record proof);
+              (match Berkmin.Solver.solve solver with
+              | Berkmin.Solver.Unsat -> ()
+              | Berkmin.Solver.Sat _ | Berkmin.Solver.Unknown ->
+                Alcotest.fail "expected UNSAT");
+              check Alcotest.bool "proof valid" true
+                (is_valid (Drup.check cnf proof))))
+        unsat_instances)
+    configs
+
+let () =
+  Alcotest.run "proof"
+    [
+      ( "is_rup",
+        [
+          Alcotest.test_case "direct conflict" `Quick test_is_rup_direct_conflict;
+          Alcotest.test_case "uses extra" `Quick test_is_rup_uses_extra;
+          Alcotest.test_case "tautology" `Quick test_is_rup_tautology;
+          Alcotest.test_case "empty clause" `Quick test_is_rup_empty_clause;
+        ] );
+      ( "check",
+        [
+          Alcotest.test_case "hand proof" `Quick test_check_hand_proof;
+          Alcotest.test_case "rejects non-RUP" `Quick test_check_rejects_non_rup;
+          Alcotest.test_case "requires empty clause" `Quick
+            test_check_requires_empty_clause;
+          Alcotest.test_case "rejects unknown delete" `Quick
+            test_check_rejects_unknown_delete;
+          Alcotest.test_case "delete weakens" `Quick test_check_delete_weakens;
+        ] );
+      ( "serialisation",
+        [
+          Alcotest.test_case "to_string format" `Quick test_to_string_format;
+          Alcotest.test_case "parse roundtrip" `Quick test_parse_roundtrip;
+          Alcotest.test_case "parse rejects garbage" `Quick
+            test_parse_rejects_garbage;
+        ] );
+      ("end-to-end", solver_proof_cases);
+    ]

@@ -1,0 +1,171 @@
+(* Heavy property-based cross-validation: the CDCL engine against the
+   independent DPLL oracle on thousands of random formulas, model
+   verification, proof validation, preset agreement, preprocessing
+   soundness.  These are the tests that would catch a subtle watched-
+   literal or conflict-analysis bug. *)
+
+open Berkmin_types
+module Solver = Berkmin.Solver
+module Config = Berkmin.Config
+module Drup = Berkmin_proof.Drup
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* Random small formulas near the 3-SAT phase transition, where both
+   verdicts are likely. *)
+let random_cnf_gen =
+  QCheck.make
+    ~print:(fun (nv, nc, seed) -> Printf.sprintf "vars=%d clauses=%d seed=%d" nv nc seed)
+    QCheck.Gen.(
+      let* nv = 3 -- 12 in
+      let* ratio_pct = 300 -- 550 in
+      let nc = max 1 (nv * ratio_pct / 100) in
+      let* seed = 0 -- 1_000_000 in
+      return (nv, nc, seed))
+
+let build (nv, nc, seed) =
+  Berkmin_gen.Random_ksat.generate ~num_vars:nv ~num_clauses:nc ~k:3 ~seed
+
+let oracle_verdict cnf =
+  match Berkmin.Dpll.solve cnf with
+  | Berkmin.Dpll.Sat _ -> true
+  | Berkmin.Dpll.Unsat -> false
+  | Berkmin.Dpll.Unknown -> QCheck.assume_fail ()
+
+let solver_verdict ?config cnf =
+  match Solver.solve_cnf ?config cnf with
+  | Solver.Sat m ->
+    if not (Cnf.satisfied_by cnf m) then
+      QCheck.Test.fail_report "solver returned an invalid model";
+    true
+  | Solver.Unsat -> false
+  | Solver.Unknown -> QCheck.Test.fail_report "unexpected Unknown without budget"
+
+let prop_agrees_with_oracle =
+  QCheck.Test.make ~name:"cdcl = dpll oracle on random 3-SAT" ~count:1500
+    random_cnf_gen
+    (fun params ->
+      let cnf = build params in
+      solver_verdict cnf = oracle_verdict cnf)
+
+let prop_all_presets_agree =
+  QCheck.Test.make ~name:"all presets give the same verdict" ~count:150
+    random_cnf_gen
+    (fun params ->
+      let cnf = build params in
+      let verdicts =
+        List.map (fun (_, config) -> solver_verdict ~config cnf) Config.presets
+      in
+      match verdicts with
+      | [] -> true
+      | v :: rest -> List.for_all (Bool.equal v) rest)
+
+let prop_unsat_proofs_check =
+  QCheck.Test.make ~name:"every UNSAT run emits a valid DRUP proof" ~count:200
+    random_cnf_gen
+    (fun params ->
+      let cnf = build params in
+      let solver = Solver.create cnf in
+      let proof = Drup.create () in
+      Solver.set_proof_logger solver (Drup.record proof);
+      match Solver.solve solver with
+      | Solver.Sat _ -> QCheck.assume_fail () (* only interested in UNSAT *)
+      | Solver.Unknown -> QCheck.Test.fail_report "unexpected Unknown"
+      | Solver.Unsat -> (
+        match Drup.check cnf proof with
+        | Drup.Valid -> true
+        | Drup.Invalid { step; reason; _ } ->
+          QCheck.Test.fail_report
+            (Printf.sprintf "invalid proof at step %d: %s" step reason)))
+
+let prop_preprocess_preserves_verdict =
+  QCheck.Test.make ~name:"preprocessing preserves satisfiability" ~count:400
+    random_cnf_gen
+    (fun params ->
+      let cnf = build params in
+      let direct = solver_verdict cnf in
+      match Berkmin.Preprocess.run cnf with
+      | Berkmin.Preprocess.Unsat_detected -> direct = false
+      | Berkmin.Preprocess.Simplified { cnf = simplified; forced } -> (
+        match Solver.solve_cnf simplified with
+        | Solver.Sat model ->
+          direct
+          && Cnf.satisfied_by cnf (Berkmin.Preprocess.extend_model ~forced model)
+        | Solver.Unsat -> not direct
+        | Solver.Unknown -> QCheck.Test.fail_report "unexpected Unknown"))
+
+let prop_budget_never_lies =
+  (* With a tiny budget the solver may abort, but a definite verdict
+     must still be correct. *)
+  QCheck.Test.make ~name:"tiny budgets never produce wrong verdicts" ~count:300
+    random_cnf_gen
+    (fun params ->
+      let cnf = build params in
+      match Solver.solve_cnf ~budget:(Solver.budget_conflicts 5) cnf with
+      | Solver.Unknown -> true
+      | Solver.Sat m -> Cnf.satisfied_by cnf m
+      | Solver.Unsat -> not (oracle_verdict cnf))
+
+let prop_planted_models_found =
+  QCheck.Test.make ~name:"planted instances solved SAT with valid models"
+    ~count:200
+    QCheck.(pair (QCheck.int_range 5 40) QCheck.small_int)
+    (fun (n, seed) ->
+      let cnf =
+        Berkmin_gen.Random_ksat.planted ~num_vars:n ~num_clauses:(9 * n / 2) ~k:3
+          ~seed
+      in
+      match Solver.solve_cnf cnf with
+      | Solver.Sat m -> Cnf.satisfied_by cnf m
+      | Solver.Unsat | Solver.Unknown -> false)
+
+let prop_wide_clauses =
+  (* Mix clause widths 1..6 to exercise watch handling on long
+     clauses and units. *)
+  QCheck.Test.make ~name:"mixed-width formulas agree with oracle" ~count:400
+    QCheck.(
+      pair (int_range 3 10) (int_range 0 1_000_000))
+    (fun (nv, seed) ->
+      let rng = Rng.create (seed + 1) in
+      let cnf = Cnf.create ~num_vars:nv () in
+      let n_clauses = 2 + Rng.int rng (4 * nv) in
+      for _ = 1 to n_clauses do
+        let width = 1 + Rng.int rng (min 6 nv) in
+        let lits =
+          List.init width (fun _ -> Lit.make (Rng.int rng nv) (Rng.bool rng))
+        in
+        Cnf.add_clause cnf lits
+      done;
+      solver_verdict cnf = oracle_verdict cnf)
+
+let prop_deterministic =
+  QCheck.Test.make ~name:"runs are reproducible" ~count:100 random_cnf_gen
+    (fun params ->
+      let cnf = build params in
+      let run () =
+        let s = Solver.create cnf in
+        ignore (Solver.solve s);
+        let st = Solver.stats s in
+        (st.Berkmin.Stats.decisions, st.Berkmin.Stats.conflicts,
+         st.Berkmin.Stats.propagations, st.Berkmin.Stats.learnt_total)
+      in
+      run () = run ())
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "cross-validation",
+        [
+          qtest prop_agrees_with_oracle;
+          qtest prop_all_presets_agree;
+          qtest prop_wide_clauses;
+        ] );
+      ( "certificates",
+        [ qtest prop_unsat_proofs_check; qtest prop_planted_models_found ] );
+      ( "robustness",
+        [
+          qtest prop_preprocess_preserves_verdict;
+          qtest prop_budget_never_lies;
+          qtest prop_deterministic;
+        ] );
+    ]

@@ -1,0 +1,377 @@
+(* Engine-level tests: trivial formulas, unit propagation, every
+   configuration preset on instances with known verdicts, budgets and
+   resume, determinism, statistics, DPLL oracle, preprocessing, Luby. *)
+
+open Berkmin_types
+module Solver = Berkmin.Solver
+module Config = Berkmin.Config
+module Instance = Berkmin_gen.Instance
+
+let check = Alcotest.check
+
+let cnf_of lists =
+  let cnf = Cnf.create () in
+  List.iter (fun c -> Cnf.add_clause cnf (List.map Lit.of_dimacs c)) lists;
+  cnf
+
+let is_sat = function Solver.Sat _ -> true | Solver.Unsat | Solver.Unknown -> false
+let is_unsat = function Solver.Unsat -> true | Solver.Sat _ | Solver.Unknown -> false
+
+let solve_lists ?config lists = Solver.solve_cnf ?config (cnf_of lists)
+
+(* ------------------------------------------------------------------ *)
+(* Trivia                                                              *)
+
+let test_empty_formula () =
+  check Alcotest.bool "no clauses: SAT" true (is_sat (solve_lists []))
+
+let test_empty_clause () =
+  check Alcotest.bool "empty clause: UNSAT" true (is_unsat (solve_lists [ [] ]))
+
+let test_single_unit () =
+  match solve_lists [ [ 1 ] ] with
+  | Solver.Sat m -> check Alcotest.bool "x=true" true m.(0)
+  | Solver.Unsat | Solver.Unknown -> Alcotest.fail "expected SAT"
+
+let test_contradicting_units () =
+  check Alcotest.bool "x & ~x" true (is_unsat (solve_lists [ [ 1 ]; [ -1 ] ]))
+
+let test_tautology_ignored () =
+  check Alcotest.bool "taut alone" true (is_sat (solve_lists [ [ 1; -1 ] ]));
+  check Alcotest.bool "taut + unsat core" true
+    (is_unsat (solve_lists [ [ 1; -1 ]; [ 2 ]; [ -2 ] ]))
+
+let test_duplicate_literals () =
+  match solve_lists [ [ 1; 1; 1 ]; [ -1; 2; 2 ] ] with
+  | Solver.Sat m ->
+    check Alcotest.bool "x" true m.(0);
+    check Alcotest.bool "y" true m.(1)
+  | Solver.Unsat | Solver.Unknown -> Alcotest.fail "expected SAT"
+
+let test_chain_propagation () =
+  let lists = [ 1 ] :: List.init 9 (fun i -> [ -(i + 1); i + 2 ]) in
+  let cnf = cnf_of lists in
+  let s = Solver.create cnf in
+  (match Solver.solve s with
+  | Solver.Sat m -> Array.iter (fun b -> check Alcotest.bool "forced" true b) m
+  | Solver.Unsat | Solver.Unknown -> Alcotest.fail "expected SAT");
+  check Alcotest.int "no conflicts" 0 (Solver.stats s).Berkmin.Stats.conflicts
+
+let test_paper_example () =
+  (* The BCP example of Section 2: F = (a|~b)(b|~c|y)(c|~d|x)(c|d) with
+     x=0, y=0 forced; branching a=0 reproduces the paper's conflict, so
+     any model has a=1 — and the formula is satisfiable. *)
+  let lists =
+    [ [ 1; -2 ]; [ 2; -3; 5 ]; [ 3; -4; 6 ]; [ 3; 4 ]; [ -5 ]; [ -6 ] ]
+  in
+  match solve_lists lists with
+  | Solver.Sat m ->
+    (* c must be 1: from (c|~d|x), (c|d) with x=0, refuting c=0. *)
+    check Alcotest.bool "c must be 1" true m.(2)
+  | Solver.Unsat | Solver.Unknown -> Alcotest.fail "expected SAT"
+
+let test_value_of () =
+  let cnf = cnf_of [ [ 1 ]; [ -1; 2 ] ] in
+  let s = Solver.create cnf in
+  ignore (Solver.solve s);
+  check Alcotest.bool "v0 true" true (Value.equal (Solver.value_of s 0) Value.True);
+  check Alcotest.bool "v1 true" true (Value.equal (Solver.value_of s 1) Value.True)
+
+let test_gap_variables () =
+  (* Variables mentioned nowhere still get total-model values. *)
+  let cnf = Cnf.create ~num_vars:10 () in
+  Cnf.add_clause cnf [ Lit.pos 9 ];
+  match Solver.solve_cnf cnf with
+  | Solver.Sat m ->
+    check Alcotest.int "model covers all vars" 10 (Array.length m);
+    check Alcotest.bool "constrained var" true m.(9)
+  | Solver.Unsat | Solver.Unknown -> Alcotest.fail "expected SAT"
+
+(* ------------------------------------------------------------------ *)
+(* Every preset must be a correct solver.                              *)
+
+let known_instances () =
+  [
+    Berkmin_gen.Pigeonhole.instance 5 5;
+    Berkmin_gen.Pigeonhole.instance 6 5;
+    Berkmin_gen.Hanoi.sat_instance 3;
+    Berkmin_gen.Hanoi.unsat_instance 3;
+    Berkmin_gen.Blocksworld.sat_instance 3;
+    Berkmin_gen.Blocksworld.unsat_instance 3;
+    Berkmin_gen.Parity.chain_instance ~num_vars:24 ~extra:12 ~seed:5;
+    Instance.make "cycle12" Instance.Expect_unsat
+      (Berkmin_gen.Parity.inconsistent_cycle ~num_vars:12);
+    Berkmin_gen.Graph_coloring.clique_instance 5 ~colors:5;
+    Berkmin_gen.Graph_coloring.clique_instance 5 ~colors:4;
+    Berkmin_gen.Circuit_bench.adder_miter ~width:5;
+    Berkmin_gen.Parity.tseitin_instance ~num_vars:8 ~degree:3 ~seed:2;
+  ]
+
+let run_preset_on name config inst =
+  let cnf = inst.Instance.cnf in
+  match Solver.solve_cnf ~config cnf with
+  | Solver.Sat m ->
+    if not (Cnf.satisfied_by cnf m) then
+      Alcotest.fail (Printf.sprintf "%s: bad model on %s" name inst.Instance.name);
+    if not (Instance.consistent inst ~sat:true) then
+      Alcotest.fail
+        (Printf.sprintf "%s: SAT but expected UNSAT on %s" name inst.Instance.name)
+  | Solver.Unsat ->
+    if not (Instance.consistent inst ~sat:false) then
+      Alcotest.fail
+        (Printf.sprintf "%s: UNSAT but expected SAT on %s" name inst.Instance.name)
+  | Solver.Unknown ->
+    Alcotest.fail (Printf.sprintf "%s: unexpected Unknown on %s" name inst.Instance.name)
+
+let preset_cases =
+  List.map
+    (fun (name, config) ->
+      Alcotest.test_case name `Quick (fun () ->
+          List.iter (run_preset_on name config) (known_instances ())))
+    Config.presets
+
+(* ------------------------------------------------------------------ *)
+(* Budgets and resume                                                  *)
+
+let hard_unsat () = Berkmin_gen.Pigeonhole.php 8 7
+
+let test_conflict_budget () =
+  let s = Solver.create (hard_unsat ()) in
+  match Solver.solve ~budget:(Solver.budget_conflicts 50) s with
+  | Solver.Unknown ->
+    check Alcotest.bool "stopped near budget" true
+      ((Solver.stats s).Berkmin.Stats.conflicts >= 50)
+  | Solver.Sat _ | Solver.Unsat -> Alcotest.fail "php(8,7) needs > 50 conflicts"
+
+let test_resume_after_unknown () =
+  let s = Solver.create (hard_unsat ()) in
+  (match Solver.solve ~budget:(Solver.budget_conflicts 50) s with
+  | Solver.Unknown -> ()
+  | Solver.Sat _ | Solver.Unsat -> Alcotest.fail "expected Unknown first");
+  match Solver.solve s with
+  | Solver.Unsat -> ()
+  | Solver.Sat _ | Solver.Unknown -> Alcotest.fail "resumed run must finish UNSAT"
+
+let test_verdict_cached () =
+  let s = Solver.create (cnf_of [ [ 1 ] ]) in
+  let r1 = Solver.solve s in
+  let r2 = Solver.solve s in
+  check Alcotest.bool "same result object" true (r1 == r2 || (is_sat r1 && is_sat r2))
+
+let test_time_budget () =
+  let s = Solver.create (Berkmin_gen.Pigeonhole.php 11 10) in
+  let budget = { Solver.max_conflicts = None; max_seconds = Some 0.2 } in
+  let t0 = Sys.time () in
+  (match Solver.solve ~budget s with
+  | Solver.Unknown -> ()
+  | Solver.Sat _ | Solver.Unsat -> Alcotest.fail "php(11,10) in 0.2s is implausible");
+  let elapsed = Sys.time () -. t0 in
+  check Alcotest.bool "stopped promptly" true (elapsed < 5.0)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism                                                         *)
+
+let run_stats config cnf =
+  let s = Solver.create ~config cnf in
+  ignore (Solver.solve s);
+  let st = Solver.stats s in
+  (st.Berkmin.Stats.decisions, st.Berkmin.Stats.conflicts,
+   st.Berkmin.Stats.propagations)
+
+let test_deterministic_runs () =
+  let cnf = Berkmin_gen.Pigeonhole.php 7 6 in
+  let a = run_stats Config.berkmin cnf in
+  let b = run_stats Config.berkmin cnf in
+  check (Alcotest.triple Alcotest.int Alcotest.int Alcotest.int)
+    "identical runs" a b
+
+let test_seed_changes_run () =
+  (* take_random flips coins, so a different seed should give a
+     different trace on a nontrivial instance. *)
+  let cnf = Berkmin_gen.Pigeonhole.php 7 6 in
+  let a = run_stats (Config.with_seed 1 Config.take_random) cnf in
+  let b = run_stats (Config.with_seed 2 Config.take_random) cnf in
+  check Alcotest.bool "different seeds diverge" true (a <> b)
+
+(* ------------------------------------------------------------------ *)
+(* Statistics and database behaviour                                   *)
+
+let test_stats_sanity () =
+  let cnf = Berkmin_gen.Pigeonhole.php 7 6 in
+  let s = Solver.create cnf in
+  ignore (Solver.solve s);
+  let st = Solver.stats s in
+  check Alcotest.bool "decisions > 0" true (st.Berkmin.Stats.decisions > 0);
+  check Alcotest.bool "conflicts > 0" true (st.Berkmin.Stats.conflicts > 0);
+  check Alcotest.bool "learnt > 0" true (st.Berkmin.Stats.learnt_total > 0);
+  check Alcotest.bool "peak >= initial" true
+    (st.Berkmin.Stats.max_live_clauses >= Solver.num_original_clauses s);
+  check Alcotest.int "decision split adds up" st.Berkmin.Stats.decisions
+    (st.Berkmin.Stats.top_clause_decisions + st.Berkmin.Stats.global_decisions)
+
+let test_restarts_and_reductions_happen () =
+  let cnf = Berkmin_gen.Pigeonhole.php 8 7 in
+  let s = Solver.create cnf in
+  ignore (Solver.solve s);
+  let st = Solver.stats s in
+  check Alcotest.bool "restarted" true (st.Berkmin.Stats.restarts > 0);
+  check Alcotest.bool "reduced" true (st.Berkmin.Stats.reductions > 0);
+  check Alcotest.bool "old threshold grew" true
+    (Solver.old_activity_threshold s
+    > Config.berkmin.Config.old_activity_threshold - 1)
+
+let test_skin_histogram_recorded () =
+  let cnf = Berkmin_gen.Pigeonhole.php 8 7 in
+  let s = Solver.create cnf in
+  ignore (Solver.solve s);
+  let st = Solver.stats s in
+  let total = Array.fold_left ( + ) 0 st.Berkmin.Stats.skin in
+  check Alcotest.int "skin sums to top-clause decisions"
+    st.Berkmin.Stats.top_clause_decisions
+    (total + st.Berkmin.Stats.skin_overflow)
+
+let test_no_restarts_mode () =
+  let config = { Config.berkmin with Config.restart_mode = Config.No_restarts } in
+  let cnf = Berkmin_gen.Pigeonhole.php 7 6 in
+  let s = Solver.create ~config cnf in
+  (match Solver.solve s with
+  | Solver.Unsat -> ()
+  | Solver.Sat _ | Solver.Unknown -> Alcotest.fail "expected UNSAT");
+  check Alcotest.int "no restarts" 0 (Solver.stats s).Berkmin.Stats.restarts
+
+let test_keep_all_mode () =
+  let config = { Config.berkmin with Config.reduction_mode = Config.Keep_all } in
+  let cnf = Berkmin_gen.Pigeonhole.php 7 6 in
+  let s = Solver.create ~config cnf in
+  (match Solver.solve s with
+  | Solver.Unsat -> ()
+  | Solver.Sat _ | Solver.Unknown -> Alcotest.fail "expected UNSAT");
+  check Alcotest.int "nothing removed" 0
+    (Solver.stats s).Berkmin.Stats.removed_clauses
+
+let test_decision_hook_fires () =
+  let cnf = Berkmin_gen.Pigeonhole.php 6 5 in
+  let s = Solver.create cnf in
+  let count = ref 0 in
+  Solver.set_decision_hook s (fun _ _ -> incr count);
+  ignore (Solver.solve s);
+  check Alcotest.int "hook saw every decision"
+    (Solver.stats s).Berkmin.Stats.decisions !count
+
+(* ------------------------------------------------------------------ *)
+(* DPLL oracle                                                         *)
+
+let test_dpll_basics () =
+  (match Berkmin.Dpll.solve (cnf_of [ [ 1; 2 ]; [ -1 ]; [ -2 ] ]) with
+  | Berkmin.Dpll.Unsat -> ()
+  | Berkmin.Dpll.Sat _ | Berkmin.Dpll.Unknown -> Alcotest.fail "expected UNSAT");
+  (match Berkmin.Dpll.solve (cnf_of [ [ 1; 2 ]; [ -1; 2 ] ]) with
+  | Berkmin.Dpll.Sat m ->
+    check Alcotest.bool "model valid" true
+      (Cnf.satisfied_by (cnf_of [ [ 1; 2 ]; [ -1; 2 ] ]) m)
+  | Berkmin.Dpll.Unsat | Berkmin.Dpll.Unknown -> Alcotest.fail "expected SAT");
+  match Berkmin.Dpll.solve ~max_nodes:3 (Berkmin_gen.Pigeonhole.php 7 6) with
+  | Berkmin.Dpll.Unknown -> ()
+  | Berkmin.Dpll.Sat _ | Berkmin.Dpll.Unsat ->
+    Alcotest.fail "expected budget exhaustion"
+
+(* ------------------------------------------------------------------ *)
+(* Preprocessing                                                       *)
+
+let test_preprocess_units () =
+  let cnf = cnf_of [ [ 1 ]; [ -1; 2 ]; [ -2; 3; 4 ] ] in
+  match Berkmin.Preprocess.run cnf with
+  | Berkmin.Preprocess.Simplified { cnf = out; forced } ->
+    (* x1, x2 forced; (x3|x4) remains but is then erased by purity. *)
+    check Alcotest.bool "x1 forced" true (List.mem (0, true) forced);
+    check Alcotest.bool "x2 forced" true (List.mem (1, true) forced);
+    check Alcotest.int "all clauses gone" 0 (Cnf.num_clauses out)
+  | Berkmin.Preprocess.Unsat_detected -> Alcotest.fail "not UNSAT"
+
+let test_preprocess_conflict () =
+  match Berkmin.Preprocess.run (cnf_of [ [ 1 ]; [ -1 ] ]) with
+  | Berkmin.Preprocess.Unsat_detected -> ()
+  | Berkmin.Preprocess.Simplified _ -> Alcotest.fail "expected UNSAT"
+
+let test_preprocess_pure_literals () =
+  (* x1 occurs only positively: clauses containing it disappear. *)
+  let cnf = cnf_of [ [ 1; 2 ]; [ 1; -2 ]; [ 2; 3 ]; [ -3; -2 ] ] in
+  match Berkmin.Preprocess.run cnf with
+  | Berkmin.Preprocess.Simplified { forced; _ } ->
+    check Alcotest.bool "x1 pure positive" true (List.mem (0, true) forced)
+  | Berkmin.Preprocess.Unsat_detected -> Alcotest.fail "not UNSAT"
+
+let test_preprocess_extend_model () =
+  let cnf = cnf_of [ [ 1 ]; [ -1; 2 ]; [ 3; 4 ]; [ -3; 4 ] ] in
+  match Berkmin.Preprocess.run cnf with
+  | Berkmin.Preprocess.Simplified { cnf = simplified; forced } -> (
+    match Solver.solve_cnf simplified with
+    | Solver.Sat model ->
+      let full = Berkmin.Preprocess.extend_model ~forced model in
+      check Alcotest.bool "extended model satisfies original" true
+        (Cnf.satisfied_by cnf full)
+    | Solver.Unsat | Solver.Unknown -> Alcotest.fail "expected SAT")
+  | Berkmin.Preprocess.Unsat_detected -> Alcotest.fail "not UNSAT"
+
+(* ------------------------------------------------------------------ *)
+(* Luby                                                                *)
+
+let test_luby_sequence () =
+  let expected = [ 1; 1; 2; 1; 1; 2; 4; 1; 1; 2; 1; 1; 2; 4; 8 ] in
+  let got = List.init 15 (fun i -> Berkmin.Luby.term (i + 1)) in
+  check (Alcotest.list Alcotest.int) "first 15 terms" expected got;
+  check Alcotest.int "scaled" 64 (Berkmin.Luby.interval ~unit:32 3);
+  Alcotest.check_raises "term 0" (Invalid_argument "Luby.term") (fun () ->
+      ignore (Berkmin.Luby.term 0))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "solver"
+    [
+      ( "trivia",
+        [
+          Alcotest.test_case "empty formula" `Quick test_empty_formula;
+          Alcotest.test_case "empty clause" `Quick test_empty_clause;
+          Alcotest.test_case "single unit" `Quick test_single_unit;
+          Alcotest.test_case "contradicting units" `Quick test_contradicting_units;
+          Alcotest.test_case "tautology" `Quick test_tautology_ignored;
+          Alcotest.test_case "duplicate literals" `Quick test_duplicate_literals;
+          Alcotest.test_case "chain propagation" `Quick test_chain_propagation;
+          Alcotest.test_case "paper example" `Quick test_paper_example;
+          Alcotest.test_case "value_of" `Quick test_value_of;
+          Alcotest.test_case "gap variables" `Quick test_gap_variables;
+        ] );
+      ("presets", preset_cases);
+      ( "budget",
+        [
+          Alcotest.test_case "conflict budget" `Quick test_conflict_budget;
+          Alcotest.test_case "resume" `Quick test_resume_after_unknown;
+          Alcotest.test_case "verdict cached" `Quick test_verdict_cached;
+          Alcotest.test_case "time budget" `Quick test_time_budget;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "same seed same run" `Quick test_deterministic_runs;
+          Alcotest.test_case "different seeds" `Quick test_seed_changes_run;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "sanity" `Quick test_stats_sanity;
+          Alcotest.test_case "restarts/reductions" `Quick
+            test_restarts_and_reductions_happen;
+          Alcotest.test_case "skin histogram" `Quick test_skin_histogram_recorded;
+          Alcotest.test_case "no-restart mode" `Quick test_no_restarts_mode;
+          Alcotest.test_case "keep-all mode" `Quick test_keep_all_mode;
+          Alcotest.test_case "decision hook" `Quick test_decision_hook_fires;
+        ] );
+      ("dpll", [ Alcotest.test_case "basics" `Quick test_dpll_basics ]);
+      ( "preprocess",
+        [
+          Alcotest.test_case "units" `Quick test_preprocess_units;
+          Alcotest.test_case "conflict" `Quick test_preprocess_conflict;
+          Alcotest.test_case "pure literals" `Quick test_preprocess_pure_literals;
+          Alcotest.test_case "extend model" `Quick test_preprocess_extend_model;
+        ] );
+      ("luby", [ Alcotest.test_case "sequence" `Quick test_luby_sequence ]);
+    ]
