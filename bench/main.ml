@@ -4,11 +4,15 @@
    evaluation (see lib/harness/experiments.ml); [--bechamel] runs a
    Bechamel micro-benchmark suite with one Test.make group per table on
    small representative workloads; [--quick] shrinks budgets for smoke
-   runs. *)
+   runs; [--smoke] runs a small per-instance suite instead of the
+   tables; [--json FILE] writes whatever ran as a machine-readable
+   summary (FILE of "-" for stdout). *)
 
+open Berkmin_types
 open Berkmin_gen
 module Config = Berkmin.Config
 module Experiments = Berkmin_harness.Experiments
+module Runner = Berkmin_harness.Runner
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-suite.                                               *)
@@ -114,9 +118,74 @@ let run_bechamel () =
     (bechamel_tests ())
 
 (* ------------------------------------------------------------------ *)
+(* Smoke suite: one pass over small instances with tight budgets,
+   reporting per-instance wall time / conflicts / decisions / props
+   per second — the summary CI archives and gates on.                  *)
+
+let smoke_instances () =
+  List.concat_map (fun (_, insts) -> insts) (Suites.quick ())
+  @ [
+      Pigeonhole.instance 8 7;
+      Circuit_bench.adder_miter ~width:8;
+      Parity.tseitin_instance ~num_vars:16 ~degree:3 ~seed:3;
+    ]
+
+let run_smoke () =
+  let budget = Runner.quick_budget in
+  let outcomes =
+    List.map
+      (fun inst ->
+        let o = Runner.run_instance ~budget Config.berkmin inst in
+        Printf.printf "%-28s %-8s %8.3fs  %8d conflicts  %10.0f props/s\n%!"
+          o.Runner.instance_name
+          (Runner.verdict_to_string o.Runner.verdict)
+          o.Runner.seconds o.Runner.conflicts (Runner.props_per_sec o);
+        o)
+      (smoke_instances ())
+  in
+  let aborted =
+    List.filter (fun o -> o.Runner.verdict = Runner.V_aborted) outcomes
+  in
+  let wrong = List.filter (fun o -> not o.Runner.correct) outcomes in
+  let total = List.fold_left (fun a o -> a +. o.Runner.seconds) 0.0 outcomes in
+  Printf.printf "smoke: %d instances, %.2fs total, %d aborted, %d wrong\n"
+    (List.length outcomes) total (List.length aborted) (List.length wrong);
+  let json =
+    Json.Obj
+      [
+        "suite", Json.String "smoke";
+        "strategy", Json.String (Config.name_of Config.berkmin);
+        "instances", Json.List (List.map Runner.outcome_to_json outcomes);
+        "total_seconds", Json.Float total;
+        "aborted", Json.Int (List.length aborted);
+        "wrong", Json.Int (List.length wrong);
+      ]
+  in
+  let status = if aborted = [] && wrong = [] then 0 else 1 in
+  (json, status)
+
+let write_json path json =
+  let text = Json.to_string_pretty json ^ "\n" in
+  if path = "-" then print_string text
+  else begin
+    let oc = open_out path in
+    output_string oc text;
+    close_out oc;
+    Printf.printf "json summary written to %s\n" path
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Command line.                                                       *)
 
-let run quick bechamel extensions only list_names =
+let experiments_json () =
+  Json.Obj
+    [
+      ( "experiments",
+        Json.Obj
+          (List.map (fun (n, j) -> (n, j)) (Experiments.collected_json ())) );
+    ]
+
+let run quick bechamel extensions only list_names smoke json_out =
   if list_names then begin
     List.iter print_endline Experiments.names;
     0
@@ -125,18 +194,32 @@ let run quick bechamel extensions only list_names =
     run_bechamel ();
     0
   end
+  else if smoke || (json_out <> None && only = []) then begin
+    (* --json with no experiment selection means the smoke suite: fast,
+       per-instance, and gate-worthy — what CI wants from --quick. *)
+    let json, status = run_smoke () in
+    Option.iter (fun path -> write_json path json) json_out;
+    status
+  end
   else begin
     let opts =
       if quick then Experiments.quick_opts else Experiments.default_opts
     in
+    Experiments.reset_json ();
     match only with
     | [] ->
       Experiments.run_all opts;
       if extensions then Experiments.run_extensions opts;
+      Option.iter (fun path -> write_json path (experiments_json ())) json_out;
       0
     | names ->
       let bad = List.filter (fun n -> not (Experiments.run_one opts n)) names in
-      if bad = [] then 0
+      if bad = [] then begin
+        Option.iter
+          (fun path -> write_json path (experiments_json ()))
+          json_out;
+        0
+      end
       else begin
         Printf.eprintf "unknown experiment(s): %s (try --list)\n"
           (String.concat ", " bad);
@@ -174,10 +257,31 @@ let extensions =
            strategies, decision window, minimization, variable-order \
            heap, DB constants, activity aging).")
 
+let smoke =
+  Arg.(
+    value & flag
+    & info [ "smoke" ]
+        ~doc:
+          "Run the per-instance smoke suite (small instances, tight \
+           budgets) instead of the paper tables; exits non-zero if any \
+           run aborts or contradicts its expectation.")
+
+let json_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:
+          "Write a machine-readable JSON summary of whatever ran to \
+           $(docv) (\"-\" for stdout).  Without --only this implies the \
+           smoke suite.")
+
 let cmd =
   let doc = "Regenerate the BerkMin paper's tables and figures" in
   Cmd.v
     (Cmd.info "berkmin-bench" ~doc)
-    Term.(const run $ quick $ bechamel $ extensions $ only $ list_names)
+    Term.(
+      const run $ quick $ bechamel $ extensions $ only $ list_names $ smoke
+      $ json_out)
 
 let () = exit (Cmd.eval' cmd)

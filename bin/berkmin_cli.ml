@@ -10,8 +10,13 @@ module Drup = Berkmin_proof.Drup
 let find_config name =
   List.assoc_opt name Berkmin.Config.presets
 
+let result_to_string = function
+  | Berkmin.Solver.Sat _ -> "SAT"
+  | Berkmin.Solver.Unsat -> "UNSAT"
+  | Berkmin.Solver.Unknown -> "UNKNOWN"
+
 let run file strategy max_conflicts max_seconds proof_file stats_flag check
-    seed quiet =
+    seed quiet json_out trace_file heartbeat profile =
   match find_config strategy with
   | None ->
     Printf.eprintf "unknown strategy %S; available: %s\n" strategy
@@ -23,6 +28,18 @@ let run file strategy max_conflicts max_seconds proof_file stats_flag check
       | Some s -> Berkmin.Config.with_seed s config
       | None -> config
     in
+    let config =
+      match trace_file with
+      | Some path -> Berkmin.Config.with_trace_jsonl path config
+      | None -> config
+    in
+    let config =
+      if heartbeat > 0 then Berkmin.Config.with_heartbeat heartbeat config
+      else config
+    in
+    let config =
+      if profile then Berkmin.Config.with_profile_timers config else config
+    in
     match Berkmin_dimacs.Dimacs.parse_file file with
     | exception Sys_error msg ->
       Printf.eprintf "cannot read %s: %s\n" file msg;
@@ -31,6 +48,7 @@ let run file strategy max_conflicts max_seconds proof_file stats_flag check
       Printf.eprintf "%s:%d: %s\n" file line message;
       2
     | cnf ->
+    try
       let solver = Berkmin.Solver.create ~config cnf in
       let proof =
         match proof_file with
@@ -43,7 +61,10 @@ let run file strategy max_conflicts max_seconds proof_file stats_flag check
       let budget =
         { Berkmin.Solver.max_conflicts; max_seconds }
       in
+      let started = Sys.time () in
       let result = Berkmin.Solver.solve ~budget solver in
+      let seconds = Sys.time () -. started in
+      Berkmin.Solver.close_trace solver;
       if not quiet then
         Format.printf "c strategy %a@." Berkmin.Config.pp config;
       if stats_flag then begin
@@ -53,6 +74,28 @@ let run file strategy max_conflicts max_seconds proof_file stats_flag check
         String.split_on_char '\n' text
         |> List.iter (fun line -> Printf.printf "c %s\n" line)
       end;
+      (match json_out with
+      | None -> ()
+      | Some path ->
+        let json =
+          Json.Obj
+            [
+              "instance", Json.String file;
+              "strategy", Json.String (Berkmin.Config.name_of config);
+              "result", Json.String (result_to_string result);
+              ( "stats",
+                Berkmin.Stats.to_json ~seconds (Berkmin.Solver.stats solver)
+              );
+            ]
+        in
+        let text = Json.to_string_pretty json ^ "\n" in
+        if path = "-" then print_string text
+        else begin
+          let oc = open_out path in
+          output_string oc text;
+          close_out oc;
+          if not quiet then Printf.printf "c json summary written to %s\n" path
+        end);
       (match result, proof with
       | Berkmin.Solver.Unsat, Some (path, p) ->
         Drup.write_file path p;
@@ -81,7 +124,11 @@ let run file strategy max_conflicts max_seconds proof_file stats_flag check
         20
       | Berkmin.Solver.Unknown ->
         print_endline "s UNKNOWN";
-        0))
+        0)
+    with Sys_error msg ->
+      (* unwritable --trace / --json / --proof destinations *)
+      Printf.eprintf "berkmin: %s\n" msg;
+      2)
 
 open Cmdliner
 
@@ -135,12 +182,47 @@ let seed =
 
 let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Less c-line chatter.")
 
+let json_out =
+  Arg.(
+    value
+    & opt ~vopt:(Some "-") (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:
+          "Write a JSON summary (result plus full statistics) to $(docv); \
+           plain --json or FILE \"-\" prints it to stdout.")
+
+let trace_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Stream structured trace events (decide/propagate/conflict/learn/\
+           backjump/restart/reduce-db) to $(docv) as JSON Lines.")
+
+let heartbeat =
+  Arg.(
+    value & opt int 0
+    & info [ "heartbeat" ] ~docv:"N"
+        ~doc:
+          "Emit a heartbeat trace event every N conflicts (0 disables; \
+           needs --trace to be visible).")
+
+let profile =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Time the BCP / conflict-analysis / reduce-db phases (small \
+           per-conflict overhead; shows in --stats and --json).")
+
 let cmd =
   let doc = "BerkMin-style CDCL SAT solver" in
   Cmd.v
     (Cmd.info "berkmin" ~doc)
     Term.(
       const run $ file $ strategy $ max_conflicts $ max_seconds $ proof_file
-      $ stats_flag $ check $ seed $ quiet)
+      $ stats_flag $ check $ seed $ quiet $ json_out $ trace_file $ heartbeat
+      $ profile)
 
 let () = exit (Cmd.eval' cmd)

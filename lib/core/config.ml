@@ -53,6 +53,9 @@ type t = {
   minimize_learnt : bool;
   use_var_heap : bool;
   seed : int;
+  trace_jsonl : string option;
+  heartbeat_interval : int;
+  profile_timers : bool;
 }
 
 (* Constants follow Section 8 of the paper: young clauses are kept when
@@ -82,6 +85,9 @@ let berkmin = {
   minimize_learnt = false;
   use_var_heap = false;
   seed = 1;
+  trace_jsonl = None;
+  heartbeat_interval = 0;
+  profile_timers = false;
 }
 
 let less_sensitivity = { berkmin with activity_mode = Conflict_clause_only }
@@ -120,6 +126,9 @@ let limmat_like = {
 }
 
 let with_seed seed t = { t with seed }
+let with_trace_jsonl path t = { t with trace_jsonl = Some path }
+let with_heartbeat interval t = { t with heartbeat_interval = interval }
+let with_profile_timers t = { t with profile_timers = true }
 
 let presets = [
   "berkmin", berkmin;
@@ -135,8 +144,21 @@ let presets = [
   "limmat_like", limmat_like;
 ]
 
+(* Observability settings don't change the search, so a preset with a
+   trace attached still reports its preset name. *)
 let name_of t =
-  match List.find_opt (fun (_, p) -> { p with seed = t.seed } = t) presets with
+  match
+    List.find_opt
+      (fun (_, p) ->
+        { p with
+          seed = t.seed;
+          trace_jsonl = t.trace_jsonl;
+          heartbeat_interval = t.heartbeat_interval;
+          profile_timers = t.profile_timers;
+        }
+        = t)
+      presets
+  with
   | Some (name, _) -> name
   | None -> "custom"
 

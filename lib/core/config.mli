@@ -101,6 +101,17 @@ type t = {
           free variable with an indexed heap instead of a linear scan —
           same decisions, different cost *)
   seed : int;
+  trace_jsonl : string option;
+      (** when set, {!Solver.create} opens a JSONL trace sink on this
+          path (see {!Trace}); [None] — the default everywhere — keeps
+          tracing disabled at zero cost *)
+  heartbeat_interval : int;
+      (** emit a {!Trace.event.Heartbeat} every this many conflicts
+          (0 = off); only visible when a trace sink is attached *)
+  profile_timers : bool;
+      (** accumulate CPU time spent in BCP, conflict analysis and
+          database reduction into {!Stats.t} (off by default: the
+          [Sys.time] sampling is cheap but not free) *)
 }
 
 val berkmin : t
@@ -133,8 +144,20 @@ val limmat_like : t
 
 val with_seed : int -> t -> t
 
+val with_trace_jsonl : string -> t -> t
+(** Arrange for solvers created with this configuration to write a
+    JSONL event trace to the given path. *)
+
+val with_heartbeat : int -> t -> t
+(** Set the heartbeat interval (conflicts between heartbeat events). *)
+
+val with_profile_timers : t -> t
+(** Enable the BCP/analysis/reduction phase timers. *)
+
 val name_of : t -> string
-(** Best-effort human name: matches a preset or describes the fields. *)
+(** Best-effort human name: matches a preset or describes the fields.
+    Observability fields (trace, heartbeat, timers) are ignored by the
+    match — they don't change the search. *)
 
 val presets : (string * t) list
 (** All named presets, for CLIs and the bench harness. *)

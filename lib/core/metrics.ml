@@ -1,0 +1,148 @@
+open Berkmin_types
+
+type counter = {
+  c_name : string;
+  mutable c_value : int;
+}
+
+type gauge = {
+  g_name : string;
+  g_read : unit -> float;
+}
+
+type timer = {
+  t_name : string;
+  t_clock : unit -> float;
+  mutable t_total : float;
+  mutable t_samples : int;
+  mutable t_started : float;
+  mutable t_running : bool;
+}
+
+type t = {
+  mutable counters : counter list;  (* newest first; snapshots reverse *)
+  mutable gauges : gauge list;
+  mutable timers : timer list;
+}
+
+let create () = { counters = []; gauges = []; timers = [] }
+
+exception Duplicate_name of string
+
+let check_fresh t name =
+  let taken =
+    List.exists (fun c -> c.c_name = name) t.counters
+    || List.exists (fun g -> g.g_name = name) t.gauges
+    || List.exists (fun tm -> tm.t_name = name) t.timers
+  in
+  if taken then raise (Duplicate_name name)
+
+let counter t name =
+  match List.find_opt (fun c -> c.c_name = name) t.counters with
+  | Some c -> c
+  | None ->
+    check_fresh t name;
+    let c = { c_name = name; c_value = 0 } in
+    t.counters <- c :: t.counters;
+    c
+
+let gauge t name read =
+  check_fresh t name;
+  let g = { g_name = name; g_read = read } in
+  t.gauges <- g :: t.gauges;
+  g
+
+let timer ?(clock = Sys.time) t name =
+  match List.find_opt (fun tm -> tm.t_name = name) t.timers with
+  | Some tm -> tm
+  | None ->
+    check_fresh t name;
+    let tm = {
+      t_name = name;
+      t_clock = clock;
+      t_total = 0.0;
+      t_samples = 0;
+      t_started = 0.0;
+      t_running = false;
+    } in
+    t.timers <- tm :: t.timers;
+    tm
+
+(* Counter operations: a field increment each, cheap enough for hot
+   loops when the handle is resolved once up front. *)
+let incr c = c.c_value <- c.c_value + 1
+let add c n = c.c_value <- c.c_value + n
+let value c = c.c_value
+let counter_name c = c.c_name
+
+let gauge_name g = g.g_name
+let read g = g.g_read ()
+
+let start tm =
+  if not tm.t_running then begin
+    tm.t_running <- true;
+    tm.t_started <- tm.t_clock ()
+  end
+
+let stop tm =
+  if tm.t_running then begin
+    tm.t_running <- false;
+    tm.t_total <- tm.t_total +. (tm.t_clock () -. tm.t_started);
+    tm.t_samples <- tm.t_samples + 1
+  end
+
+let time tm f =
+  start tm;
+  match f () with
+  | result ->
+    stop tm;
+    result
+  | exception e ->
+    stop tm;
+    raise e
+
+let total tm = tm.t_total
+let samples tm = tm.t_samples
+let timer_name tm = tm.t_name
+
+let find_counter t name = List.find_opt (fun c -> c.c_name = name) t.counters
+let find_timer t name = List.find_opt (fun tm -> tm.t_name = name) t.timers
+
+let reset t =
+  List.iter (fun c -> c.c_value <- 0) t.counters;
+  List.iter
+    (fun tm ->
+      tm.t_total <- 0.0;
+      tm.t_samples <- 0;
+      tm.t_running <- false)
+    t.timers
+
+(* Registration order (oldest first) keeps snapshots stable. *)
+let snapshot t =
+  List.rev_map (fun c -> (c.c_name, float_of_int c.c_value)) t.counters
+  @ List.rev_map (fun g -> (g.g_name, g.g_read ())) t.gauges
+  @ List.rev_map (fun tm -> (tm.t_name ^ "_seconds", tm.t_total)) t.timers
+
+let to_json t =
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj
+          (List.rev_map (fun c -> (c.c_name, Json.Int c.c_value)) t.counters)
+      );
+      ( "gauges",
+        Json.Obj
+          (List.rev_map (fun g -> (g.g_name, Json.Float (g.g_read ()))) t.gauges)
+      );
+      ( "timers",
+        Json.Obj
+          (List.rev_map
+             (fun tm ->
+               ( tm.t_name,
+                 Json.Obj
+                   [
+                     "total_seconds", Json.Float tm.t_total;
+                     "samples", Json.Int tm.t_samples;
+                   ] ))
+             t.timers) );
+    ]

@@ -1,0 +1,74 @@
+(** Registry of named counters, gauges and timers.
+
+    The solver's hot loops keep their flat mutable {!Stats.t} record —
+    a registry lookup per propagation would be measurable — so this
+    module is the aggregation layer above it: handles are resolved once
+    ([counter]/[timer] re-use an existing entry of the same name), and
+    each update is a single mutable-field write.  Gauges are pull-based
+    (a closure sampled at snapshot time), which is how
+    {!Solver.metrics} exposes the live solver counters without adding
+    any cost to the search itself. *)
+
+open Berkmin_types
+
+type t
+(** A registry.  Not thread-safe; one per solver or harness run. *)
+
+type counter
+type gauge
+type timer
+
+exception Duplicate_name of string
+(** Raised when a name is registered twice across kinds (registering
+    the same name as the same kind returns the existing handle). *)
+
+val create : unit -> t
+
+val counter : t -> string -> counter
+(** Registers (or retrieves) a counter starting at 0. *)
+
+val gauge : t -> string -> (unit -> float) -> gauge
+(** Registers a pull-based gauge; the closure runs at sample time. *)
+
+val timer : ?clock:(unit -> float) -> t -> string -> timer
+(** Registers (or retrieves) an accumulating timer.  [clock] defaults
+    to [Sys.time] (CPU seconds); tests inject a fake clock. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+val counter_name : counter -> string
+
+val read : gauge -> float
+val gauge_name : gauge -> string
+
+val start : timer -> unit
+(** Idempotent while running. *)
+
+val stop : timer -> unit
+(** Adds the elapsed span to the total; no-op when not running. *)
+
+val time : timer -> (unit -> 'a) -> 'a
+(** Runs the thunk inside a [start]/[stop] span (exception-safe). *)
+
+val total : timer -> float
+(** Accumulated seconds over all completed spans. *)
+
+val samples : timer -> int
+(** Number of completed spans. *)
+
+val timer_name : timer -> string
+
+val find_counter : t -> string -> counter option
+val find_timer : t -> string -> timer option
+
+val reset : t -> unit
+(** Zeroes counters and timers; gauges are stateless. *)
+
+val snapshot : t -> (string * float) list
+(** All entries in registration order; timers appear with a
+    ["_seconds"] suffix. *)
+
+val to_json : t -> Json.t
+(** [{"counters": {...}, "gauges": {...}, "timers": {name:
+    {"total_seconds": s, "samples": n}}}]. *)

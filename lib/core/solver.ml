@@ -31,6 +31,7 @@ let dummy_cls = { lits = [||]; learnt = false; activity = 0; deleted = true }
 type t = {
   cfg : Config.t;
   stats : Stats.t;
+  tracer : Trace.t;
   rng : Rng.t;
   nvars : int;
   mutable n_original : int;
@@ -63,6 +64,9 @@ type t = {
 
 let stats s = s.stats
 let config s = s.cfg
+let trace s = s.tracer
+let set_trace_sink s sink = Trace.set_sink s.tracer sink
+let close_trace s = Trace.close s.tracer
 let num_vars s = s.nvars
 let num_original_clauses s = s.n_original
 let num_learnt_live s = Vec.length s.learnt
@@ -161,6 +165,10 @@ let propagate s =
             | Value.False -> conflict := Some c
             | Value.Unassigned ->
               enqueue s lits.(0) (Some c);
+              if s.tracer.Trace.active then
+                Trace.emit s.tracer
+                  (Trace.Propagate
+                     { level = decision_level s; lit = lits.(0) });
               incr i
             | Value.True -> assert false
         end
@@ -421,7 +429,9 @@ let rebuild_watches s =
 
 let reduce_db s =
   if s.cfg.reduction_mode <> Config.Keep_all then begin
+    let t0 = if s.cfg.profile_timers then Sys.time () else 0.0 in
     s.stats.reductions <- s.stats.reductions + 1;
+    let live_before = Vec.length s.learnt in
     let keep = reduction_keeps s in
     let removed = ref 0 in
     Vec.iteri
@@ -437,8 +447,14 @@ let reduce_db s =
       Vec.filter_in_place (fun c -> not c.deleted) s.learnt;
       rebuild_watches s
     end;
+    if s.tracer.Trace.active then
+      Trace.emit s.tracer
+        (Trace.Reduce_db
+           { live_before; removed = !removed; threshold = s.old_threshold });
     if s.cfg.reduction_mode = Config.Berkmin_age_activity then
-      s.old_threshold <- s.old_threshold + s.cfg.old_threshold_increment
+      s.old_threshold <- s.old_threshold + s.cfg.old_threshold_increment;
+    if s.cfg.profile_timers then
+      s.stats.time_reduce <- s.stats.time_reduce +. (Sys.time () -. t0)
   end
 
 (* ------------------------------------------------------------------ *)
@@ -609,7 +625,7 @@ let global_decision s =
   | None -> None
   | Some v ->
     s.stats.global_decisions <- s.stats.global_decisions + 1;
-    Some (v, global_value s v)
+    Some (v, global_value s v, Trace.D_global)
 
 let pick_branch s =
   match s.cfg.decision_mode with
@@ -618,7 +634,7 @@ let pick_branch s =
     | None -> None
     | Some l ->
       s.stats.global_decisions <- s.stats.global_decisions + 1;
-      Some (Lit.var l, Lit.is_pos l))
+      Some (Lit.var l, Lit.is_pos l, Trace.D_global))
   | Config.Global_most_active -> (
     match most_active_free_var s with
     | None -> None
@@ -634,7 +650,7 @@ let pick_branch s =
         | Config.Symmetrize | Config.Sat_top | Config.Unsat_top ->
           symmetrize_value s v
       in
-      Some (v, value))
+      Some (v, value, Trace.D_global))
   | Config.Top_clause -> (
     (* Choose the most active free variable across the window of top
        clauses; ties between clauses go to the one nearest the top
@@ -658,7 +674,7 @@ let pick_branch s =
       s.stats.top_clause_decisions <- s.stats.top_clause_decisions + 1;
       Stats.record_skin s.stats distance;
       let v = Lit.var l in
-      Some (v, top_clause_value s v l)
+      Some (v, top_clause_value s v l, Trace.D_top_clause)
     | None -> global_decision s)
 
 let decide s =
@@ -676,18 +692,30 @@ let decide s =
       s.stats.decisions <- s.stats.decisions + 1;
       Vec.push s.trail_lim (Vec.length s.trail);
       enqueue s l None;
+      if s.tracer.Trace.active then
+        Trace.emit s.tracer
+          (Trace.Decide
+             {
+               level = decision_level s;
+               var = Lit.var l;
+               value = Lit.is_pos l;
+               kind = Trace.D_assumption;
+             });
       `Continue
   end
   else
     match pick_branch s with
     | None -> `All_assigned
-    | Some (v, value) ->
+    | Some (v, value, kind) ->
       s.stats.decisions <- s.stats.decisions + 1;
       (match s.on_decision with
       | Some hook -> hook v value
       | None -> ());
       Vec.push s.trail_lim (Vec.length s.trail);
       enqueue s (Lit.make v value) None;
+      if s.tracer.Trace.active then
+        Trace.emit s.tracer
+          (Trace.Decide { level = decision_level s; var = v; value; kind });
       `Continue
 
 (* Failed-core extraction: the assumption literal [false_lit] is
@@ -734,6 +762,10 @@ let restart s =
   s.restart_epoch <- s.restart_epoch + 1;
   s.conflicts_at_restart <- s.stats.conflicts;
   backtrack s 0;
+  if s.tracer.Trace.active then
+    Trace.emit s.tracer
+      (Trace.Restart
+         { restart_no = s.stats.restarts; conflict_no = s.stats.conflicts });
   reduce_db s
 
 (* ------------------------------------------------------------------ *)
@@ -748,9 +780,14 @@ let create ?(config = Config.berkmin) cnf =
       Some (Var_heap.create ~num_vars:nvars ~activity:var_act)
     else None
   in
+  let tracer = Trace.create () in
+  (match config.Config.trace_jsonl with
+  | Some path -> Trace.set_sink tracer (Trace.open_jsonl path)
+  | None -> ());
   let s = {
     cfg = config;
     stats = Stats.create ();
+    tracer;
     rng = Rng.create config.Config.seed;
     nvars;
     n_original = 0;
@@ -829,12 +866,39 @@ let search s budget =
   let started = Sys.time () in
   let verdict = ref None in
   let iter = ref 0 in
+  let profile = s.cfg.profile_timers in
   while !verdict = None do
     incr iter;
-    match propagate s with
+    let confl =
+      if profile then begin
+        let t0 = Sys.time () in
+        let r = propagate s in
+        s.stats.time_bcp <- s.stats.time_bcp +. (Sys.time () -. t0);
+        r
+      end
+      else propagate s
+    in
+    match confl with
     | Some confl ->
       s.stats.conflicts <- s.stats.conflicts + 1;
-      if decision_level s = 0 then begin
+      let dl = decision_level s in
+      if s.tracer.Trace.active then begin
+        Trace.emit s.tracer
+          (Trace.Conflict { level = dl; conflict_no = s.stats.conflicts });
+        if s.cfg.heartbeat_interval > 0
+           && s.stats.conflicts mod s.cfg.heartbeat_interval = 0
+        then
+          Trace.emit s.tracer
+            (Trace.Heartbeat
+               {
+                 conflict_no = s.stats.conflicts;
+                 decisions = s.stats.decisions;
+                 propagations = s.stats.propagations;
+                 learnt_live = Vec.length s.learnt;
+                 seconds = Sys.time () -. started;
+               })
+      end;
+      if dl = 0 then begin
         log_add s [||];
         verdict := Some `Unsat
       end
@@ -843,7 +907,26 @@ let search s budget =
            the learnt clause backjumps and may flip an assumption's
            value at a lower level, in which case the next [decide]
            reports the failed assumption. *)
-        let lits, bt = analyze s confl in
+        let lits, bt =
+          if profile then begin
+            let t0 = Sys.time () in
+            let r = analyze s confl in
+            s.stats.time_analyze <-
+              s.stats.time_analyze +. (Sys.time () -. t0);
+            r
+          end
+          else analyze s confl
+        in
+        if s.tracer.Trace.active then begin
+          Trace.emit s.tracer
+            (Trace.Learn
+               {
+                 size = Array.length lits;
+                 asserting = lits.(0);
+                 backjump_level = bt;
+               });
+          Trace.emit s.tracer (Trace.Backjump { from_level = dl; to_level = bt })
+        end;
         backtrack s bt;
         ignore (record_learnt s lits);
         maybe_decay s;
@@ -940,3 +1023,34 @@ let pp_result fmt = function
   | Sat _ -> Format.pp_print_string fmt "SATISFIABLE"
   | Unsat -> Format.pp_print_string fmt "UNSATISFIABLE"
   | Unknown -> Format.pp_print_string fmt "UNKNOWN"
+
+(* ------------------------------------------------------------------ *)
+(* Metrics view: pull-based gauges over the live solver, so sampling
+   costs nothing until somebody reads the registry.                    *)
+
+let metrics s =
+  let m = Metrics.create () in
+  let st = s.stats in
+  let int_gauge name f = ignore (Metrics.gauge m name (fun () -> float_of_int (f ()))) in
+  int_gauge "decisions" (fun () -> st.Stats.decisions);
+  int_gauge "top_clause_decisions" (fun () -> st.Stats.top_clause_decisions);
+  int_gauge "global_decisions" (fun () -> st.Stats.global_decisions);
+  int_gauge "conflicts" (fun () -> st.Stats.conflicts);
+  int_gauge "propagations" (fun () -> st.Stats.propagations);
+  int_gauge "restarts" (fun () -> st.Stats.restarts);
+  int_gauge "reductions" (fun () -> st.Stats.reductions);
+  int_gauge "learnt_total" (fun () -> st.Stats.learnt_total);
+  int_gauge "learnt_literals" (fun () -> st.Stats.learnt_literals);
+  int_gauge "removed_clauses" (fun () -> st.Stats.removed_clauses);
+  int_gauge "max_live_clauses" (fun () -> st.Stats.max_live_clauses);
+  int_gauge "learnt_live" (fun () -> Vec.length s.learnt);
+  int_gauge "original_clauses" (fun () -> s.n_original);
+  int_gauge "decision_level" (fun () -> decision_level s);
+  int_gauge "old_activity_threshold" (fun () -> s.old_threshold);
+  int_gauge "trace_events" (fun () -> Trace.emitted s.tracer);
+  ignore (Metrics.gauge m "time_bcp_seconds" (fun () -> st.Stats.time_bcp));
+  ignore
+    (Metrics.gauge m "time_analyze_seconds" (fun () -> st.Stats.time_analyze));
+  ignore
+    (Metrics.gauge m "time_reduce_seconds" (fun () -> st.Stats.time_reduce));
+  m

@@ -56,6 +56,25 @@ val stats : t -> Stats.t
 
 val config : t -> Config.t
 
+val trace : t -> Trace.t
+(** The solver's trace stream.  Created with the [Null] sink unless
+    {!Config.t.trace_jsonl} is set. *)
+
+val set_trace_sink : t -> Trace.sink -> unit
+(** Installs a trace sink (replacing any existing one).  Install before
+    [solve] to capture the whole search. *)
+
+val close_trace : t -> unit
+(** Closes a JSONL trace channel, if any, and disables tracing. *)
+
+val metrics : t -> Metrics.t
+(** A pull-based metrics registry over the live solver: every
+    {!Stats.t} counter plus live gauges (learnt clauses in the
+    database, current decision level, the growing old-clause activity
+    bar, trace events emitted, per-phase CPU seconds).  Sampling reads
+    the solver's state at call time; the registry itself adds no cost
+    to the search. *)
+
 val num_vars : t -> int
 
 val num_original_clauses : t -> int

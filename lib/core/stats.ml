@@ -1,3 +1,5 @@
+open Berkmin_types
+
 type t = {
   mutable decisions : int;
   mutable top_clause_decisions : int;
@@ -14,6 +16,9 @@ type t = {
   mutable max_learnt_live : int;
   mutable skin : int array;
   mutable skin_overflow : int;
+  mutable time_bcp : float;
+  mutable time_analyze : float;
+  mutable time_reduce : float;
 }
 
 let skin_cap = 1 lsl 16
@@ -34,6 +39,9 @@ let create () = {
   max_learnt_live = 0;
   skin = Array.make 64 0;
   skin_overflow = 0;
+  time_bcp = 0.0;
+  time_analyze = 0.0;
+  time_reduce = 0.0;
 }
 
 let reset t =
@@ -51,7 +59,10 @@ let reset t =
   t.max_live_clauses <- 0;
   t.max_learnt_live <- 0;
   t.skin <- Array.make 64 0;
-  t.skin_overflow <- 0
+  t.skin_overflow <- 0;
+  t.time_bcp <- 0.0;
+  t.time_analyze <- 0.0;
+  t.time_reduce <- 0.0
 
 let record_skin t r =
   if r >= skin_cap then t.skin_overflow <- t.skin_overflow + 1
@@ -84,6 +95,52 @@ let peak_ratio t ~initial =
 let avg_learnt_length t =
   if t.learnt_total = 0 then 0.0
   else float_of_int t.learnt_literals /. float_of_int t.learnt_total
+
+(* The skin histogram is emitted trimmed to its last non-zero bucket;
+   [of_json]-style consumers index it positionally. *)
+let skin_to_json t =
+  let last = ref (-1) in
+  Array.iteri (fun i n -> if n > 0 then last := i) t.skin;
+  Json.List
+    (List.init (!last + 1) (fun i -> Json.Int t.skin.(i)))
+
+let props_per_sec t ~seconds =
+  if seconds <= 0.0 then 0.0 else float_of_int t.propagations /. seconds
+
+let to_json ?seconds t =
+  let base =
+    [
+      "decisions", Json.Int t.decisions;
+      "top_clause_decisions", Json.Int t.top_clause_decisions;
+      "global_decisions", Json.Int t.global_decisions;
+      "conflicts", Json.Int t.conflicts;
+      "propagations", Json.Int t.propagations;
+      "restarts", Json.Int t.restarts;
+      "reductions", Json.Int t.reductions;
+      "learnt_total", Json.Int t.learnt_total;
+      "learnt_literals", Json.Int t.learnt_literals;
+      "minimized_literals", Json.Int t.minimized_literals;
+      "removed_clauses", Json.Int t.removed_clauses;
+      "max_live_clauses", Json.Int t.max_live_clauses;
+      "max_learnt_live", Json.Int t.max_learnt_live;
+      "avg_learnt_length", Json.Float (avg_learnt_length t);
+      "skin", skin_to_json t;
+      "skin_overflow", Json.Int t.skin_overflow;
+      "time_bcp", Json.Float t.time_bcp;
+      "time_analyze", Json.Float t.time_analyze;
+      "time_reduce", Json.Float t.time_reduce;
+    ]
+  in
+  let derived =
+    match seconds with
+    | None -> []
+    | Some s ->
+      [
+        "seconds", Json.Float s;
+        "props_per_sec", Json.Float (props_per_sec t ~seconds:s);
+      ]
+  in
+  Json.Obj (base @ derived)
 
 let pp fmt t =
   Format.fprintf fmt

@@ -25,6 +25,10 @@ type t = {
   mutable max_learnt_live : int;
   mutable skin : int array;  (** [skin.(r)] = decisions from stack distance [r] *)
   mutable skin_overflow : int;  (** distances beyond the histogram capacity *)
+  mutable time_bcp : float;
+      (** CPU seconds inside BCP, when {!Config.t.profile_timers} *)
+  mutable time_analyze : float;  (** CPU seconds in conflict analysis *)
+  mutable time_reduce : float;  (** CPU seconds in database reduction *)
 }
 
 val create : unit -> t
@@ -47,6 +51,15 @@ val peak_ratio : t -> initial:int -> float
 (** Table 9 second column: peak live clauses / initial. *)
 
 val avg_learnt_length : t -> float
+
+val props_per_sec : t -> seconds:float -> float
+(** Propagations per second given the run's wall/CPU time; 0 when
+    [seconds <= 0]. *)
+
+val to_json : ?seconds:float -> t -> Berkmin_types.Json.t
+(** Every counter as a JSON object (skin histogram trimmed to its last
+    non-zero bucket).  When [seconds] is passed, adds ["seconds"] and
+    the derived ["props_per_sec"]. *)
 
 val pp : Format.formatter -> t -> unit
 (** Multi-line human-readable dump. *)

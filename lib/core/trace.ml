@@ -1,0 +1,135 @@
+open Berkmin_types
+
+type decision_kind =
+  | D_top_clause
+  | D_global
+  | D_assumption
+
+type event =
+  | Decide of { level : int; var : int; value : bool; kind : decision_kind }
+  | Propagate of { level : int; lit : Lit.t }
+  | Conflict of { level : int; conflict_no : int }
+  | Learn of { size : int; asserting : Lit.t; backjump_level : int }
+  | Backjump of { from_level : int; to_level : int }
+  | Restart of { restart_no : int; conflict_no : int }
+  | Reduce_db of { live_before : int; removed : int; threshold : int }
+  | Heartbeat of {
+      conflict_no : int;
+      decisions : int;
+      propagations : int;
+      learnt_live : int;
+      seconds : float;
+    }
+
+type sink =
+  | Null
+  | Callback of (event -> unit)
+  | Jsonl of out_channel
+
+type t = {
+  mutable sink : sink;
+  mutable active : bool;  (* false iff sink = Null: the hot-path guard *)
+  mutable emitted : int;
+}
+
+let create () = { sink = Null; active = false; emitted = 0 }
+
+let kind_to_string = function
+  | D_top_clause -> "top_clause"
+  | D_global -> "global"
+  | D_assumption -> "assumption"
+
+let event_to_json = function
+  | Decide { level; var; value; kind } ->
+    Json.Obj
+      [
+        "event", Json.String "decide";
+        "level", Json.Int level;
+        "var", Json.Int var;
+        "value", Json.Bool value;
+        "kind", Json.String (kind_to_string kind);
+      ]
+  | Propagate { level; lit } ->
+    Json.Obj
+      [
+        "event", Json.String "propagate";
+        "level", Json.Int level;
+        "lit", Json.Int (Lit.to_dimacs lit);
+      ]
+  | Conflict { level; conflict_no } ->
+    Json.Obj
+      [
+        "event", Json.String "conflict";
+        "level", Json.Int level;
+        "conflict_no", Json.Int conflict_no;
+      ]
+  | Learn { size; asserting; backjump_level } ->
+    Json.Obj
+      [
+        "event", Json.String "learn";
+        "size", Json.Int size;
+        "asserting", Json.Int (Lit.to_dimacs asserting);
+        "backjump_level", Json.Int backjump_level;
+      ]
+  | Backjump { from_level; to_level } ->
+    Json.Obj
+      [
+        "event", Json.String "backjump";
+        "from_level", Json.Int from_level;
+        "to_level", Json.Int to_level;
+      ]
+  | Restart { restart_no; conflict_no } ->
+    Json.Obj
+      [
+        "event", Json.String "restart";
+        "restart_no", Json.Int restart_no;
+        "conflict_no", Json.Int conflict_no;
+      ]
+  | Reduce_db { live_before; removed; threshold } ->
+    Json.Obj
+      [
+        "event", Json.String "reduce_db";
+        "live_before", Json.Int live_before;
+        "removed", Json.Int removed;
+        "threshold", Json.Int threshold;
+      ]
+  | Heartbeat { conflict_no; decisions; propagations; learnt_live; seconds } ->
+    Json.Obj
+      [
+        "event", Json.String "heartbeat";
+        "conflict_no", Json.Int conflict_no;
+        "decisions", Json.Int decisions;
+        "propagations", Json.Int propagations;
+        "learnt_live", Json.Int learnt_live;
+        "seconds", Json.Float seconds;
+      ]
+
+let set_sink t sink =
+  t.sink <- sink;
+  t.active <- sink <> Null
+
+let sink t = t.sink
+let active t = t.active
+let emitted t = t.emitted
+
+let emit t event =
+  match t.sink with
+  | Null -> ()
+  | Callback f ->
+    t.emitted <- t.emitted + 1;
+    f event
+  | Jsonl oc ->
+    t.emitted <- t.emitted + 1;
+    (* Line-buffered with an explicit flush: traces are a debugging
+       aid, so survivability of every line beats raw throughput. *)
+    output_string oc (Json.to_string (event_to_json event));
+    output_char oc '\n';
+    flush oc
+
+let open_jsonl path = Jsonl (open_out path)
+
+let close t =
+  (match t.sink with
+  | Jsonl oc -> close_out_noerr oc
+  | Null | Callback _ -> ());
+  set_sink t Null

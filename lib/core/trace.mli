@@ -1,0 +1,80 @@
+(** Structured trace-event stream for the CDCL search.
+
+    Every interesting transition of the search loop — decision,
+    BCP-implied literal, conflict, learnt clause, backjump, restart,
+    database reduction, plus a periodic heartbeat — is a typed event.
+    Events flow to a pluggable sink: [Null] (the default; the solver's
+    emission sites guard on {!active}, so a disabled trace costs one
+    mutable-bool load per site), a [Callback] for programmatic
+    consumers (tests, live dashboards), or a [Jsonl] channel writing
+    one JSON object per line.
+
+    Literals appear in events in signed DIMACS convention (via
+    {!Berkmin_types.Lit.to_dimacs}), matching the solver's external
+    I/O. *)
+
+open Berkmin_types
+
+type decision_kind =
+  | D_top_clause  (** decision from the current top clause *)
+  | D_global  (** global fallback / VSIDS decision *)
+  | D_assumption  (** assumption literal tried as a decision *)
+
+type event =
+  | Decide of { level : int; var : int; value : bool; kind : decision_kind }
+  | Propagate of { level : int; lit : Lit.t }
+      (** a literal implied by BCP (not emitted for decisions) *)
+  | Conflict of { level : int; conflict_no : int }
+  | Learn of { size : int; asserting : Lit.t; backjump_level : int }
+  | Backjump of { from_level : int; to_level : int }
+  | Restart of { restart_no : int; conflict_no : int }
+  | Reduce_db of { live_before : int; removed : int; threshold : int }
+  | Heartbeat of {
+      conflict_no : int;
+      decisions : int;
+      propagations : int;
+      learnt_live : int;
+      seconds : float;  (** CPU seconds since the solve started *)
+    }
+
+type sink =
+  | Null
+  | Callback of (event -> unit)
+  | Jsonl of out_channel
+
+type t = private {
+  mutable sink : sink;
+  mutable active : bool;
+      (** [false] iff [sink = Null].  Exposed as a field (not a
+          function) so the solver's per-propagation guard is a single
+          load even without cross-module inlining.  Mutate only via
+          {!set_sink}/{!close}. *)
+  mutable emitted : int;
+}
+
+val create : unit -> t
+(** A fresh trace with the [Null] sink. *)
+
+val set_sink : t -> sink -> unit
+
+val sink : t -> sink
+
+val active : t -> bool
+(** [false] iff the sink is [Null].  Emission sites check this before
+    constructing an event, so disabled tracing allocates nothing. *)
+
+val emit : t -> event -> unit
+(** Sends the event to the sink ([Null] drops it).  [Jsonl] lines are
+    flushed eagerly. *)
+
+val emitted : t -> int
+(** Events delivered to a non-null sink so far. *)
+
+val event_to_json : event -> Json.t
+
+val open_jsonl : string -> sink
+(** Opens (truncates) a JSONL trace file. *)
+
+val close : t -> unit
+(** Closes a [Jsonl] channel if present and resets the sink to
+    [Null]. *)

@@ -1,11 +1,25 @@
 open Berkmin_gen
 module Config = Berkmin.Config
+module Json = Berkmin_types.Json
 
 type opts = {
   budget : Berkmin.Solver.budget;
   hard_budget : Berkmin.Solver.budget;
   abort_penalty : float;
 }
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable trail: every experiment records its data here as
+   it prints, so the bench harness can dump a JSON companion to the
+   plain-text report.                                                  *)
+
+let json_log : (string * Json.t) list ref = ref []
+
+let reset_json () = json_log := []
+
+let record_json name j = json_log := (name, j) :: !json_log
+
+let collected_json () = List.rev !json_log
 
 (* Budgets are sized so the full evaluation finishes in tens of
    minutes on one core: the reference solver's hardest solve
@@ -38,7 +52,7 @@ let check_no_wrong results =
           r.wrong r.class_name)
     results
 
-let class_sweep opts configs =
+let class_sweep ~name opts configs =
   let classes = Suites.all () in
   (* results.(i) = per-class results of configuration i, class order
      preserved. *)
@@ -83,9 +97,25 @@ let class_sweep opts configs =
            else Printf.sprintf "> %.2f (%d)" t aborts)
          results
   in
-  Table.print
-    ~header:("Class" :: List.map fst configs)
-    (rows @ [ totals ])
+  let header = "Class" :: List.map fst configs in
+  Table.print ~header (rows @ [ totals ]);
+  record_json name
+    (Json.Obj
+       [
+         "table", Table.to_json ~header (rows @ [ totals ]);
+         ( "configs",
+           Json.List
+             (List.map2
+                (fun (config_name, _) per_class ->
+                  Json.Obj
+                    [
+                      "config", Json.String config_name;
+                      ( "classes",
+                        Json.List
+                          (List.map Runner.class_result_to_json per_class) );
+                    ])
+                configs results) );
+       ])
 
 (* ------------------------------------------------------------------ *)
 
@@ -94,7 +124,7 @@ let table1 opts =
   print_endline
     "Paper: BerkMin total 20,412 s vs Less_sensitivity 51,498 s; the gap\n\
      comes from the hard classes (Hanoi, Miters, Fvp_unsat2.0).";
-  class_sweep opts
+  class_sweep ~name:"table1" opts
     [ "BerkMin", Config.berkmin; "Less_sensitivity", Config.less_sensitivity ]
 
 let table2 opts =
@@ -102,7 +132,7 @@ let table2 opts =
   print_endline
     "Paper: BerkMin total 20,412 s vs Less_mobility > 258,959 s with 3\n\
      aborts (Beijing x2, Fvp_unsat2.0); biggest single novelty.";
-  class_sweep opts
+  class_sweep ~name:"table2" opts
     [ "BerkMin", Config.berkmin; "Less_mobility", Config.less_mobility ]
 
 let table4 opts =
@@ -111,7 +141,7 @@ let table4 opts =
     "Paper: BerkMin 20,412 s; Sat_top 36,153; Unsat_top > 155,393 (2);\n\
      Take_0 53,624; Take_1 > 213,808 (3); Take_rand 24,845.  Symmetrize\n\
      and Take_rand are the two good ones.";
-  class_sweep opts
+  class_sweep ~name:"table4" opts
     [
       "BerkMin", Config.berkmin;
       "Sat_top", Config.sat_top;
@@ -126,7 +156,7 @@ let table5 opts =
   print_endline
     "Paper: BerkMin 20,412 s vs Limited_keeping (GRASP-style, remove\n\
      length > 42) 57,881 s; factor >= 2 on Hanoi, Miters, Fvp_unsat2.0.";
-  class_sweep opts
+  class_sweep ~name:"table5" opts
     [ "BerkMin", Config.berkmin; "Limited_keeping", Config.limited_keeping ]
 
 (* ------------------------------------------------------------------ *)
@@ -158,7 +188,13 @@ let table3 opts =
              outcomes)
       distances
   in
-  Table.print ~header rows
+  Table.print ~header rows;
+  record_json "table3"
+    (Json.Obj
+       [
+         "table", Table.to_json ~header rows;
+         "instances", Json.List (List.map Runner.outcome_to_json outcomes);
+       ])
 
 (* ------------------------------------------------------------------ *)
 
@@ -184,24 +220,47 @@ let table6 opts =
     "Paper: Chaff wins Hole (38 vs 339 s) and Fvp_unsat1.0; BerkMin wins\n\
      the rest; neither aborts anything.";
   let classes = comparable_classes () in
-  let rows =
+  let results =
     List.map
       (fun (name, instances) ->
         let ch = Runner.run_class ~budget:opts.budget Config.chaff name instances in
         let bm = Runner.run_class ~budget:opts.budget Config.berkmin name instances in
         check_no_wrong [ ch; bm ];
+        (name, instances, ch, bm))
+      classes
+  in
+  let rows =
+    List.map
+      (fun (name, instances, (ch : Runner.class_result), bm) ->
         [
           name;
           string_of_int (List.length instances);
           Table.seconds_aborted ch.total_seconds ch.aborted
             ~penalty:opts.abort_penalty;
-          Table.seconds_aborted bm.total_seconds bm.aborted
+          Table.seconds_aborted bm.Runner.total_seconds bm.Runner.aborted
             ~penalty:opts.abort_penalty;
-          (if ch.total_seconds < bm.total_seconds then "chaff" else "berkmin");
+          (if ch.total_seconds < bm.Runner.total_seconds then "chaff"
+           else "berkmin");
         ])
-      classes
+      results
   in
-  Table.print ~header:[ "Class"; "#inst"; "zChaff"; "BerkMin"; "winner" ] rows
+  let header = [ "Class"; "#inst"; "zChaff"; "BerkMin"; "winner" ] in
+  Table.print ~header rows;
+  record_json "table6"
+    (Json.Obj
+       [
+         "table", Table.to_json ~header rows;
+         ( "classes",
+           Json.List
+             (List.map
+                (fun (_, _, ch, bm) ->
+                  Json.Obj
+                    [
+                      "chaff", Runner.class_result_to_json ch;
+                      "berkmin", Runner.class_result_to_json bm;
+                    ])
+                results) );
+       ])
 
 let table7 opts =
   Table.section "Table 7 — Classes where BerkMin dominates (seconds)";
@@ -210,7 +269,7 @@ let table7 opts =
      BerkMin aborts nothing.  Abort penalty here: %.0f s per abort.\n"
     opts.abort_penalty;
   let classes = dominated_classes () in
-  let rows =
+  let results =
     List.map
       (fun (name, instances) ->
         let ch =
@@ -220,21 +279,41 @@ let table7 opts =
           Runner.run_class ~budget:opts.hard_budget Config.berkmin name instances
         in
         check_no_wrong [ ch; bm ];
+        (name, instances, ch, bm))
+      classes
+  in
+  let rows =
+    List.map
+      (fun (name, instances, (ch : Runner.class_result), bm) ->
         [
           name;
           string_of_int (List.length instances);
           Table.seconds_aborted ch.total_seconds ch.aborted
             ~penalty:opts.abort_penalty;
           string_of_int ch.aborted;
-          Table.seconds_aborted bm.total_seconds bm.aborted
+          Table.seconds_aborted bm.Runner.total_seconds bm.Runner.aborted
             ~penalty:opts.abort_penalty;
-          string_of_int bm.aborted;
+          string_of_int bm.Runner.aborted;
         ])
-      classes
+      results
   in
-  Table.print
-    ~header:[ "Class"; "#inst"; "zChaff"; "ab"; "BerkMin"; "ab" ]
-    rows
+  let header = [ "Class"; "#inst"; "zChaff"; "ab"; "BerkMin"; "ab" ] in
+  Table.print ~header rows;
+  record_json "table7"
+    (Json.Obj
+       [
+         "table", Table.to_json ~header rows;
+         ( "classes",
+           Json.List
+             (List.map
+                (fun (_, _, ch, bm) ->
+                  Json.Obj
+                    [
+                      "chaff", Runner.class_result_to_json ch;
+                      "berkmin", Runner.class_result_to_json bm;
+                    ])
+                results) );
+       ])
 
 let table8 opts =
   Table.section "Table 8 — Decisions and runtimes on hard instances";
@@ -242,13 +321,19 @@ let table8 opts =
     "Paper: BerkMin builds much smaller search trees (e.g. 4pipe 144k vs\n\
      467k decisions) and solves 7pipe where Chaff times out.";
   let instances = Suites.hard_instances () in
-  let rows =
+  let results =
     List.map
       (fun inst ->
         let ch = Runner.run_instance ~budget:opts.hard_budget Config.chaff inst in
         let bm =
           Runner.run_instance ~budget:opts.hard_budget Config.berkmin inst
         in
+        (inst, ch, bm))
+      instances
+  in
+  let rows =
+    List.map
+      (fun (inst, ch, bm) ->
         [
           inst.Instance.name;
           Instance.expected_to_string inst.Instance.expected;
@@ -259,13 +344,28 @@ let table8 opts =
           ^ (if bm.Runner.verdict = Runner.V_aborted then "*" else "");
           Table.seconds bm.Runner.seconds;
         ])
-      instances
+      results
   in
-  Table.print
-    ~header:
-      [ "Instance"; "sat?"; "zChaff dec"; "time"; "BerkMin dec"; "time" ]
-    rows;
-  print_endline "(* = aborted at the budget)"
+  let header =
+    [ "Instance"; "sat?"; "zChaff dec"; "time"; "BerkMin dec"; "time" ]
+  in
+  Table.print ~header rows;
+  print_endline "(* = aborted at the budget)";
+  record_json "table8"
+    (Json.Obj
+       [
+         "table", Table.to_json ~header rows;
+         ( "instances",
+           Json.List
+             (List.map
+                (fun (_, ch, bm) ->
+                  Json.Obj
+                    [
+                      "chaff", Runner.outcome_to_json ch;
+                      "berkmin", Runner.outcome_to_json bm;
+                    ])
+                results) );
+       ])
 
 let table9 opts =
   Table.section "Table 9 — Database size relative to the initial CNF";
@@ -274,33 +374,57 @@ let table9 opts =
      (e.g. hanoi6: 19.6 vs 93.3) and its peak live database stays within\n\
      ~1-4x of the initial CNF.";
   let instances = Suites.hard_instances () in
-  let rows =
+  let results =
     List.map
       (fun inst ->
         let ch = Runner.run_instance ~budget:opts.hard_budget Config.chaff inst in
         let bm =
           Runner.run_instance ~budget:opts.hard_budget Config.berkmin inst
         in
-        let gen_ratio (o : Runner.outcome) =
-          float_of_int (o.initial_clauses + o.learnt_total)
-          /. float_of_int (max o.initial_clauses 1)
-        in
-        let peak_ratio (o : Runner.outcome) =
-          float_of_int o.max_live_clauses
-          /. float_of_int (max o.initial_clauses 1)
-        in
+        (inst, ch, bm))
+      instances
+  in
+  let gen_ratio (o : Runner.outcome) =
+    float_of_int (o.initial_clauses + o.learnt_total)
+    /. float_of_int (max o.initial_clauses 1)
+  in
+  let peak_ratio (o : Runner.outcome) =
+    float_of_int o.max_live_clauses /. float_of_int (max o.initial_clauses 1)
+  in
+  let rows =
+    List.map
+      (fun (inst, ch, bm) ->
         [
           inst.Instance.name;
           Table.ratio (gen_ratio ch);
           Table.ratio (gen_ratio bm);
           Table.ratio (peak_ratio bm);
         ])
-      instances
+      results
   in
-  Table.print
-    ~header:
-      [ "Instance"; "zChaff gen/init"; "BerkMin gen/init"; "BerkMin peak/init" ]
-    rows
+  let header =
+    [ "Instance"; "zChaff gen/init"; "BerkMin gen/init"; "BerkMin peak/init" ]
+  in
+  Table.print ~header rows;
+  record_json "table9"
+    (Json.Obj
+       [
+         "table", Table.to_json ~header rows;
+         ( "instances",
+           Json.List
+             (List.map
+                (fun (inst, ch, bm) ->
+                  Json.Obj
+                    [
+                      "instance", Json.String inst.Instance.name;
+                      "chaff_gen_ratio", Json.Float (gen_ratio ch);
+                      "berkmin_gen_ratio", Json.Float (gen_ratio bm);
+                      "berkmin_peak_ratio", Json.Float (peak_ratio bm);
+                      "chaff", Runner.outcome_to_json ch;
+                      "berkmin", Runner.outcome_to_json bm;
+                    ])
+                results) );
+       ])
 
 let table10 opts =
   Table.section "Table 10 — Competition-style robustness (hard set)";
@@ -362,7 +486,27 @@ let table10 opts =
       let name, _ = entry in
       Printf.printf "%s: solved %d (satisfiable %d)\n" name (solved entry)
         (solved_sat entry))
-    outcomes
+    outcomes;
+  record_json "table10"
+    (Json.Obj
+       [
+         ( "table",
+           Table.to_json ~header:("Instance" :: "sat?" :: List.map fst configs)
+             rows );
+         ( "solvers",
+           Json.List
+             (List.map
+                (fun ((name, outs) as entry) ->
+                  Json.Obj
+                    [
+                      "solver", Json.String name;
+                      "solved", Json.Int (solved entry);
+                      "solved_sat", Json.Int (solved_sat entry);
+                      ( "instances",
+                        Json.List (List.map Runner.outcome_to_json outs) );
+                    ])
+                outcomes) );
+       ])
 
 (* ------------------------------------------------------------------ *)
 
@@ -408,7 +552,15 @@ let figure1 opts =
   in
   Table.print ~header:[ "decisions"; "BerkMin"; "Less_mobility" ] rows;
   Printf.printf
-    "(windows of %d decisions; '-' = run finished before that window)\n" window
+    "(windows of %d decisions; '-' = run finished before that window)\n" window;
+  let pcts ws = Json.List (List.map (fun p -> Json.Float p) ws) in
+  record_json "figure1"
+    (Json.Obj
+       [
+         "window_decisions", Json.Int window;
+         "berkmin_cone_pct", pcts bm;
+         "less_mobility_cone_pct", pcts lm;
+       ])
 
 (* ------------------------------------------------------------------ *)
 (* Extension ablations: design choices DESIGN.md calls out plus the
@@ -418,7 +570,7 @@ let figure1 opts =
 
 let ext_restarts opts =
   Table.section "Ablation — restart strategy (paper conclusions: \"very primitive ... can be significantly improved\")";
-  class_sweep opts
+  class_sweep ~name:"ext-restarts" opts
     [
       "Fixed 100", { Config.berkmin with Config.restart_mode = Config.Fixed 100 };
       "Fixed 550 (paper)", Config.berkmin;
@@ -432,7 +584,7 @@ let ext_window opts =
   print_endline
     "Paper: \"whether this heuristic can be relaxed and a broader set of\n\
      top clauses be examined\" — left as future work; this runs it.";
-  class_sweep opts
+  class_sweep ~name:"ext-window" opts
     [
       "w=1 (paper)", Config.berkmin;
       "w=2", { Config.berkmin with Config.top_window = 2 };
@@ -442,7 +594,7 @@ let ext_window opts =
 
 let ext_minimize opts =
   Table.section "Ablation — learnt-clause minimization (post-2002 extension)";
-  class_sweep opts
+  class_sweep ~name:"ext-minimize" opts
     [
       "Off (paper)", Config.berkmin;
       "On", { Config.berkmin with Config.minimize_learnt = true };
@@ -453,7 +605,7 @@ let ext_varheap opts =
   print_endline
     "Identical decisions by construction; only the cost of the global\n\
      variable scan differs (naive O(V) scan vs indexed heap).";
-  class_sweep opts
+  class_sweep ~name:"ext-varheap" opts
     [
       "Naive scan (paper)", Config.berkmin;
       "Heap", { Config.berkmin with Config.use_var_heap = true };
@@ -464,7 +616,7 @@ let ext_dbparams opts =
   print_endline
     "The paper fixes young fraction 1/16, keep-length 43/9, activity\n\
      bars 7/60; this varies the young fraction and the keep bars.";
-  class_sweep opts
+  class_sweep ~name:"ext-dbparams" opts
     [
       "Paper", Config.berkmin;
       "Young 1/4", { Config.berkmin with Config.young_fraction = 0.25 };
@@ -483,7 +635,7 @@ let ext_dbparams opts =
 
 let ext_decay opts =
   Table.section "Ablation — activity aging (divide by 4 every 64 conflicts)";
-  class_sweep opts
+  class_sweep ~name:"ext-decay" opts
     [
       "Paper (64, /4)", Config.berkmin;
       ( "Slow (256, /2)",

@@ -68,3 +68,12 @@ val run_one : opts -> string -> bool
 val names : string list
 (** ["table1" .. "table10", "figure1", "ext-restarts", "ext-window",
     "ext-minimize", "ext-varheap", "ext-dbparams", "ext-decay"]. *)
+
+val reset_json : unit -> unit
+(** Clears the machine-readable log the experiment drivers append to. *)
+
+val collected_json : unit -> (string * Berkmin_types.Json.t) list
+(** [(experiment name, JSON twin of its printed table)] pairs for every
+    experiment run since the last {!reset_json}, in run order.  The
+    text output above stays the human-facing report; this is the same
+    data for tooling. *)

@@ -26,6 +26,33 @@ let verdict_to_string = function
   | V_unsat -> "UNSAT"
   | V_aborted -> "aborted"
 
+let props_per_sec o =
+  if o.seconds <= 0.0 then 0.0
+  else float_of_int o.propagations /. o.seconds
+
+let outcome_to_json o =
+  let skin_trimmed =
+    let last = ref (-1) in
+    Array.iteri (fun i n -> if n > 0 then last := i) o.skin;
+    List.init (!last + 1) (fun i -> Json.Int o.skin.(i))
+  in
+  Json.Obj
+    [
+      "instance", Json.String o.instance_name;
+      "expected", Json.String (Instance.expected_to_string o.expected);
+      "verdict", Json.String (verdict_to_string o.verdict);
+      "correct", Json.Bool o.correct;
+      "seconds", Json.Float o.seconds;
+      "conflicts", Json.Int o.conflicts;
+      "decisions", Json.Int o.decisions;
+      "propagations", Json.Int o.propagations;
+      "props_per_sec", Json.Float (props_per_sec o);
+      "learnt_total", Json.Int o.learnt_total;
+      "max_live_clauses", Json.Int o.max_live_clauses;
+      "initial_clauses", Json.Int o.initial_clauses;
+      "skin", Json.List skin_trimmed;
+    ]
+
 let default_budget =
   { Berkmin.Solver.max_conflicts = Some 500_000; max_seconds = Some 60.0 }
 
@@ -83,3 +110,13 @@ let run_class ?budget config class_name instances =
 
 let adjusted_seconds ~penalty r =
   r.total_seconds +. (penalty *. float_of_int r.aborted)
+
+let class_result_to_json r =
+  Json.Obj
+    [
+      "class", Json.String r.class_name;
+      "total_seconds", Json.Float r.total_seconds;
+      "aborted", Json.Int r.aborted;
+      "wrong", Json.Int r.wrong;
+      "instances", Json.List (List.map outcome_to_json r.outcomes);
+    ]

@@ -26,6 +26,14 @@ type outcome = {
 
 val verdict_to_string : verdict -> string
 
+val props_per_sec : outcome -> float
+(** Propagations per second of the run; 0 for zero-length runs. *)
+
+val outcome_to_json : outcome -> Berkmin_types.Json.t
+(** One instance run as a JSON object: name, expectation, verdict,
+    time, conflicts/decisions/propagations, props/sec, database
+    numbers and the trimmed skin histogram. *)
+
 val run_instance :
   ?budget:Berkmin.Solver.budget -> Berkmin.Config.t -> Instance.t -> outcome
 (** Runs one instance; SAT models are re-verified against the formula. *)
@@ -48,6 +56,8 @@ val run_class :
 val adjusted_seconds : penalty:float -> class_result -> float
 (** Total time with [penalty] added per aborted instance — the paper's
     "lower number plus 60,000 times the number of aborted" rows. *)
+
+val class_result_to_json : class_result -> Berkmin_types.Json.t
 
 val default_budget : Berkmin.Solver.budget
 (** 500k conflicts or 60 CPU seconds per instance. *)

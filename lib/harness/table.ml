@@ -42,6 +42,18 @@ let render ~header ?aligns rows =
 let print ~header ?aligns rows =
   print_string (render ~header ?aligns rows)
 
+let to_json ~header rows =
+  let open Berkmin_types in
+  Json.Obj
+    [
+      "header", Json.List (List.map (fun h -> Json.String h) header);
+      ( "rows",
+        Json.List
+          (List.map
+             (fun row -> Json.List (List.map (fun c -> Json.String c) row))
+             rows) );
+    ]
+
 let seconds s = Printf.sprintf "%.2f" s
 
 let seconds_aborted total aborted ~penalty =

@@ -12,6 +12,11 @@ val render :
 val print :
   header:string list -> ?aligns:align list -> string list list -> unit
 
+val to_json :
+  header:string list -> string list list -> Berkmin_types.Json.t
+(** The same table as [{"header": [...], "rows": [[...]]}] — the
+    machine-readable twin of {!print}. *)
+
 val seconds : float -> string
 (** Two-decimal rendering, e.g. ["12.34"]. *)
 

@@ -1,0 +1,327 @@
+(* Tests for the observability layer: the Json emitter/parser, the
+   Metrics registry, Stats JSON round-trips, and the Trace event
+   stream (callback and JSONL sinks) on a small pigeonhole solve. *)
+
+open Berkmin_types
+module Metrics = Berkmin.Metrics
+module Trace = Berkmin.Trace
+module Config = Berkmin.Config
+module Solver = Berkmin.Solver
+module Stats = Berkmin.Stats
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Json                                                                *)
+
+let roundtrip j = Json.of_string (Json.to_string j)
+
+let test_json_roundtrip () =
+  let samples =
+    [
+      Json.Null;
+      Json.Bool true;
+      Json.Bool false;
+      Json.Int 0;
+      Json.Int (-42);
+      Json.Int max_int;
+      Json.Float 0.25;
+      Json.Float 1e-3;
+      Json.Float 1.7976931348623157e308;
+      Json.String "";
+      Json.String "with \"quotes\" and \\ and \n tab\t";
+      Json.List [ Json.Int 1; Json.String "two"; Json.Null ];
+      Json.Obj
+        [
+          "a", Json.Int 1;
+          "nested", Json.Obj [ "b", Json.List [ Json.Bool false ] ];
+        ];
+    ]
+  in
+  List.iter
+    (fun j ->
+      check Alcotest.bool
+        (Printf.sprintf "roundtrip %s" (Json.to_string j))
+        true
+        (roundtrip j = j))
+    samples;
+  (* pretty output parses back to the same value too *)
+  let big =
+    Json.Obj [ "xs", Json.List (List.init 20 (fun i -> Json.Int i)) ]
+  in
+  check Alcotest.bool "pretty roundtrip" true
+    (Json.of_string (Json.to_string_pretty big) = big)
+
+let test_json_float_repr () =
+  (* floats always re-parse as floats, never silently become ints *)
+  (match roundtrip (Json.Float 2.0) with
+  | Json.Float f -> check (Alcotest.float 0.0) "2.0 stays float" 2.0 f
+  | _ -> Alcotest.fail "Float 2.0 did not re-parse as a float");
+  (* non-finite values have no JSON spelling; they serialize as null *)
+  check Alcotest.string "nan" "null" (Json.to_string (Json.Float Float.nan));
+  check Alcotest.string "inf" "null"
+    (Json.to_string (Json.Float Float.infinity))
+
+let test_json_accessors () =
+  let j = Json.of_string {|{"a": 1, "b": [2.5, "x"], "c": null}|} in
+  check Alcotest.(option int) "member a" (Some 1)
+    (Option.bind (Json.member "a" j) Json.to_int_opt);
+  (match Json.member "b" j with
+  | Some (Json.List [ f; s ]) ->
+    check Alcotest.(option (float 0.0)) "b[0]" (Some 2.5) (Json.to_float_opt f);
+    check Alcotest.(option string) "b[1]" (Some "x") (Json.to_string_opt s)
+  | _ -> Alcotest.fail "member b");
+  check Alcotest.bool "missing member" true (Json.member "zzz" j = None)
+
+let test_json_errors () =
+  let bad = [ ""; "{"; "[1,]"; "{\"a\" 1}"; "tru"; "\"unterminated" ] in
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | exception Json.Parse_error _ -> ()
+      | _ -> Alcotest.fail (Printf.sprintf "parsed invalid input %S" s))
+    bad
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry                                                    *)
+
+let test_counters () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "conflicts" in
+  check Alcotest.int "starts at 0" 0 (Metrics.value c);
+  Metrics.incr c;
+  Metrics.add c 10;
+  check Alcotest.int "incr+add" 11 (Metrics.value c);
+  (* same name, same kind: the existing handle comes back *)
+  let c' = Metrics.counter m "conflicts" in
+  Metrics.incr c';
+  check Alcotest.int "shared handle" 12 (Metrics.value c);
+  check Alcotest.string "name" "conflicts" (Metrics.counter_name c);
+  (* same name, different kind: refused *)
+  Alcotest.check_raises "cross-kind clash"
+    (Metrics.Duplicate_name "conflicts") (fun () ->
+      ignore (Metrics.gauge m "conflicts" (fun () -> 0.0)))
+
+let test_timers () =
+  let now = ref 0.0 in
+  let clock () = !now in
+  let m = Metrics.create () in
+  let t = Metrics.timer ~clock m "bcp" in
+  Metrics.start t;
+  now := 1.5;
+  Metrics.stop t;
+  check (Alcotest.float 1e-9) "one span" 1.5 (Metrics.total t);
+  check Alcotest.int "one sample" 1 (Metrics.samples t);
+  (* stop without start is a no-op *)
+  Metrics.stop t;
+  check Alcotest.int "no phantom sample" 1 (Metrics.samples t);
+  (* time wraps a thunk and is exception-safe *)
+  let r = Metrics.time t (fun () -> now := 2.0; 42) in
+  check Alcotest.int "thunk result" 42 r;
+  check (Alcotest.float 1e-9) "accumulated" 2.0 (Metrics.total t);
+  (match Metrics.time t (fun () -> now := 3.0; failwith "boom") with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "exception swallowed");
+  check Alcotest.int "span closed on raise" 3 (Metrics.samples t);
+  check (Alcotest.float 1e-9) "raise span counted" 3.0 (Metrics.total t)
+
+let test_registry_snapshot () =
+  let now = ref 0.0 in
+  let m = Metrics.create () in
+  let c = Metrics.counter m "props" in
+  let _g = Metrics.gauge m "live" (fun () -> 7.0) in
+  let t = Metrics.timer ~clock:(fun () -> !now) m "analyze" in
+  Metrics.add c 3;
+  Metrics.start t;
+  now := 0.5;
+  Metrics.stop t;
+  check
+    Alcotest.(list (pair string (float 1e-9)))
+    "registration order"
+    [ "props", 3.0; "live", 7.0; "analyze_seconds", 0.5 ]
+    (Metrics.snapshot m);
+  (* to_json carries the same data, grouped by kind *)
+  let j = Metrics.to_json m in
+  let counters = Option.get (Json.member "counters" j) in
+  check Alcotest.(option int) "json counter" (Some 3)
+    (Option.bind (Json.member "props" counters) Json.to_int_opt);
+  let timers = Option.get (Json.member "timers" j) in
+  let analyze = Option.get (Json.member "analyze" timers) in
+  check Alcotest.(option int) "json samples" (Some 1)
+    (Option.bind (Json.member "samples" analyze) Json.to_int_opt);
+  Metrics.reset m;
+  check Alcotest.int "reset counter" 0 (Metrics.value c);
+  check (Alcotest.float 0.0) "reset timer" 0.0 (Metrics.total t)
+
+(* ------------------------------------------------------------------ *)
+(* Stats JSON                                                          *)
+
+let solve_hole ?(config = Config.berkmin) n =
+  let inst = Berkmin_gen.Pigeonhole.instance n (n - 1) in
+  let solver = Solver.create ~config inst.Berkmin_gen.Instance.cnf in
+  let result = Solver.solve solver in
+  (solver, result)
+
+let test_stats_to_json_roundtrip () =
+  let solver, result = solve_hole 6 in
+  check Alcotest.bool "hole(6,5) unsat" true (result = Solver.Unsat);
+  let st = Solver.stats solver in
+  let j = Json.of_string (Json.to_string (Stats.to_json ~seconds:0.5 st)) in
+  let get name = Option.bind (Json.member name j) Json.to_int_opt in
+  check Alcotest.(option int) "conflicts" (Some st.Stats.conflicts)
+    (get "conflicts");
+  check Alcotest.(option int) "decisions" (Some st.Stats.decisions)
+    (get "decisions");
+  check Alcotest.(option int) "propagations" (Some st.Stats.propagations)
+    (get "propagations");
+  check
+    Alcotest.(option (float 1e-6))
+    "props_per_sec"
+    (Some (float_of_int st.Stats.propagations /. 0.5))
+    (Option.bind (Json.member "props_per_sec" j) Json.to_float_opt);
+  (* the skin histogram survives as a list of ints *)
+  match Json.member "skin" j with
+  | Some (Json.List (_ :: _)) -> ()
+  | _ -> Alcotest.fail "skin missing or empty"
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                               *)
+
+let count_events pred events =
+  List.length (List.filter pred events)
+
+let test_trace_callback_sink () =
+  let inst = Berkmin_gen.Pigeonhole.instance 6 5 in
+  let solver = Solver.create inst.Berkmin_gen.Instance.cnf in
+  check Alcotest.bool "inactive by default" false
+    (Trace.active (Solver.trace solver));
+  let events = ref [] in
+  Solver.set_trace_sink solver (Trace.Callback (fun e -> events := e :: !events));
+  check Alcotest.bool "active with sink" true
+    (Trace.active (Solver.trace solver));
+  let result = Solver.solve solver in
+  check Alcotest.bool "unsat" true (result = Solver.Unsat);
+  let events = List.rev !events in
+  let st = Solver.stats solver in
+  let conflicts =
+    count_events (function Trace.Conflict _ -> true | _ -> false) events
+  in
+  let decides =
+    count_events (function Trace.Decide _ -> true | _ -> false) events
+  in
+  let learns =
+    count_events (function Trace.Learn _ -> true | _ -> false) events
+  in
+  check Alcotest.int "one event per conflict" st.Stats.conflicts conflicts;
+  check Alcotest.int "one event per decision" st.Stats.decisions decides;
+  check Alcotest.int "one event per learnt clause" st.Stats.learnt_total
+    learns;
+  check Alcotest.int "emitted counter" (List.length events)
+    (Trace.emitted (Solver.trace solver));
+  (* every event serializes to a one-line JSON object *)
+  List.iter
+    (fun e ->
+      let line = Json.to_string (Trace.event_to_json e) in
+      check Alcotest.bool "single line" false (String.contains line '\n');
+      match Json.of_string line with
+      | Json.Obj (("event", Json.String _) :: _) -> ()
+      | _ -> Alcotest.fail "event JSON shape")
+    events
+
+let test_trace_jsonl_sink () =
+  let path = Filename.temp_file "berkmin_trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let config = Config.with_trace_jsonl path Config.berkmin in
+      let solver, result = solve_hole ~config 6 in
+      check Alcotest.bool "unsat" true (result = Solver.Unsat);
+      Solver.close_trace solver;
+      check Alcotest.bool "sink closed" false
+        (Trace.active (Solver.trace solver));
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      let lines = List.rev !lines in
+      check Alcotest.int "one line per event"
+        (Trace.emitted (Solver.trace solver))
+        (List.length lines);
+      List.iter
+        (fun line ->
+          match Json.of_string line with
+          | Json.Obj (("event", Json.String _) :: _) -> ()
+          | _ -> Alcotest.fail (Printf.sprintf "bad trace line %S" line))
+        lines)
+
+let test_trace_heartbeat () =
+  let interval = 25 in
+  let config = Config.with_heartbeat interval Config.berkmin in
+  let inst = Berkmin_gen.Pigeonhole.instance 7 6 in
+  let solver = Solver.create ~config inst.Berkmin_gen.Instance.cnf in
+  let beats = ref [] in
+  Solver.set_trace_sink solver
+    (Trace.Callback
+       (function
+         | Trace.Heartbeat { conflict_no; propagations; _ } ->
+           beats := (conflict_no, propagations) :: !beats
+         | _ -> ()));
+  ignore (Solver.solve solver);
+  let st = Solver.stats solver in
+  check Alcotest.int "one beat per interval"
+    (st.Stats.conflicts / interval)
+    (List.length !beats);
+  List.iter
+    (fun (conflict_no, propagations) ->
+      check Alcotest.bool "conflict_no on the grid" true
+        (conflict_no mod interval = 0);
+      check Alcotest.bool "propagations monotone" true (propagations > 0))
+    !beats
+
+let test_solver_metrics () =
+  let solver, _ = solve_hole 6 in
+  let st = Solver.stats solver in
+  let snap = Solver.metrics solver |> Metrics.snapshot in
+  let get name = List.assoc name snap in
+  check (Alcotest.float 0.0) "conflicts gauge"
+    (float_of_int st.Stats.conflicts)
+    (get "conflicts");
+  check (Alcotest.float 0.0) "propagations gauge"
+    (float_of_int st.Stats.propagations)
+    (get "propagations");
+  check (Alcotest.float 0.0) "no trace events" 0.0 (get "trace_events")
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "metrics"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "float repr" `Quick test_json_float_repr;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+          Alcotest.test_case "errors" `Quick test_json_errors;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "counters" `Quick test_counters;
+          Alcotest.test_case "timers" `Quick test_timers;
+          Alcotest.test_case "snapshot" `Quick test_registry_snapshot;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "to_json roundtrip" `Quick
+            test_stats_to_json_roundtrip;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "callback sink" `Quick test_trace_callback_sink;
+          Alcotest.test_case "jsonl sink" `Quick test_trace_jsonl_sink;
+          Alcotest.test_case "heartbeat" `Quick test_trace_heartbeat;
+          Alcotest.test_case "solver metrics" `Quick test_solver_metrics;
+        ] );
+    ]
