@@ -164,6 +164,104 @@ let run_smoke () =
   let status = if aborted = [] && wrong = [] then 0 else 1 in
   (json, status)
 
+(* ------------------------------------------------------------------ *)
+(* Parallel mode: each instance is solved sequentially and then as a
+   process-parallel portfolio race; the report pairs the two wall
+   clocks into a speedup figure and keeps every worker's outcome.  The
+   suite mixes quick instances (where the portfolio's fork overhead
+   shows) with a multi-second pigeonhole on which the diversified
+   Chaff-like lane beats the sequential BerkMin configuration by
+   orders of magnitude — the case portfolio solving exists for.       *)
+
+module Portfolio = Berkmin_portfolio.Portfolio
+
+let parallel_instances () =
+  [
+    Pigeonhole.instance 8 7;
+    Circuit_bench.adder_miter ~width:16;
+    Hanoi.sat_instance 4;
+    Pigeonhole.instance 9 8;
+  ]
+
+let run_parallel ~workers =
+  (* Time-only budget: the interesting sequential runs are the slow
+     ones, and a conflict cap would turn them into aborts instead of
+     honest multi-second baselines. *)
+  let budget =
+    { Berkmin.Solver.max_conflicts = None; max_seconds = Some 60.0 }
+  in
+  let base = Config.berkmin in
+  Printf.printf "parallel suite: %d workers (diversified portfolio)\n%!" workers;
+  let rows =
+    List.map
+      (fun inst ->
+        let started = Unix.gettimeofday () in
+        let seq = Runner.run_instance ~budget base inst in
+        let seq_wall = Unix.gettimeofday () -. started in
+        let config = Config.with_workers workers base in
+        let par, race = Runner.run_instance_portfolio ~budget config inst in
+        let par_wall = race.Portfolio.wall_seconds in
+        let speedup = if par_wall > 0.0 then seq_wall /. par_wall else 0.0 in
+        (* An abort contradicts nothing: a race that turns a
+           sequential Unknown into a verdict is the portfolio working,
+           not a mismatch. *)
+        let agree =
+          match seq.Runner.verdict, par.Runner.verdict with
+          | Runner.V_aborted, _ | _, Runner.V_aborted -> true
+          | a, b -> a = b
+        in
+        Printf.printf
+          "%-24s seq %-8s %8.3fs   portfolio %-8s %8.3fs   speedup %5.2fx%s\n%!"
+          seq.Runner.instance_name
+          (Runner.verdict_to_string seq.Runner.verdict)
+          seq_wall
+          (Runner.verdict_to_string par.Runner.verdict)
+          par_wall speedup
+          (if agree then "" else "   VERDICTS DISAGREE");
+        let json =
+          Json.Obj
+            [
+              "instance", Json.String seq.Runner.instance_name;
+              ( "expected",
+                Json.String (Instance.expected_to_string seq.Runner.expected)
+              );
+              ( "sequential",
+                Json.Obj
+                  [
+                    ( "verdict",
+                      Json.String (Runner.verdict_to_string seq.Runner.verdict)
+                    );
+                    "wall_seconds", Json.Float seq_wall;
+                    "conflicts", Json.Int seq.Runner.conflicts;
+                  ] );
+              "portfolio", Portfolio.outcome_to_json race;
+              "speedup", Json.Float speedup;
+              "agree", Json.Bool agree;
+            ]
+        in
+        (json, agree && seq.Runner.correct && par.Runner.correct, speedup))
+      (parallel_instances ())
+  in
+  let max_speedup =
+    List.fold_left (fun a (_, _, s) -> Float.max a s) 0.0 rows
+  in
+  let all_ok = List.for_all (fun (_, ok, _) -> ok) rows in
+  Printf.printf "parallel: %d instances, max speedup %.2fx%s\n" (List.length rows)
+    max_speedup
+    (if all_ok then "" else ", VERDICT MISMATCH");
+  let json =
+    Json.Obj
+      [
+        "suite", Json.String "parallel";
+        "workers", Json.Int workers;
+        "strategy", Json.String (Config.name_of Config.berkmin);
+        "instances", Json.List (List.map (fun (j, _, _) -> j) rows);
+        "max_speedup", Json.Float max_speedup;
+        "agree", Json.Bool all_ok;
+      ]
+  in
+  (json, if all_ok then 0 else 1)
+
 let write_json path json =
   let text = Json.to_string_pretty json ^ "\n" in
   if path = "-" then print_string text
@@ -185,10 +283,15 @@ let experiments_json () =
           (List.map (fun (n, j) -> (n, j)) (Experiments.collected_json ())) );
     ]
 
-let run quick bechamel extensions only list_names smoke json_out =
+let run quick bechamel extensions only list_names smoke workers json_out =
   if list_names then begin
     List.iter print_endline Experiments.names;
     0
+  end
+  else if workers > 1 then begin
+    let json, status = run_parallel ~workers in
+    Option.iter (fun path -> write_json path json) json_out;
+    status
   end
   else if bechamel then begin
     run_bechamel ();
@@ -266,6 +369,17 @@ let smoke =
            budgets) instead of the paper tables; exits non-zero if any \
            run aborts or contradicts its expectation.")
 
+let workers =
+  Arg.(
+    value & opt int 1
+    & info [ "workers" ] ~docv:"N"
+        ~doc:
+          "Run the parallel suite: each instance solved sequentially and \
+           then as an $(docv)-worker diversified portfolio race, \
+           reporting per-worker outcomes and the wall-clock speedup \
+           (also in the --json summary).  Exits non-zero if the \
+           portfolio and sequential verdicts ever disagree.")
+
 let json_out =
   Arg.(
     value
@@ -273,8 +387,8 @@ let json_out =
     & info [ "json" ] ~docv:"FILE"
         ~doc:
           "Write a machine-readable JSON summary of whatever ran to \
-           $(docv) (\"-\" for stdout).  Without --only this implies the \
-           smoke suite.")
+           $(docv) (\"-\" for stdout).  Without --only or --workers this \
+           implies the smoke suite.")
 
 let cmd =
   let doc = "Regenerate the BerkMin paper's tables and figures" in
@@ -282,6 +396,6 @@ let cmd =
     (Cmd.info "berkmin-bench" ~doc)
     Term.(
       const run $ quick $ bechamel $ extensions $ only $ list_names $ smoke
-      $ json_out)
+      $ workers $ json_out)
 
 let () = exit (Cmd.eval' cmd)

@@ -6,6 +6,7 @@
 
 open Berkmin_types
 module Drup = Berkmin_proof.Drup
+module Portfolio = Berkmin_portfolio.Portfolio
 
 let find_config name =
   List.assoc_opt name Berkmin.Config.presets
@@ -15,8 +16,86 @@ let result_to_string = function
   | Berkmin.Solver.Unsat -> "UNSAT"
   | Berkmin.Solver.Unknown -> "UNKNOWN"
 
+(* Race the portfolio instead of running one solver.  Shares the
+   sequential path's output conventions (c-lines, JSON shape, exit
+   codes); the JSON gains a "portfolio" object with the per-worker
+   records, and "stats" comes from the winning worker. *)
+let run_portfolio ~config ~budget ~file ~stats_flag ~check ~quiet ~json_out cnf =
+  let started = Unix.gettimeofday () in
+  let p = Portfolio.solve_config ~budget config cnf in
+  let seconds = Unix.gettimeofday () -. started in
+  if not quiet then begin
+    Format.printf "c portfolio of %d workers (%s)@."
+      config.Berkmin.Config.workers
+      (if config.Berkmin.Config.portfolio_diversify then "diversified"
+       else "seed-only");
+    List.iter
+      (fun w ->
+        Printf.printf "c worker %d: %-16s seed=%-6d %-12s %.3fs\n"
+          w.Portfolio.w_index
+          (Berkmin.Config.name_of w.Portfolio.w_config)
+          w.Portfolio.w_config.Berkmin.Config.seed
+          (Portfolio.status_to_string w.Portfolio.w_status)
+          w.Portfolio.w_wall_seconds)
+      p.Portfolio.workers
+  end;
+  let winner_stats =
+    Option.bind p.Portfolio.winner (fun i ->
+        Option.bind
+          (List.find_opt (fun w -> w.Portfolio.w_index = i) p.Portfolio.workers)
+          (fun w -> w.Portfolio.w_stats))
+  in
+  (match winner_stats with
+  | Some st when stats_flag ->
+    let text = Format.asprintf "%a" Berkmin.Stats.pp st in
+    String.split_on_char '\n' text
+    |> List.iter (fun line -> Printf.printf "c %s\n" line)
+  | _ -> ());
+  (match json_out with
+  | None -> ()
+  | Some path ->
+    let json =
+      Json.Obj
+        [
+          "instance", Json.String file;
+          "strategy", Json.String (Berkmin.Config.name_of config);
+          "result", Json.String (result_to_string p.Portfolio.result);
+          ( "stats",
+            match winner_stats with
+            | Some st ->
+              Berkmin.Stats.to_json ?worker:p.Portfolio.winner ~seconds st
+            | None -> Json.Null );
+          "portfolio", Portfolio.outcome_to_json p;
+        ]
+    in
+    let text = Json.to_string_pretty json ^ "\n" in
+    if path = "-" then print_string text
+    else begin
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc;
+      if not quiet then Printf.printf "c json summary written to %s\n" path
+    end);
+  match p.Portfolio.result with
+  | Berkmin.Solver.Sat model ->
+    if check && not (Cnf.satisfied_by cnf model) then begin
+      print_endline "c INTERNAL ERROR: model does not satisfy the formula";
+      exit 1
+    end;
+    Format.printf "%a@."
+      (fun fmt () -> Berkmin_dimacs.Dimacs.print_solution fmt (Some model))
+      ();
+    10
+  | Berkmin.Solver.Unsat ->
+    print_endline "s UNSATISFIABLE";
+    20
+  | Berkmin.Solver.Unknown ->
+    print_endline "s UNKNOWN";
+    0
+
 let run file strategy max_conflicts max_seconds proof_file stats_flag check
-    seed quiet json_out trace_file heartbeat profile =
+    seed quiet json_out trace_file heartbeat profile workers diversify
+    worker_timeout =
   match find_config strategy with
   | None ->
     Printf.eprintf "unknown strategy %S; available: %s\n" strategy
@@ -40,6 +119,23 @@ let run file strategy max_conflicts max_seconds proof_file stats_flag check
     let config =
       if profile then Berkmin.Config.with_profile_timers config else config
     in
+    if workers < 1 then begin
+      Printf.eprintf "--workers must be at least 1 (got %d)\n" workers;
+      exit 2
+    end;
+    if workers > 1 && proof_file <> None then begin
+      Printf.eprintf
+        "--proof needs a single worker: DRUP logging follows one solver's \
+         derivation, not a race (drop --proof or use --workers 1)\n";
+      exit 2
+    end;
+    let config = Berkmin.Config.with_workers workers config in
+    let config = Berkmin.Config.with_portfolio_diversify diversify config in
+    let config =
+      match worker_timeout with
+      | Some s -> Berkmin.Config.with_worker_wall_timeout s config
+      | None -> config
+    in
     match Berkmin_dimacs.Dimacs.parse_file file with
     | exception Sys_error msg ->
       Printf.eprintf "cannot read %s: %s\n" file msg;
@@ -47,6 +143,15 @@ let run file strategy max_conflicts max_seconds proof_file stats_flag check
     | exception Berkmin_dimacs.Dimacs.Parse_error { line; message } ->
       Printf.eprintf "%s:%d: %s\n" file line message;
       2
+    | cnf when workers > 1 -> (
+      let budget = { Berkmin.Solver.max_conflicts; max_seconds } in
+      if not quiet then
+        Format.printf "c strategy %a@." Berkmin.Config.pp config;
+      try run_portfolio ~config ~budget ~file ~stats_flag ~check ~quiet
+            ~json_out cnf
+      with Sys_error msg ->
+        Printf.eprintf "berkmin: %s\n" msg;
+        2)
     | cnf ->
     try
       let solver = Berkmin.Solver.create ~config cnf in
@@ -216,6 +321,35 @@ let profile =
           "Time the BCP / conflict-analysis / reduce-db phases (small \
            per-conflict overhead; shows in --stats and --json).")
 
+let workers =
+  Arg.(
+    value & opt int 1
+    & info [ "workers" ] ~docv:"N"
+        ~doc:
+          "Race $(docv) diversified solver processes on the formula and \
+           answer with the first definitive verdict (a portfolio).  1 — \
+           the default — solves sequentially in this process.")
+
+let diversify =
+  Arg.(
+    value & opt bool true
+    & info [ "portfolio-diversify" ] ~docv:"BOOL"
+        ~doc:
+          "With --workers > 1: diversify the portfolio across restart \
+           policies, decision sensitivity and clause-DB aggressiveness \
+           (default), or — when false — race identical copies differing \
+           only in RNG seed.")
+
+let worker_timeout =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "worker-timeout" ] ~docv:"S"
+        ~doc:
+          "Kill any portfolio worker still running after $(docv) wall \
+           seconds (contrast --max-seconds, which budgets CPU time \
+           inside each solver).")
+
 let cmd =
   let doc = "BerkMin-style CDCL SAT solver" in
   Cmd.v
@@ -223,6 +357,6 @@ let cmd =
     Term.(
       const run $ file $ strategy $ max_conflicts $ max_seconds $ proof_file
       $ stats_flag $ check $ seed $ quiet $ json_out $ trace_file $ heartbeat
-      $ profile)
+      $ profile $ workers $ diversify $ worker_timeout)
 
 let () = exit (Cmd.eval' cmd)

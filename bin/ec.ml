@@ -16,16 +16,19 @@ let load path =
     Error (Printf.sprintf "%s:%d: %s" path line message)
 
 let run file_a file_b strategy max_conflicts max_seconds verbose =
-  let config =
-    match List.assoc_opt strategy Berkmin.Config.presets with
-    | Some c -> Some c
-    | None ->
-      Printf.eprintf "unknown strategy %S\n" strategy;
-      exit 2
-  in
+  match List.assoc_opt strategy Berkmin.Config.presets with
+  | None ->
+    Printf.eprintf
+      "berkmin-ec: unknown strategy %S; available: %s\n\
+       try 'berkmin-ec --help' for usage\n"
+      strategy
+      (String.concat ", " (List.map fst Berkmin.Config.presets));
+    2
+  | Some config -> (
+  let config = Some config in
   match load file_a, load file_b with
   | Error e, _ | _, Error e ->
-    Printf.eprintf "%s\n" e;
+    Printf.eprintf "berkmin-ec: %s\n" e;
     2
   | Ok a, Ok b -> (
     if verbose then begin
@@ -64,7 +67,7 @@ let run file_a file_b strategy max_conflicts max_seconds verbose =
         1
       | Berkmin.Solver.Unknown ->
         Printf.printf "UNKNOWN (budget exhausted)\n";
-        2))
+        2)))
 
 open Cmdliner
 

@@ -3,6 +3,8 @@
 
 open Berkmin_gen
 
+let usage_hint = "try 'berkmin-genbench --list' for the class names"
+
 let sanitize name =
   String.map (function '/' | ' ' -> '_' | c -> c) name
 
@@ -13,32 +15,50 @@ let write_instance dir inst =
     (Format.asprintf "%a" Berkmin_types.Cnf.pp_stats inst.Instance.cnf)
     (Instance.expected_to_string inst.Instance.expected)
 
+let mkdir_if_missing dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+
 let run out_dir class_names list_flag =
   if list_flag then begin
     List.iter (fun (name, _) -> print_endline name) (Suites.all ());
     0
   end
   else begin
-    let classes =
-      match class_names with
-      | [] -> Suites.all ()
-      | names ->
-        List.map
-          (fun name ->
-            match Suites.find_class name with
-            | instances -> (name, instances)
-            | exception Not_found ->
-              Printf.eprintf "unknown class %S (try --list)\n" name;
-              exit 2)
-          names
+    let unknown =
+      List.filter
+        (fun name ->
+          match Suites.find_class name with
+          | _ -> false
+          | exception Not_found -> true)
+        class_names
     in
-    List.iter
-      (fun (name, instances) ->
-        let dir = Filename.concat out_dir (sanitize name) in
-        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-        List.iter (write_instance dir) instances)
-      classes;
-    0
+    if unknown <> [] then begin
+      Printf.eprintf "berkmin-genbench: unknown class%s %s; known: %s\n%s\n"
+        (if List.length unknown > 1 then "es" else "")
+        (String.concat ", " (List.map (Printf.sprintf "%S") unknown))
+        (String.concat ", " (List.map fst (Suites.all ())))
+        usage_hint;
+      2
+    end
+    else begin
+      let classes =
+        match class_names with
+        | [] -> Suites.all ()
+        | names -> List.map (fun name -> (name, Suites.find_class name)) names
+      in
+      try
+        mkdir_if_missing out_dir;
+        List.iter
+          (fun (name, instances) ->
+            let dir = Filename.concat out_dir (sanitize name) in
+            mkdir_if_missing dir;
+            List.iter (write_instance dir) instances)
+          classes;
+        0
+      with Sys_error msg ->
+        Printf.eprintf "berkmin-genbench: %s\n" msg;
+        2
+    end
   end
 
 open Cmdliner
@@ -46,7 +66,8 @@ open Cmdliner
 let out_dir =
   Arg.(
     value & opt string "benchmarks"
-    & info [ "o"; "out" ] ~docv:"DIR" ~doc:"Output directory (must exist).")
+    & info [ "o"; "out" ] ~docv:"DIR"
+        ~doc:"Output directory (created if missing).")
 
 let class_names =
   Arg.(

@@ -56,6 +56,9 @@ type t = {
   trace_jsonl : string option;
   heartbeat_interval : int;
   profile_timers : bool;
+  workers : int;
+  portfolio_diversify : bool;
+  worker_wall_timeout : float option;
 }
 
 (* Constants follow Section 8 of the paper: young clauses are kept when
@@ -88,6 +91,9 @@ let berkmin = {
   trace_jsonl = None;
   heartbeat_interval = 0;
   profile_timers = false;
+  workers = 1;
+  portfolio_diversify = true;
+  worker_wall_timeout = None;
 }
 
 let less_sensitivity = { berkmin with activity_mode = Conflict_clause_only }
@@ -130,6 +136,13 @@ let with_trace_jsonl path t = { t with trace_jsonl = Some path }
 let with_heartbeat interval t = { t with heartbeat_interval = interval }
 let with_profile_timers t = { t with profile_timers = true }
 
+let with_workers n t =
+  if n < 1 then invalid_arg "Config.with_workers: need at least one worker";
+  { t with workers = n }
+
+let with_portfolio_diversify portfolio_diversify t = { t with portfolio_diversify }
+let with_worker_wall_timeout s t = { t with worker_wall_timeout = Some s }
+
 let presets = [
   "berkmin", berkmin;
   "less_sensitivity", less_sensitivity;
@@ -144,8 +157,9 @@ let presets = [
   "limmat_like", limmat_like;
 ]
 
-(* Observability settings don't change the search, so a preset with a
-   trace attached still reports its preset name. *)
+(* Observability and portfolio settings don't change the search a
+   single solver performs, so a preset with a trace attached or a
+   worker count still reports its preset name. *)
 let name_of t =
   match
     List.find_opt
@@ -155,6 +169,9 @@ let name_of t =
           trace_jsonl = t.trace_jsonl;
           heartbeat_interval = t.heartbeat_interval;
           profile_timers = t.profile_timers;
+          workers = t.workers;
+          portfolio_diversify = t.portfolio_diversify;
+          worker_wall_timeout = t.worker_wall_timeout;
         }
         = t)
       presets

@@ -112,6 +112,21 @@ type t = {
       (** accumulate CPU time spent in BCP, conflict analysis and
           database reduction into {!Stats.t} (off by default: the
           [Sys.time] sampling is cheap but not free) *)
+  workers : int;
+      (** how many portfolio workers a portfolio-aware driver (the
+          CLI, [Runner], [Portfolio.solve_config]) should race on this
+          formula; 1 — the default — means plain sequential solving.
+          {!Solver} itself ignores this field: one solver object is
+          always one search. *)
+  portfolio_diversify : bool;
+      (** when racing [workers > 1]: diversify the portfolio across
+          restart policies, decision sensitivity and clause-DB
+          aggressiveness (default), or — when [false] — run identical
+          copies of this configuration differing only in RNG seed *)
+  worker_wall_timeout : float option;
+      (** kill any portfolio worker still running after this many wall
+          seconds; [None] (default) leaves workers bounded only by the
+          solve budget *)
 }
 
 val berkmin : t
@@ -154,10 +169,21 @@ val with_heartbeat : int -> t -> t
 val with_profile_timers : t -> t
 (** Enable the BCP/analysis/reduction phase timers. *)
 
+val with_workers : int -> t -> t
+(** Set the portfolio worker count.
+    @raise Invalid_argument when the count is below 1. *)
+
+val with_portfolio_diversify : bool -> t -> t
+(** Choose between a diversified portfolio and seed-only variation. *)
+
+val with_worker_wall_timeout : float -> t -> t
+(** Set the per-worker wall-clock timeout (seconds). *)
+
 val name_of : t -> string
 (** Best-effort human name: matches a preset or describes the fields.
-    Observability fields (trace, heartbeat, timers) are ignored by the
-    match — they don't change the search. *)
+    Observability and portfolio fields (trace, heartbeat, timers,
+    workers) are ignored by the match — they don't change the search a
+    single solver performs. *)
 
 val presets : (string * t) list
 (** All named presets, for CLIs and the bench harness. *)

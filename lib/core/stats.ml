@@ -107,7 +107,12 @@ let skin_to_json t =
 let props_per_sec t ~seconds =
   if seconds <= 0.0 then 0.0 else float_of_int t.propagations /. seconds
 
-let to_json ?seconds t =
+let to_json ?worker ?seconds t =
+  let tag =
+    match worker with
+    | None -> []
+    | Some w -> [ "worker", Json.Int w ]
+  in
   let base =
     [
       "decisions", Json.Int t.decisions;
@@ -140,7 +145,7 @@ let to_json ?seconds t =
         "props_per_sec", Json.Float (props_per_sec t ~seconds:s);
       ]
   in
-  Json.Obj (base @ derived)
+  Json.Obj (tag @ base @ derived)
 
 let pp fmt t =
   Format.fprintf fmt

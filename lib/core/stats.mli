@@ -56,10 +56,11 @@ val props_per_sec : t -> seconds:float -> float
 (** Propagations per second given the run's wall/CPU time; 0 when
     [seconds <= 0]. *)
 
-val to_json : ?seconds:float -> t -> Berkmin_types.Json.t
+val to_json : ?worker:int -> ?seconds:float -> t -> Berkmin_types.Json.t
 (** Every counter as a JSON object (skin histogram trimmed to its last
     non-zero bucket).  When [seconds] is passed, adds ["seconds"] and
-    the derived ["props_per_sec"]. *)
+    the derived ["props_per_sec"]; [worker] prepends the portfolio
+    worker index so per-worker records are self-describing. *)
 
 val pp : Format.formatter -> t -> unit
 (** Multi-line human-readable dump. *)

@@ -30,16 +30,17 @@ type t = {
   mutable sink : sink;
   mutable active : bool;  (* false iff sink = Null: the hot-path guard *)
   mutable emitted : int;
+  mutable worker : int option;
 }
 
-let create () = { sink = Null; active = false; emitted = 0 }
+let create () = { sink = Null; active = false; emitted = 0; worker = None }
 
 let kind_to_string = function
   | D_top_clause -> "top_clause"
   | D_global -> "global"
   | D_assumption -> "assumption"
 
-let event_to_json = function
+let event_fields = function
   | Decide { level; var; value; kind } ->
     Json.Obj
       [
@@ -104,6 +105,16 @@ let event_to_json = function
         "seconds", Json.Float seconds;
       ]
 
+let event_to_json ?worker event =
+  let fields =
+    match event_fields event with
+    | Json.Obj fields -> fields
+    | json -> [ "event", json ]
+  in
+  match worker with
+  | None -> Json.Obj fields
+  | Some w -> Json.Obj (("worker", Json.Int w) :: fields)
+
 let set_sink t sink =
   t.sink <- sink;
   t.active <- sink <> Null
@@ -111,6 +122,8 @@ let set_sink t sink =
 let sink t = t.sink
 let active t = t.active
 let emitted t = t.emitted
+let set_worker t w = t.worker <- Some w
+let worker t = t.worker
 
 let emit t event =
   match t.sink with
@@ -122,7 +135,7 @@ let emit t event =
     t.emitted <- t.emitted + 1;
     (* Line-buffered with an explicit flush: traces are a debugging
        aid, so survivability of every line beats raw throughput. *)
-    output_string oc (Json.to_string (event_to_json event));
+    output_string oc (Json.to_string (event_to_json ?worker:t.worker event));
     output_char oc '\n';
     flush oc
 

@@ -50,6 +50,11 @@ type t = private {
           load even without cross-module inlining.  Mutate only via
           {!set_sink}/{!close}. *)
   mutable emitted : int;
+  mutable worker : int option;
+      (** Portfolio worker tag.  When set (via {!set_worker}), every
+          JSONL line carries a ["worker"] field so traces from several
+          racing workers can be merged into one stream and still be
+          told apart.  [None] — the default — adds nothing. *)
 }
 
 val create : unit -> t
@@ -70,7 +75,16 @@ val emit : t -> event -> unit
 val emitted : t -> int
 (** Events delivered to a non-null sink so far. *)
 
-val event_to_json : event -> Json.t
+val set_worker : t -> int -> unit
+(** Tag this trace with a portfolio worker index; subsequent JSONL
+    lines gain a ["worker"] field.  Call before [solve]. *)
+
+val worker : t -> int option
+(** The worker tag, if any. *)
+
+val event_to_json : ?worker:int -> event -> Json.t
+(** The event as a JSON object; [worker] prepends a ["worker"] field
+    (what the [Jsonl] sink writes for a tagged trace). *)
 
 val open_jsonl : string -> sink
 (** Opens (truncates) a JSONL trace file. *)

@@ -89,6 +89,64 @@ let run_instance ?(budget = default_budget) config inst =
     skin = Array.copy st.Berkmin.Stats.skin;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Portfolio runs: the same outcome record, built from the winning
+   worker of a process-parallel race (lib/portfolio).  [seconds] is
+   the race's wall clock — the quantity a portfolio improves — where
+   sequential outcomes report CPU time.                                *)
+
+module Portfolio = Berkmin_portfolio.Portfolio
+
+let run_instance_portfolio ?(budget = default_budget) config inst =
+  let cnf = inst.Instance.cnf in
+  let p = Portfolio.solve_config ~budget config cnf in
+  let verdict, correct =
+    match p.Portfolio.result with
+    | Berkmin.Solver.Sat model ->
+      ( V_sat,
+        Cnf.satisfied_by cnf model && Instance.consistent inst ~sat:true )
+    | Berkmin.Solver.Unsat -> (V_unsat, Instance.consistent inst ~sat:false)
+    | Berkmin.Solver.Unknown -> (V_aborted, true)
+  in
+  let winner_stats =
+    let find i =
+      List.find_opt (fun w -> w.Portfolio.w_index = i) p.Portfolio.workers
+    in
+    match Option.bind p.Portfolio.winner find with
+    | Some w -> w.Portfolio.w_stats
+    | None ->
+      (* no winner: report the busiest surviving worker's counters so
+         aborted rows still show how much search happened *)
+      List.fold_left
+        (fun acc w ->
+          match acc, w.Portfolio.w_stats with
+          | None, s -> s
+          | Some a, Some s when s.Berkmin.Stats.conflicts > a.Berkmin.Stats.conflicts ->
+            Some s
+          | acc, _ -> acc)
+        None p.Portfolio.workers
+  in
+  let st =
+    match winner_stats with Some s -> s | None -> Berkmin.Stats.create ()
+  in
+  let outcome =
+    {
+      instance_name = inst.Instance.name;
+      expected = inst.Instance.expected;
+      verdict;
+      correct;
+      seconds = p.Portfolio.wall_seconds;
+      conflicts = st.Berkmin.Stats.conflicts;
+      decisions = st.Berkmin.Stats.decisions;
+      propagations = st.Berkmin.Stats.propagations;
+      learnt_total = st.Berkmin.Stats.learnt_total;
+      max_live_clauses = st.Berkmin.Stats.max_live_clauses;
+      initial_clauses = Cnf.num_clauses cnf;
+      skin = Array.copy st.Berkmin.Stats.skin;
+    }
+  in
+  (outcome, p)
+
 type class_result = {
   class_name : string;
   outcomes : outcome list;

@@ -1,0 +1,407 @@
+(* Process-parallel portfolio racing.
+
+   Unix processes rather than Domains: fork is available on every
+   supported compiler (the CI matrix spans 4.14 and 5.1), the solver's
+   mutable state needs no synchronisation because each worker owns a
+   fresh copy-on-write image of the already-loaded formula, and a
+   crashed worker cannot corrupt the parent.  The parent is a small
+   select/waitpid event loop; all robustness logic (crash detection,
+   timeouts, first-wins kills, model re-verification) lives here so
+   the solver itself stays oblivious to parallelism. *)
+
+open Berkmin_types
+module Config = Berkmin.Config
+module Solver = Berkmin.Solver
+module Stats = Berkmin.Stats
+module Trace = Berkmin.Trace
+
+type spec = {
+  sp_config : Config.t;
+  sp_budget : Solver.budget;
+}
+
+type status =
+  | W_won
+  | W_lost
+  | W_exhausted
+  | W_crashed of int
+  | W_signaled of int
+  | W_timed_out
+
+type worker = {
+  w_index : int;
+  w_config : Config.t;
+  w_status : status;
+  w_wall_seconds : float;
+  w_stats : Stats.t option;
+}
+
+type outcome = {
+  result : Solver.result;
+  winner : int option;
+  workers : worker list;
+  wall_seconds : float;
+}
+
+(* What a worker sends back over its pipe.  Marshalled within one
+   binary, so abstract types (Stats.t, the model array) are safe. *)
+type reply = {
+  r_result : Solver.result;
+  r_stats : Stats.t;
+  r_seconds : float;
+}
+
+let status_to_string = function
+  | W_won -> "won"
+  | W_lost -> "lost"
+  | W_exhausted -> "exhausted"
+  | W_crashed code -> Printf.sprintf "crashed(%d)" code
+  | W_signaled sg -> Printf.sprintf "signaled(%d)" sg
+  | W_timed_out -> "timed_out"
+
+let result_to_string = function
+  | Solver.Sat _ -> "SAT"
+  | Solver.Unsat -> "UNSAT"
+  | Solver.Unknown -> "UNKNOWN"
+
+(* ------------------------------------------------------------------ *)
+(* Diversification.                                                    *)
+
+(* Six lanes covering the axes the paper's ablations show to matter:
+   restart policy (Tables 1-2 run under fixed 550; the extensions
+   sweep Luby), sensitivity (Table 1), DB aggressiveness (Table 5),
+   polarity (Table 4) and mobility (Table 2).  Worker 0 is always the
+   base configuration, so the portfolio's verdict set is a superset of
+   the sequential solver's. *)
+let variant base i =
+  let open Config in
+  let lane =
+    match (i - 1) mod 6 with
+    | 0 ->
+      (* Chaff-like lane: the paper's own strongest competitor. *)
+      {
+        base with
+        activity_mode = Conflict_clause_only;
+        decision_mode = Vsids_literal;
+        polarity_mode = Sat_top;
+        reduction_mode = Length_limit 100;
+        restart_mode = Fixed 700;
+        var_decay_interval = 100;
+        var_decay_factor = 2.0;
+      }
+    | 1 ->
+      (* Luby restarts; the unit grows as the portfolio widens. *)
+      { base with restart_mode = Luby (64 * (1 + ((i - 1) / 6))) }
+    | 2 ->
+      (* Aggressive clause-DB reduction with fast restarts. *)
+      { base with reduction_mode = Length_limit 60; restart_mode = Fixed 300 }
+    | 3 ->
+      (* Low sensitivity, fast activity aging. *)
+      { base with activity_mode = Conflict_clause_only; var_decay_interval = 32 }
+    | 4 ->
+      (* Randomized polarity: pure seed-driven diversification. *)
+      { base with polarity_mode = Take_random; restart_mode = Luby 128 }
+    | _ ->
+      (* Low mobility, DB hoarding. *)
+      { base with decision_mode = Global_most_active; reduction_mode = Keep_all }
+  in
+  { lane with seed = base.seed + (31 * i); workers = 1 }
+
+let diversify ?(diversify = true) ~workers base =
+  if workers < 1 then
+    invalid_arg "Portfolio.diversify: need at least one worker";
+  List.init workers (fun i ->
+      if i = 0 then { base with Config.workers = 1 }
+      else if diversify then variant base i
+      else { base with Config.seed = base.Config.seed + i; workers = 1 })
+
+(* ------------------------------------------------------------------ *)
+(* Trace plumbing.                                                     *)
+
+let worker_trace_path base i = Printf.sprintf "%s.w%d" base i
+
+(* Concatenate the per-worker JSONL files into the requested path.
+   Every line is already tagged with its worker index, so plain
+   concatenation loses only the (meaningless across processes)
+   interleaving order. *)
+let merge_traces path indices =
+  let oc = open_out path in
+  List.iter
+    (fun i ->
+      let wpath = worker_trace_path path i in
+      if Sys.file_exists wpath then begin
+        let ic = open_in wpath in
+        (try
+           while true do
+             output_string oc (input_line ic);
+             output_char oc '\n'
+           done
+         with End_of_file -> ());
+        close_in ic;
+        Sys.remove wpath
+      end)
+    indices;
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* The child.                                                          *)
+
+let run_child ~hook ~trace_path ~index spec cnf wr =
+  let code =
+    try
+      (match hook with Some h -> h index | None -> ());
+      let config = { spec.sp_config with Config.workers = 1; trace_jsonl = trace_path } in
+      let solver = Solver.create ~config cnf in
+      Trace.set_worker (Solver.trace solver) index;
+      let started = Unix.gettimeofday () in
+      let result = Solver.solve ~budget:spec.sp_budget solver in
+      let r_seconds = Unix.gettimeofday () -. started in
+      Solver.close_trace solver;
+      let reply = { r_result = result; r_stats = Solver.stats solver; r_seconds } in
+      let oc = Unix.out_channel_of_descr wr in
+      Marshal.to_channel oc reply [];
+      flush oc;
+      0
+    with _ -> 3
+  in
+  (* _exit, not exit: at_exit handlers would flush a copy of the
+     parent's buffered output into our shared stdout. *)
+  Unix._exit code
+
+(* ------------------------------------------------------------------ *)
+(* The parent's race loop.                                             *)
+
+type live = {
+  l_index : int;
+  l_pid : int;
+  l_rd : Unix.file_descr;
+  l_spec : spec;
+}
+
+let rec waitpid_retry pid =
+  match Unix.waitpid [] pid with
+  | _, st -> st
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> waitpid_retry pid
+
+let kill_quietly pid =
+  try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ()
+
+let rec select_retry rds timeout =
+  match Unix.select rds [] [] timeout with
+  | r, _, _ -> r
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> select_retry rds timeout
+
+let crash_status st =
+  match st with
+  | Unix.WEXITED code -> W_crashed code
+  | Unix.WSIGNALED sg -> W_signaled sg
+  | Unix.WSTOPPED sg -> W_signaled sg
+
+let fork_race ?wall_timeout ?worker_hook ?trace_jsonl specs cnf =
+  (* Children share our stdio buffers at fork time; flush so nothing
+     is emitted twice. *)
+  flush stdout;
+  flush stderr;
+  let started = Unix.gettimeofday () in
+  let spawned_rds = ref [] in
+  let spawn l_index spec =
+    let rd, wr = Unix.pipe () in
+    match Unix.fork () with
+    | 0 ->
+      Unix.close rd;
+      (* Inherited read ends of earlier siblings: close them so the
+         only write end of each pipe dies with its owner. *)
+      List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        !spawned_rds;
+      let trace_path = Option.map (fun p -> worker_trace_path p l_index) trace_jsonl in
+      run_child ~hook:worker_hook ~trace_path ~index:l_index spec cnf wr
+    | pid ->
+      Unix.close wr;
+      spawned_rds := rd :: !spawned_rds;
+      { l_index; l_pid = pid; l_rd = rd; l_spec = spec }
+  in
+  let live = List.mapi spawn specs in
+  let n = List.length specs in
+  let records = Array.make n None in
+  let elapsed () = Unix.gettimeofday () -. started in
+  let finish w status stats =
+    records.(w.l_index) <-
+      Some
+        {
+          w_index = w.l_index;
+          w_config = w.l_spec.sp_config;
+          w_status = status;
+          w_wall_seconds = elapsed ();
+          w_stats = stats;
+        };
+    (try Unix.close w.l_rd with Unix.Unix_error _ -> ())
+  in
+  let kill_remaining status remaining =
+    List.iter
+      (fun w ->
+        kill_quietly w.l_pid;
+        ignore (waitpid_retry w.l_pid);
+        finish w status None)
+      remaining
+  in
+  let deadline = Option.map (fun t -> started +. t) wall_timeout in
+  let result = ref Solver.Unknown in
+  let winner = ref None in
+  let rec race remaining =
+    match remaining with
+    | [] -> ()
+    | _ -> (
+      let timeout =
+        match deadline with
+        | None -> -1.0
+        | Some d -> Float.max 0.0 (d -. Unix.gettimeofday ())
+      in
+      match select_retry (List.map (fun w -> w.l_rd) remaining) timeout with
+      | [] ->
+        (* Per-worker wall-clock timeout: everyone still running dies. *)
+        kill_remaining W_timed_out remaining
+      | readable ->
+        let finished, rest =
+          List.partition (fun w -> List.mem w.l_rd readable) remaining
+        in
+        let rest = ref rest in
+        List.iter
+          (fun w ->
+            let ic = Unix.in_channel_of_descr w.l_rd in
+            match (Marshal.from_channel ic : reply) with
+            | exception _ ->
+              (* EOF or a truncated reply: the child died mid-solve.
+                 Record how and race on with the survivors. *)
+              finish w (crash_status (waitpid_retry w.l_pid)) None
+            | reply -> (
+              ignore (waitpid_retry w.l_pid);
+              match reply.r_result with
+              | (Solver.Sat _ | Solver.Unsat) when Option.is_some !winner ->
+                (* Two workers delivered in the same select round; the
+                   first one processed already won. *)
+                finish w W_lost (Some reply.r_stats)
+              | Solver.Sat model when not (Cnf.satisfied_by cnf model) ->
+                (* A worker claiming SAT must prove it; a bogus model
+                   is a crash, not a verdict. *)
+                finish w (W_crashed 0) (Some reply.r_stats)
+              | Solver.Sat _ | Solver.Unsat ->
+                result := reply.r_result;
+                winner := Some w.l_index;
+                finish w W_won (Some reply.r_stats);
+                kill_remaining W_lost !rest;
+                rest := []
+              | Solver.Unknown -> finish w W_exhausted (Some reply.r_stats)))
+          finished;
+        race !rest)
+  in
+  race live;
+  (match trace_jsonl with
+  | Some path -> merge_traces path (List.init n Fun.id)
+  | None -> ());
+  let workers =
+    Array.to_list records
+    |> List.filteri (fun _ r -> r <> None)
+    |> List.map Option.get
+  in
+  { result = !result; winner = !winner; workers; wall_seconds = elapsed () }
+
+(* ------------------------------------------------------------------ *)
+(* Entry points.                                                       *)
+
+let sequential ?trace_jsonl spec cnf =
+  let config =
+    match trace_jsonl with
+    | Some path -> Config.with_trace_jsonl path spec.sp_config
+    | None -> spec.sp_config
+  in
+  let config = { config with Config.workers = 1 } in
+  let solver = Solver.create ~config cnf in
+  let started = Unix.gettimeofday () in
+  let result = Solver.solve ~budget:spec.sp_budget solver in
+  let wall = Unix.gettimeofday () -. started in
+  Solver.close_trace solver;
+  let w_status, winner =
+    match result with
+    | Solver.Sat _ | Solver.Unsat -> (W_won, Some 0)
+    | Solver.Unknown -> (W_exhausted, None)
+  in
+  {
+    result;
+    winner;
+    workers =
+      [
+        {
+          w_index = 0;
+          w_config = spec.sp_config;
+          w_status;
+          w_wall_seconds = wall;
+          w_stats = Some (Solver.stats solver);
+        };
+      ];
+    wall_seconds = wall;
+  }
+
+let solve_specs ?wall_timeout ?worker_hook ?trace_jsonl specs cnf =
+  match specs with
+  | [] -> invalid_arg "Portfolio.solve_specs: empty portfolio"
+  | [ spec ] when Option.is_none worker_hook ->
+    (* Deterministic sequential fallback: no fork, no pipe, the exact
+       Solver.solve code path.  A wall timeout degenerates to a CPU
+       budget (the closest sequential notion). *)
+    let spec =
+      match wall_timeout with
+      | None -> spec
+      | Some t ->
+        let max_seconds =
+          match spec.sp_budget.Solver.max_seconds with
+          | None -> Some t
+          | Some s -> Some (Float.min s t)
+        in
+        { spec with sp_budget = { spec.sp_budget with max_seconds } }
+    in
+    sequential ?trace_jsonl spec cnf
+  | specs -> fork_race ?wall_timeout ?worker_hook ?trace_jsonl specs cnf
+
+let solve ?(budget = Solver.no_budget) ?wall_timeout ?trace_jsonl configs cnf =
+  solve_specs ?wall_timeout ?trace_jsonl
+    (List.map (fun sp_config -> { sp_config; sp_budget = budget }) configs)
+    cnf
+
+let solve_config ?(budget = Solver.no_budget) config cnf =
+  let configs =
+    diversify ~diversify:config.Config.portfolio_diversify
+      ~workers:config.Config.workers config
+  in
+  let specs =
+    List.map (fun sp_config -> { sp_config; sp_budget = budget }) configs
+  in
+  solve_specs
+    ?wall_timeout:config.Config.worker_wall_timeout
+    ?trace_jsonl:config.Config.trace_jsonl specs cnf
+
+(* ------------------------------------------------------------------ *)
+(* JSON.                                                               *)
+
+let worker_to_json w =
+  Json.Obj
+    [
+      "worker", Json.Int w.w_index;
+      "strategy", Json.String (Config.name_of w.w_config);
+      "seed", Json.Int w.w_config.Config.seed;
+      "status", Json.String (status_to_string w.w_status);
+      "wall_seconds", Json.Float w.w_wall_seconds;
+      ( "stats",
+        match w.w_stats with
+        | Some st -> Stats.to_json ~worker:w.w_index st
+        | None -> Json.Null );
+    ]
+
+let outcome_to_json o =
+  Json.Obj
+    [
+      "result", Json.String (result_to_string o.result);
+      ( "winner",
+        match o.winner with Some w -> Json.Int w | None -> Json.Null );
+      "wall_seconds", Json.Float o.wall_seconds;
+      "workers", Json.List (List.map worker_to_json o.workers);
+    ]

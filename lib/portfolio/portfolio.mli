@@ -1,0 +1,147 @@
+(** Process-parallel portfolio solving.
+
+    A portfolio run races [N] diversified solver configurations on the
+    same formula, one Unix process each, and returns the first
+    definitive verdict (SAT/UNSAT); the losing workers are killed.
+    Diversification varies exactly the axes the paper's evaluation
+    shows to dominate runtime variance — restart policy (fixed
+    interval vs Luby unit), decision sensitivity (BerkMin's
+    responsible-clauses bumping vs conflict-clause-only), clause-DB
+    aggressiveness, branch polarity and the RNG seed — so hard
+    instances are attacked from several heuristic angles at once.
+
+    Workers are plain [Unix.fork] children (no Domains, so the same
+    code runs on OCaml 4.14 and 5.x): each solves in its own copy of
+    the formula and sends its verdict, statistics and wall time back
+    over a pipe as a marshalled reply.  The parent multiplexes the
+    pipes with [Unix.select], enforces an optional per-worker
+    wall-clock timeout, and degrades gracefully: a worker that
+    crashes, is killed by a signal, or exhausts its budget is recorded
+    as such and the race simply continues with the survivors.  Only
+    when no worker can produce a verdict does the aggregate result
+    fall back to [Unknown].
+
+    With a single worker (and no fault-injection hook) no process is
+    forked: the solve runs in this process, bit-for-bit identical to
+    {!Berkmin.Solver.solve} — existing sequential behaviour is
+    untouched.
+
+    Tracing composes with the race: when a JSONL trace path is set,
+    each worker writes [path.w<i>] with every event tagged with its
+    worker index (see {!Berkmin.Trace.set_worker}), and the parent
+    merges the per-worker files into a single stream at [path] after
+    the race. *)
+
+open Berkmin_types
+
+type spec = {
+  sp_config : Berkmin.Config.t;  (** the worker's configuration *)
+  sp_budget : Berkmin.Solver.budget;  (** its conflict/CPU budget *)
+}
+(** One worker: a configuration plus a solve budget.  Per-worker
+    budgets make deterministic tests possible (starve one worker,
+    the other must win). *)
+
+(** How a worker's run ended, as observed by the parent. *)
+type status =
+  | W_won  (** delivered the winning SAT/UNSAT verdict *)
+  | W_lost  (** killed because another worker won first *)
+  | W_exhausted  (** reported [Unknown]: its budget ran out *)
+  | W_crashed of int
+      (** exited with this code without delivering a verdict *)
+  | W_signaled of int
+      (** killed by this signal (OCaml convention, e.g.
+          [Sys.sigkill]) without delivering a verdict *)
+  | W_timed_out  (** killed at the per-worker wall-clock timeout *)
+
+type worker = {
+  w_index : int;
+  w_config : Berkmin.Config.t;
+  w_status : status;
+  w_wall_seconds : float;
+      (** parent-observed wall time from spawn to termination *)
+  w_stats : Berkmin.Stats.t option;
+      (** solver statistics, for workers that delivered a reply
+          ([W_won]/[W_exhausted]); [None] for killed or crashed ones *)
+}
+
+type outcome = {
+  result : Berkmin.Solver.result;
+      (** the aggregate verdict: the winner's, or [Unknown] when no
+          worker produced one *)
+  winner : int option;  (** index of the winning worker *)
+  workers : worker list;  (** one record per worker, in index order *)
+  wall_seconds : float;  (** wall time of the whole race *)
+}
+
+val diversify :
+  ?diversify:bool -> workers:int -> Berkmin.Config.t -> Berkmin.Config.t list
+(** [diversify ~workers base] is the portfolio of [workers]
+    configurations raced for [base].  Worker 0 always runs [base]
+    itself, so a portfolio answer can never be worse than the
+    sequential configuration (modulo scheduling).  Further workers
+    rotate through six lanes — a Chaff-like profile, Luby restarts
+    with a growing unit, aggressive clause-DB reduction with fast
+    restarts, low-sensitivity activity with fast decay, randomized
+    polarity, and a low-mobility DB-hoarding profile — each with a
+    distinct RNG seed.  With [~diversify:false] the workers differ
+    only in seed.  Observability fields of [base] are preserved.
+    @raise Invalid_argument when [workers < 1]. *)
+
+val solve_specs :
+  ?wall_timeout:float ->
+  ?worker_hook:(int -> unit) ->
+  ?trace_jsonl:string ->
+  spec list ->
+  Cnf.t ->
+  outcome
+(** Race an explicit list of workers on the formula.
+
+    [wall_timeout] kills any worker still running after that many wall
+    seconds.  [worker_hook] runs in each child just before solving
+    (fault injection for tests: a hook that calls [exit 2] or raises
+    [Sys.sigkill] simulates a crashed worker); passing a hook forces
+    forking even for a single worker.  [trace_jsonl] routes each
+    worker's trace to [path.w<i>] and merges them into [path]
+    afterwards; any trace path inside the specs' configurations is
+    ignored in favour of this per-worker scheme.
+
+    SAT models are re-verified in the parent; a worker returning a
+    model that does not satisfy the formula is treated as crashed and
+    the race continues.
+    @raise Invalid_argument on an empty spec list. *)
+
+val solve :
+  ?budget:Berkmin.Solver.budget ->
+  ?wall_timeout:float ->
+  ?trace_jsonl:string ->
+  Berkmin.Config.t list ->
+  Cnf.t ->
+  outcome
+(** [solve configs cnf] races the given configurations under one
+    shared budget (default {!Berkmin.Solver.no_budget}). *)
+
+val solve_config :
+  ?budget:Berkmin.Solver.budget -> Berkmin.Config.t -> Cnf.t -> outcome
+(** The high-level entry point the CLI and harness use: builds the
+    portfolio from the configuration's own knobs —
+    {!Berkmin.Config.t.workers} copies diversified per
+    {!Berkmin.Config.t.portfolio_diversify}, killed after
+    {!Berkmin.Config.t.worker_wall_timeout}, traced to
+    {!Berkmin.Config.t.trace_jsonl} — and races it. *)
+
+val status_to_string : status -> string
+(** ["won"], ["lost"], ["exhausted"], ["crashed(2)"],
+    ["signaled(-7)"], ["timed_out"]. *)
+
+val result_to_string : Berkmin.Solver.result -> string
+(** ["SAT"], ["UNSAT"] or ["UNKNOWN"]. *)
+
+val worker_to_json : worker -> Json.t
+(** One worker as JSON: index, strategy name, seed, status, wall
+    seconds and (when delivered) the full statistics object tagged
+    with the worker index. *)
+
+val outcome_to_json : outcome -> Json.t
+(** The whole race: aggregate result, winner index (null when none),
+    total wall seconds and the per-worker records. *)

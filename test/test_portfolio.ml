@@ -1,0 +1,291 @@
+(* Tests for the process-parallel portfolio: sequential equivalence,
+   deterministic races with a known winner, crash injection (clean
+   exits and SIGKILL mid-solve), wall-clock timeouts, diversification
+   and the merged per-worker JSONL trace. *)
+
+open Berkmin_types
+module Config = Berkmin.Config
+module Solver = Berkmin.Solver
+module Stats = Berkmin.Stats
+module Portfolio = Berkmin_portfolio.Portfolio
+
+let check = Alcotest.check
+
+let hole n = (Berkmin_gen.Pigeonhole.instance n (n - 1)).Berkmin_gen.Instance.cnf
+
+(* A small satisfiable formula: planted random 3-SAT. *)
+let easy_sat =
+  lazy (Berkmin_gen.Random_ksat.planted ~num_vars:30 ~num_clauses:120 ~k:3 ~seed:7)
+
+let result_kind = function
+  | Solver.Sat _ -> "SAT"
+  | Solver.Unsat -> "UNSAT"
+  | Solver.Unknown -> "UNKNOWN"
+
+let statuses outcome =
+  List.map (fun w -> w.Portfolio.w_status) outcome.Portfolio.workers
+
+(* ------------------------------------------------------------------ *)
+(* workers = 1: the sequential fallback must match Solver.solve.       *)
+
+let test_sequential_equivalence () =
+  let cnf = hole 6 in
+  let solver = Solver.create ~config:Config.berkmin cnf in
+  let expected = Solver.solve solver in
+  let st = Solver.stats solver in
+  let outcome = Portfolio.solve [ Config.berkmin ] cnf in
+  check Alcotest.string "same verdict" (result_kind expected)
+    (result_kind outcome.Portfolio.result);
+  check (Alcotest.option Alcotest.int) "worker 0 wins" (Some 0)
+    outcome.Portfolio.winner;
+  (match outcome.Portfolio.workers with
+  | [ w ] -> (
+    match w.Portfolio.w_stats with
+    | Some pst ->
+      check Alcotest.int "same conflicts" st.Stats.conflicts
+        pst.Stats.conflicts;
+      check Alcotest.int "same decisions" st.Stats.decisions
+        pst.Stats.decisions;
+      check Alcotest.int "same propagations" st.Stats.propagations
+        pst.Stats.propagations
+    | None -> Alcotest.fail "sequential worker has no stats")
+  | ws -> Alcotest.failf "expected 1 worker record, got %d" (List.length ws));
+  (* and via the config knob *)
+  let outcome' = Portfolio.solve_config (Config.with_workers 1 Config.berkmin) cnf in
+  check Alcotest.string "solve_config same verdict" (result_kind expected)
+    (result_kind outcome'.Portfolio.result)
+
+(* ------------------------------------------------------------------ *)
+(* A race whose winner is forced: one worker is budget-starved to     *)
+(* Unknown, so the other must deliver the verdict.                     *)
+
+let test_known_winner () =
+  let cnf = hole 6 in
+  let starved =
+    {
+      Portfolio.sp_config = Config.berkmin;
+      sp_budget = Solver.budget_conflicts 0;
+    }
+  in
+  let able =
+    { Portfolio.sp_config = Config.berkmin; sp_budget = Solver.no_budget }
+  in
+  let outcome = Portfolio.solve_specs [ starved; able ] cnf in
+  check Alcotest.string "UNSAT wins" "UNSAT"
+    (result_kind outcome.Portfolio.result);
+  check (Alcotest.option Alcotest.int) "worker 1 wins" (Some 1)
+    outcome.Portfolio.winner;
+  let w0 = List.nth outcome.Portfolio.workers 0 in
+  check Alcotest.string "worker 0 exhausted" "exhausted"
+    (Portfolio.status_to_string w0.Portfolio.w_status)
+
+let test_sat_race_agrees_with_sequential () =
+  let cnf = Lazy.force easy_sat in
+  let sequential = Portfolio.solve [ Config.berkmin ] cnf in
+  let configs = Portfolio.diversify ~workers:4 Config.berkmin in
+  check Alcotest.int "4 configs" 4 (List.length configs);
+  let outcome = Portfolio.solve configs cnf in
+  check Alcotest.string "same verdict as sequential"
+    (result_kind sequential.Portfolio.result)
+    (result_kind outcome.Portfolio.result);
+  (* the parent re-verified the winner's model, so SAT here is proven *)
+  check Alcotest.bool "has a winner" true
+    (outcome.Portfolio.winner <> None);
+  check Alcotest.int "4 worker records" 4
+    (List.length outcome.Portfolio.workers)
+
+(* ------------------------------------------------------------------ *)
+(* Crash injection: a worker exits 2 mid-solve; the race degrades     *)
+(* gracefully to the survivors' verdict.                               *)
+
+let test_crash_injection () =
+  let cnf = hole 6 in
+  let spec = { Portfolio.sp_config = Config.berkmin; sp_budget = Solver.no_budget } in
+  let hook i = if i = 0 then exit 2 in
+  let outcome = Portfolio.solve_specs ~worker_hook:hook [ spec; spec ] cnf in
+  check Alcotest.string "survivor's verdict" "UNSAT"
+    (result_kind outcome.Portfolio.result);
+  check (Alcotest.option Alcotest.int) "worker 1 wins" (Some 1)
+    outcome.Portfolio.winner;
+  match statuses outcome with
+  | [ Portfolio.W_crashed 2; Portfolio.W_won ] -> ()
+  | _ ->
+    Alcotest.failf "unexpected statuses: %s"
+      (String.concat ", "
+         (List.map Portfolio.status_to_string (statuses outcome)))
+
+let test_sigkill_injection () =
+  let cnf = hole 6 in
+  let spec = { Portfolio.sp_config = Config.berkmin; sp_budget = Solver.no_budget } in
+  let hook i = if i = 1 then Unix.kill (Unix.getpid ()) Sys.sigkill in
+  let outcome = Portfolio.solve_specs ~worker_hook:hook [ spec; spec ] cnf in
+  check Alcotest.string "survivor's verdict" "UNSAT"
+    (result_kind outcome.Portfolio.result);
+  check (Alcotest.option Alcotest.int) "worker 0 wins" (Some 0)
+    outcome.Portfolio.winner;
+  let w1 = List.nth outcome.Portfolio.workers 1 in
+  match w1.Portfolio.w_status with
+  | Portfolio.W_signaled _ -> ()
+  | st ->
+    Alcotest.failf "worker 1 should be signaled, was %s"
+      (Portfolio.status_to_string st)
+
+let test_all_workers_fail () =
+  let cnf = hole 6 in
+  let spec = { Portfolio.sp_config = Config.berkmin; sp_budget = Solver.no_budget } in
+  let hook _ = exit 3 in
+  let outcome = Portfolio.solve_specs ~worker_hook:hook [ spec; spec ] cnf in
+  check Alcotest.string "no verdict" "UNKNOWN"
+    (result_kind outcome.Portfolio.result);
+  check (Alcotest.option Alcotest.int) "no winner" None
+    outcome.Portfolio.winner
+
+let test_wall_timeout () =
+  (* Workers that would run essentially forever are killed at the
+     deadline and the aggregate degrades to Unknown. *)
+  let cnf = hole 9 in
+  let spec =
+    { Portfolio.sp_config = Config.berkmin; sp_budget = Solver.no_budget }
+  in
+  let outcome =
+    Portfolio.solve_specs ~wall_timeout:0.2 [ spec; spec ] cnf
+  in
+  check Alcotest.string "timeout -> UNKNOWN" "UNKNOWN"
+    (result_kind outcome.Portfolio.result);
+  List.iter
+    (fun w ->
+      match w.Portfolio.w_status with
+      | Portfolio.W_timed_out -> ()
+      | st ->
+        Alcotest.failf "expected timed_out, got %s"
+          (Portfolio.status_to_string st))
+    outcome.Portfolio.workers
+
+(* ------------------------------------------------------------------ *)
+(* Diversification.                                                    *)
+
+let test_diversify () =
+  let configs = Portfolio.diversify ~workers:8 Config.berkmin in
+  check Alcotest.int "8 configs" 8 (List.length configs);
+  (* worker 0 is the base configuration *)
+  check Alcotest.string "worker 0 is base" "berkmin"
+    (Config.name_of (List.hd configs));
+  (* seeds are pairwise distinct *)
+  let seeds = List.map (fun c -> c.Config.seed) configs in
+  check Alcotest.int "distinct seeds" 8
+    (List.length (List.sort_uniq compare seeds));
+  (* every worker config is itself sequential (no recursive forking) *)
+  List.iter
+    (fun c -> check Alcotest.int "worker config workers=1" 1 c.Config.workers)
+    configs;
+  (* at least one lane changes the restart policy and one the DB *)
+  let restarts =
+    List.sort_uniq compare
+      (List.map (fun c -> Format.asprintf "%a" Config.pp c) configs)
+  in
+  check Alcotest.bool "lanes differ" true (List.length restarts > 4);
+  (* seed-only mode keeps the heuristics identical *)
+  let same = Portfolio.diversify ~diversify:false ~workers:3 Config.berkmin in
+  List.iter
+    (fun c ->
+      check Alcotest.string "seed-only keeps preset" "berkmin"
+        (Config.name_of c))
+    same
+
+(* ------------------------------------------------------------------ *)
+(* Merged trace with per-worker tags.                                  *)
+
+let test_merged_trace () =
+  let path = Filename.temp_file "portfolio_trace" ".jsonl" in
+  let cnf = hole 5 in
+  let config =
+    Config.berkmin |> Config.with_workers 2 |> Config.with_trace_jsonl path
+  in
+  let outcome = Portfolio.solve_config config cnf in
+  check Alcotest.string "traced race still UNSAT" "UNSAT"
+    (result_kind outcome.Portfolio.result);
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove path;
+  check Alcotest.bool "trace nonempty" true (!lines <> []);
+  let workers_seen =
+    List.filter_map
+      (fun line ->
+        match Json.member "worker" (Json.of_string line) with
+        | Some (Json.Int w) -> Some w
+        | _ -> None)
+      !lines
+    |> List.sort_uniq compare
+  in
+  (* every line is tagged; the winner's lines are present at least *)
+  check Alcotest.int "all lines tagged" (List.length !lines)
+    (List.length
+       (List.filter
+          (fun l -> Json.member "worker" (Json.of_string l) <> None)
+          !lines));
+  check Alcotest.bool "winner's worker tag present" true
+    (match outcome.Portfolio.winner with
+    | Some w -> List.mem w workers_seen
+    | None -> false);
+  (* no stray per-worker files left behind *)
+  check Alcotest.bool "worker files merged and removed" true
+    (not (Sys.file_exists (path ^ ".w0") || Sys.file_exists (path ^ ".w1")))
+
+(* ------------------------------------------------------------------ *)
+(* JSON shape.                                                         *)
+
+let test_outcome_json () =
+  let cnf = hole 6 in
+  let outcome =
+    Portfolio.solve (Portfolio.diversify ~workers:2 Config.berkmin) cnf
+  in
+  let json = Portfolio.outcome_to_json outcome in
+  (* round-trips through the hand-rolled parser *)
+  let json = Json.of_string (Json.to_string json) in
+  check (Alcotest.option Alcotest.string) "result field" (Some "UNSAT")
+    (Option.bind (Json.member "result" json) Json.to_string_opt);
+  match Option.bind (Json.member "workers" json) Json.to_list_opt with
+  | Some ws ->
+    check Alcotest.int "worker records" 2 (List.length ws);
+    List.iter
+      (fun w ->
+        check Alcotest.bool "has status" true (Json.member "status" w <> None);
+        check Alcotest.bool "has strategy" true
+          (Json.member "strategy" w <> None))
+      ws
+  | None -> Alcotest.fail "no workers array"
+
+let () =
+  Alcotest.run "portfolio"
+    [
+      ( "sequential",
+        [
+          Alcotest.test_case "workers=1 equivalence" `Quick
+            test_sequential_equivalence;
+        ] );
+      ( "race",
+        [
+          Alcotest.test_case "known winner" `Quick test_known_winner;
+          Alcotest.test_case "sat race agrees" `Quick
+            test_sat_race_agrees_with_sequential;
+          Alcotest.test_case "wall timeout" `Quick test_wall_timeout;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "crash injection" `Quick test_crash_injection;
+          Alcotest.test_case "sigkill injection" `Quick test_sigkill_injection;
+          Alcotest.test_case "all workers fail" `Quick test_all_workers_fail;
+        ] );
+      ( "diversify", [ Alcotest.test_case "lanes" `Quick test_diversify ] );
+      ( "observability",
+        [
+          Alcotest.test_case "merged trace" `Quick test_merged_trace;
+          Alcotest.test_case "outcome json" `Quick test_outcome_json;
+        ] );
+    ]
