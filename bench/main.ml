@@ -262,6 +262,50 @@ let run_parallel ~workers =
   in
   (json, if all_ok then 0 else 1)
 
+(* ------------------------------------------------------------------ *)
+(* Baseline verdict diff: CI regenerates the smoke suite and compares
+   verdicts — never timings, which vary with the runner — against the
+   committed BENCH_baseline.json; any drift fails the job.             *)
+
+let verdict_map json =
+  match Json.member "instances" json with
+  | Some (Json.List items) ->
+    List.filter_map
+      (fun item ->
+        match (Json.member "instance" item, Json.member "verdict" item) with
+        | Some (Json.String name), Some (Json.String v) -> Some (name, v)
+        | _ -> None)
+      items
+  | _ -> []
+
+let diff_baseline path json =
+  let contents = In_channel.with_open_text path In_channel.input_all in
+  let base = verdict_map (Json.of_string contents) in
+  let now = verdict_map json in
+  let drift = ref [] in
+  List.iter
+    (fun (name, v) ->
+      match List.assoc_opt name base with
+      | Some bv when bv <> v ->
+        drift := Printf.sprintf "%s: %s -> %s" name bv v :: !drift
+      | Some _ -> ()
+      | None -> drift := Printf.sprintf "%s: new instance (%s)" name v :: !drift)
+    now;
+  List.iter
+    (fun (name, bv) ->
+      if not (List.mem_assoc name now) then
+        drift := Printf.sprintf "%s: missing (baseline %s)" name bv :: !drift)
+    base;
+  match List.rev !drift with
+  | [] ->
+    Printf.printf "baseline %s: verdicts match (%d instances)\n" path
+      (List.length now);
+    true
+  | lines ->
+    Printf.printf "baseline %s: VERDICT DRIFT (%d)\n" path (List.length lines);
+    List.iter (fun l -> Printf.printf "  %s\n" l) lines;
+    false
+
 let write_json path json =
   let text = Json.to_string_pretty json ^ "\n" in
   if path = "-" then print_string text
@@ -283,7 +327,8 @@ let experiments_json () =
           (List.map (fun (n, j) -> (n, j)) (Experiments.collected_json ())) );
     ]
 
-let run quick bechamel extensions only list_names smoke workers json_out =
+let run quick bechamel extensions only list_names smoke workers json_out
+    baseline =
   if list_names then begin
     List.iter print_endline Experiments.names;
     0
@@ -297,12 +342,15 @@ let run quick bechamel extensions only list_names smoke workers json_out =
     run_bechamel ();
     0
   end
-  else if smoke || (json_out <> None && only = []) then begin
+  else if smoke || (json_out <> None && only = []) || baseline <> None
+  then begin
     (* --json with no experiment selection means the smoke suite: fast,
        per-instance, and gate-worthy — what CI wants from --quick. *)
     let json, status = run_smoke () in
     Option.iter (fun path -> write_json path json) json_out;
-    status
+    match baseline with
+    | Some path -> if diff_baseline path json then status else 1
+    | None -> status
   end
   else begin
     let opts =
@@ -390,12 +438,22 @@ let json_out =
            $(docv) (\"-\" for stdout).  Without --only or --workers this \
            implies the smoke suite.")
 
+let baseline =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "baseline" ] ~docv:"FILE"
+        ~doc:
+          "Run the smoke suite and diff its verdicts (never timings) \
+           against the JSON summary in $(docv); any drift — changed, \
+           new or missing verdicts — exits non-zero.")
+
 let cmd =
   let doc = "Regenerate the BerkMin paper's tables and figures" in
   Cmd.v
     (Cmd.info "berkmin-bench" ~doc)
     Term.(
       const run $ quick $ bechamel $ extensions $ only $ list_names $ smoke
-      $ workers $ json_out)
+      $ workers $ json_out $ baseline)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,122 @@
+(* Differential fuzzing front end.
+
+   Runs a seeded campaign (lib/fuzz): generate a CNF case, mutate it,
+   cross-check the CDCL engine against the reference DPLL, certify
+   UNSAT answers with the DRUP checker and SAT answers by model
+   evaluation, and delta-debug any disagreement down to a minimal
+   counterexample.  Output (stdout, --json and artifact files) is a
+   pure function of the flags — two runs with the same seed are
+   bit-identical — so CI can both gate on it and reproduce from it. *)
+
+open Berkmin_types
+module Runner = Berkmin_fuzz.Runner
+module Dimacs = Berkmin_dimacs.Dimacs
+
+let write_json path json =
+  let text = Json.to_string_pretty json ^ "\n" in
+  if path = "-" then print_string text
+  else begin
+    let oc = open_out path in
+    output_string oc text;
+    close_out oc;
+    Printf.printf "json report written to %s\n" path
+  end
+
+let write_artifacts ~prefix ~seed ce =
+  let base = Printf.sprintf "%s_s%d_r%d" prefix seed ce.Runner.round in
+  let orig = base ^ ".cnf" in
+  Dimacs.write_file orig ce.Runner.cnf;
+  Printf.printf "counterexample written to %s\n" orig;
+  match ce.Runner.minimized with
+  | None -> ()
+  | Some m ->
+    let mini = base ^ ".min.cnf" in
+    Dimacs.write_file mini m;
+    Printf.printf "minimized counterexample written to %s\n" mini
+
+let run seed rounds max_vars max_mutations shrink json_out prefix =
+  let config =
+    {
+      Runner.default with
+      Runner.seed;
+      rounds;
+      max_vars;
+      max_mutations;
+      shrink;
+    }
+  in
+  let report = Runner.run ~log:print_endline config in
+  List.iter (write_artifacts ~prefix ~seed) report.Runner.counterexamples;
+  let disagreements = List.length report.Runner.counterexamples in
+  Printf.printf
+    "fuzz: seed %d, %d rounds, %d sat, %d unsat, %d undecided, %d mutations, \
+     %d disagreements\n"
+    seed rounds report.Runner.sat report.Runner.unsat report.Runner.undecided
+    report.Runner.mutations_applied disagreements;
+  Option.iter
+    (fun path -> write_json path (Runner.report_to_json report))
+    json_out;
+  if disagreements = 0 then 0 else 1
+
+open Cmdliner
+
+let seed =
+  Arg.(
+    value & opt int 0
+    & info [ "seed" ] ~docv:"N"
+        ~doc:
+          "Master seed of the campaign.  Every generated case, mutation \
+           and report field derives from it, so a CI failure is \
+           reproduced exactly by re-running with the logged seed.")
+
+let rounds =
+  Arg.(
+    value & opt int 200
+    & info [ "rounds" ] ~docv:"N" ~doc:"Number of fuzzing rounds to run.")
+
+let max_vars =
+  Arg.(
+    value & opt int 30
+    & info [ "max-vars" ] ~docv:"N"
+        ~doc:"Variable cap for generated cases (at least 4).")
+
+let max_mutations =
+  Arg.(
+    value & opt int 4
+    & info [ "mutations" ] ~docv:"N"
+        ~doc:"Each round applies 0..$(docv) structured mutations.")
+
+let shrink =
+  Arg.(
+    value & opt bool true
+    & info [ "shrink" ] ~docv:"BOOL"
+        ~doc:
+          "Delta-debug each counterexample down to a minimal formula \
+           that still triggers the same oracle failure.")
+
+let json_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:
+          "Write the campaign report as JSON to $(docv) (\"-\" for \
+           stdout); deterministic for a given seed.")
+
+let prefix =
+  Arg.(
+    value & opt string "fuzz"
+    & info [ "out" ] ~docv:"PREFIX"
+        ~doc:
+          "Prefix for counterexample artifacts; failures are written as \
+           $(docv)_s<seed>_r<round>.cnf plus .min.cnf when shrinking.")
+
+let cmd =
+  let doc = "Differentially fuzz the BerkMin solver against its oracles" in
+  Cmd.v
+    (Cmd.info "berkmin-fuzz" ~doc)
+    Term.(
+      const run $ seed $ rounds $ max_vars $ max_mutations $ shrink $ json_out
+      $ prefix)
+
+let () = exit (Cmd.eval' cmd)

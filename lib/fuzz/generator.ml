@@ -1,0 +1,50 @@
+open Berkmin_types
+open Berkmin_gen
+
+type case = {
+  name : string;
+  cnf : Cnf.t;
+}
+
+(* Uniform k-SAT with rng-drawn size: the clause/variable ratio spans
+   2.0 .. 6.0 so both verdicts (and the hard middle) are exercised. *)
+let random_ksat rng ~max_vars =
+  let k = 2 + Rng.int rng 2 in
+  let num_vars = min max_vars (4 + Rng.int rng (max_vars - 3)) in
+  let ratio_pct = 200 + Rng.int rng 400 in
+  let num_clauses = max 1 (num_vars * ratio_pct / 100) in
+  let seed = Rng.int rng 1_000_000 in
+  let cnf = Random_ksat.generate ~num_vars ~num_clauses ~k ~seed in
+  {
+    name = Printf.sprintf "%dsat(v=%d,c=%d,seed=%d)" k num_vars num_clauses seed;
+    cnf;
+  }
+
+let planted rng ~max_vars =
+  let num_vars = min max_vars (4 + Rng.int rng (max_vars - 3)) in
+  let ratio_pct = 300 + Rng.int rng 200 in
+  let num_clauses = max 1 (num_vars * ratio_pct / 100) in
+  let seed = Rng.int rng 1_000_000 in
+  let cnf = Random_ksat.planted ~num_vars ~num_clauses ~k:3 ~seed in
+  {
+    name =
+      Printf.sprintf "planted3sat(v=%d,c=%d,seed=%d)" num_vars num_clauses seed;
+    cnf;
+  }
+
+(* A structured seed from lib/gen, copied so mutators cannot corrupt
+   the shared instance. *)
+let structured rng ~max_vars =
+  match Suites.fuzz_seeds ~max_vars with
+  | [] -> random_ksat rng ~max_vars
+  | seeds ->
+    let inst = List.nth seeds (Rng.int rng (List.length seeds)) in
+    { name = inst.Instance.name; cnf = Cnf.copy inst.Instance.cnf }
+
+let generate rng ~max_vars =
+  if max_vars < 4 then
+    invalid_arg "Generator.generate: max_vars must be >= 4";
+  match Rng.int rng 4 with
+  | 0 -> planted rng ~max_vars
+  | 1 -> structured rng ~max_vars
+  | _ -> random_ksat rng ~max_vars

@@ -1,0 +1,20 @@
+(** Seeded CNF case generation for the differential fuzzer.
+
+    Every case is derived purely from the supplied {!Berkmin_types.Rng.t},
+    so a whole campaign is reproducible bit-for-bit from its master
+    seed: no wall clock, no global [Random] state. *)
+
+open Berkmin_types
+
+type case = {
+  name : string;
+      (** Human-readable construction, e.g. ["3sat(v=9,c=38,seed=123)"];
+          recorded in counterexample reports. *)
+  cnf : Cnf.t;  (** Fresh formula, safe to mutate. *)
+}
+
+val generate : Rng.t -> max_vars:int -> case
+(** Draws one base case: uniform random k-SAT (k of 2 or 3) near the
+    phase transition, planted (guaranteed satisfiable) 3-SAT, or a
+    small structured instance from {!Berkmin_gen.Suites.fuzz_seeds}.
+    @raise Invalid_argument if [max_vars < 4]. *)

@@ -1,0 +1,81 @@
+open Berkmin_types
+
+type kind =
+  | Duplicate_clause
+  | Delete_clause
+  | Flip_literal
+  | Inject_unit
+  | Rename_vars
+
+let all =
+  [ Duplicate_clause; Delete_clause; Flip_literal; Inject_unit; Rename_vars ]
+
+let name = function
+  | Duplicate_clause -> "duplicate_clause"
+  | Delete_clause -> "delete_clause"
+  | Flip_literal -> "flip_literal"
+  | Inject_unit -> "inject_unit"
+  | Rename_vars -> "rename_vars"
+
+let rebuild num_vars clauses =
+  let cnf = Cnf.create ~num_vars () in
+  List.iter (Cnf.add cnf) clauses;
+  cnf
+
+let apply rng kind cnf =
+  let num_vars = Cnf.num_vars cnf in
+  let clauses = Cnf.clauses cnf in
+  let n = List.length clauses in
+  match kind with
+  | Duplicate_clause ->
+    if n = 0 then Cnf.copy cnf
+    else rebuild num_vars (clauses @ [ List.nth clauses (Rng.int rng n) ])
+  | Delete_clause ->
+    if n = 0 then Cnf.copy cnf
+    else begin
+      let victim = Rng.int rng n in
+      rebuild num_vars (List.filteri (fun i _ -> i <> victim) clauses)
+    end
+  | Flip_literal ->
+    if not (List.exists (fun c -> Clause.length c > 0) clauses) then
+      Cnf.copy cnf
+    else begin
+      let rec pick () =
+        let i = Rng.int rng n in
+        let c = List.nth clauses i in
+        if Clause.length c = 0 then pick () else (i, c)
+      in
+      let i, c = pick () in
+      let lits = Clause.to_array c in
+      let j = Rng.int rng (Array.length lits) in
+      lits.(j) <- Lit.negate lits.(j);
+      rebuild num_vars
+        (List.mapi
+           (fun k c0 -> if k = i then Clause.of_array lits else c0)
+           clauses)
+    end
+  | Inject_unit ->
+    let nv = max 1 num_vars in
+    let l = Lit.make (Rng.int rng nv) (Rng.bool rng) in
+    rebuild nv (clauses @ [ Clause.of_list [ l ] ])
+  | Rename_vars ->
+    if num_vars = 0 then Cnf.copy cnf
+    else begin
+      let perm = Array.init num_vars Fun.id in
+      Rng.shuffle rng perm;
+      let rename l = Lit.make perm.(Lit.var l) (Lit.is_pos l) in
+      rebuild num_vars
+        (List.map
+           (fun c -> Clause.of_array (Array.map rename (Clause.to_array c)))
+           clauses)
+    end
+
+let random rng ~n cnf =
+  let rec go cnf acc i =
+    if i = n then (cnf, List.rev acc)
+    else begin
+      let kind = List.nth all (Rng.int rng (List.length all)) in
+      go (apply rng kind cnf) (kind :: acc) (i + 1)
+    end
+  in
+  go (Cnf.copy cnf) [] 0

@@ -1,0 +1,31 @@
+(** Structured CNF mutators for the differential fuzzer.
+
+    Each mutator is a small, semantically characterised edit: some
+    preserve satisfiability exactly (duplication, renaming), some only
+    weaken (deletion) or strengthen (unit injection) the formula, and
+    literal flips change it arbitrarily.  The differential oracle never
+    relies on a carried expectation, so any mix is sound to apply. *)
+
+open Berkmin_types
+
+type kind =
+  | Duplicate_clause  (** append a copy of a random clause (equivalence-preserving) *)
+  | Delete_clause  (** drop a random clause (weakening: UNSAT may become SAT) *)
+  | Flip_literal  (** negate one literal of one clause (arbitrary change) *)
+  | Inject_unit  (** add a random unit clause (strengthening) *)
+  | Rename_vars
+      (** apply a random variable permutation (satisfiability-preserving) *)
+
+val all : kind list
+
+val name : kind -> string
+(** Stable snake_case identifier used in reports. *)
+
+val apply : Rng.t -> kind -> Cnf.t -> Cnf.t
+(** Returns a fresh formula; the input is never modified.  A mutation
+    that needs a clause or variable to act on degrades to a plain copy
+    on a degenerate formula. *)
+
+val random : Rng.t -> n:int -> Cnf.t -> Cnf.t * kind list
+(** Applies [n] independently drawn mutations in sequence, returning
+    the mutated formula and the kinds applied, in order. *)

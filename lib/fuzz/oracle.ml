@@ -1,0 +1,158 @@
+open Berkmin_types
+module Drup = Berkmin_proof.Drup
+
+type answer =
+  | A_sat of bool array
+  | A_unsat of Drup.t option
+  | A_unknown
+
+type solver = {
+  name : string;
+  solve : Cnf.t -> answer;
+}
+
+let cdcl ?(config = Berkmin.Config.berkmin)
+    ?(budget = Berkmin_harness.Runner.fuzz_budget) () =
+  {
+    name = "cdcl:" ^ Berkmin.Config.name_of config;
+    solve =
+      (fun cnf ->
+        let solver = Berkmin.Solver.create ~config cnf in
+        let proof = Drup.create () in
+        Berkmin.Solver.set_proof_logger solver (Drup.record proof);
+        match Berkmin.Solver.solve ~budget solver with
+        | Berkmin.Solver.Sat m -> A_sat m
+        | Berkmin.Solver.Unsat -> A_unsat (Some proof)
+        | Berkmin.Solver.Unknown -> A_unknown);
+  }
+
+let dpll ?(max_nodes = 500_000) () =
+  {
+    name = "dpll";
+    solve =
+      (fun cnf ->
+        match Berkmin.Dpll.solve ~max_nodes cnf with
+        | Berkmin.Dpll.Sat m -> A_sat m
+        | Berkmin.Dpll.Unsat -> A_unsat None
+        | Berkmin.Dpll.Unknown -> A_unknown);
+  }
+
+let default_solvers () = [ cdcl (); dpll () ]
+
+type failure = {
+  culprit : string;
+  oracle : string;
+  detail : string;
+}
+
+type verdict =
+  | V_sat
+  | V_unsat
+  | V_undecided
+
+type result = {
+  verdict : verdict;
+  failures : failure list;
+}
+
+(* The forward DRUP checker is quadratic-ish; don't feed it derivations
+   far beyond fuzz scale. *)
+let max_checked_proof_steps = 50_000
+
+let model_failure name cnf m =
+  if Array.length m < Cnf.num_vars cnf then
+    Some
+      {
+        culprit = name;
+        oracle = "model";
+        detail =
+          Printf.sprintf "model covers %d of %d variables" (Array.length m)
+            (Cnf.num_vars cnf);
+      }
+  else if Cnf.satisfied_by cnf m then None
+  else
+    Some
+      {
+        culprit = name;
+        oracle = "model";
+        detail = "model does not satisfy the formula";
+      }
+
+let proof_failure name cnf proof =
+  if Drup.length proof > max_checked_proof_steps then None
+  else
+    match Drup.check cnf proof with
+    | Drup.Valid -> None
+    | Drup.Invalid _ as r ->
+      Some
+        {
+          culprit = name;
+          oracle = "proof";
+          detail = Drup.check_result_to_string r;
+        }
+
+let differential ?solvers cnf =
+  let solvers =
+    match solvers with Some s -> s | None -> default_solvers ()
+  in
+  let answers =
+    List.map
+      (fun s ->
+        match s.solve (Cnf.copy cnf) with
+        | answer -> (s.name, Ok answer)
+        | exception e -> (s.name, Error (Printexc.to_string e)))
+      solvers
+  in
+  let failures = ref [] in
+  let emit f = failures := f :: !failures in
+  (* crash / model / proof oracles, per answer *)
+  List.iter
+    (fun (name, answer) ->
+      match answer with
+      | Error detail -> emit { culprit = name; oracle = "crash"; detail }
+      | Ok (A_sat m) -> Option.iter emit (model_failure name cnf m)
+      | Ok (A_unsat (Some proof)) -> Option.iter emit (proof_failure name cnf proof)
+      | Ok (A_unsat None) | Ok A_unknown -> ())
+    answers;
+  (* verdict oracle: all decided answers must agree *)
+  let decided =
+    List.filter_map
+      (fun (name, answer) ->
+        match answer with
+        | Ok (A_sat _) -> Some (name, true)
+        | Ok (A_unsat _) -> Some (name, false)
+        | Ok A_unknown | Error _ -> None)
+      answers
+  in
+  let verdict =
+    match decided with
+    | [] -> V_undecided
+    | (_, true) :: _ -> V_sat
+    | (_, false) :: _ -> V_unsat
+  in
+  (match decided with
+  | [] -> ()
+  | (name0, v0) :: rest ->
+    List.iter
+      (fun (name, v) ->
+        if v <> v0 then
+          emit
+            {
+              culprit = name;
+              oracle = "verdict";
+              detail =
+                Printf.sprintf "%s says %s but %s says %s" name0
+                  (if v0 then "SAT" else "UNSAT")
+                  name
+                  (if v then "SAT" else "UNSAT");
+            })
+      rest);
+  { verdict; failures = List.rev !failures }
+
+let failure_to_json f =
+  Json.Obj
+    [
+      ("solver", Json.String f.culprit);
+      ("oracle", Json.String f.oracle);
+      ("detail", Json.String f.detail);
+    ]

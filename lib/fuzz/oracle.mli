@@ -1,0 +1,66 @@
+(** The differential oracle: four independent judgements of one formula.
+
+    A formula is run through every configured solver (by default the
+    CDCL engine and the reference DPLL, which share no search code) and
+    the answers are cross-examined by four oracles:
+
+    - {b verdict}: every pair of decided answers must agree SAT/UNSAT;
+    - {b model}: every SAT answer's model must satisfy the formula;
+    - {b proof}: every UNSAT answer carrying a DRUP derivation must
+      pass {!Berkmin_proof.Drup.check};
+    - {b crash}: no solver may raise.
+
+    [A_unknown] (budget exhausted) never counts as a disagreement. *)
+
+open Berkmin_types
+
+type answer =
+  | A_sat of bool array  (** total assignment indexed by variable *)
+  | A_unsat of Berkmin_proof.Drup.t option
+      (** optional DRUP derivation to certify *)
+  | A_unknown  (** budget exhausted *)
+
+type solver = {
+  name : string;
+  solve : Cnf.t -> answer;
+}
+
+val cdcl :
+  ?config:Berkmin.Config.t -> ?budget:Berkmin.Solver.budget -> unit -> solver
+(** The CDCL engine with DRUP logging installed; every UNSAT answer
+    carries its proof.  The default budget is
+    {!Berkmin_harness.Runner.fuzz_budget} (conflict-only, so runs are
+    deterministic). *)
+
+val dpll : ?max_nodes:int -> unit -> solver
+(** The independent reference DPLL (default budget: 500k nodes). *)
+
+val default_solvers : unit -> solver list
+(** [[cdcl (); dpll ()]]. *)
+
+type failure = {
+  culprit : string;  (** name of the offending solver *)
+  oracle : string;  (** ["verdict"], ["model"], ["proof"] or ["crash"] *)
+  detail : string;
+}
+
+type verdict =
+  | V_sat
+  | V_unsat
+  | V_undecided  (** no solver decided *)
+
+type result = {
+  verdict : verdict;
+      (** the first decided answer's verdict (disagreements are in
+          [failures]) *)
+  failures : failure list;
+}
+
+val differential : ?solvers:solver list -> Cnf.t -> result
+(** Runs every solver on (a private copy of) the formula and applies
+    the four oracles.  An empty [failures] list means all delivered
+    answers are consistent and certified.  Proofs longer than 50k steps
+    are not re-checked (the forward checker is quadratic); this never
+    triggers on fuzz-sized instances. *)
+
+val failure_to_json : failure -> Json.t

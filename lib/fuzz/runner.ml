@@ -1,0 +1,145 @@
+open Berkmin_types
+
+type config = {
+  seed : int;
+  rounds : int;
+  max_vars : int;
+  max_mutations : int;
+  shrink : bool;
+  solvers : Oracle.solver list option;
+}
+
+let default =
+  {
+    seed = 0;
+    rounds = 200;
+    max_vars = 30;
+    max_mutations = 4;
+    shrink = true;
+    solvers = None;
+  }
+
+type counterexample = {
+  round : int;
+  base : string;
+  mutations : string list;
+  failures : Oracle.failure list;
+  cnf : Cnf.t;
+  minimized : Cnf.t option;
+}
+
+type report = {
+  config : config;
+  sat : int;
+  unsat : int;
+  undecided : int;
+  mutations_applied : int;
+  counterexamples : counterexample list;
+}
+
+(* Minimization must preserve the original failure, not just any
+   failure: shrinking a verdict mismatch into an unrelated crash would
+   hand the user the wrong counterexample. *)
+let same_failure (f : Oracle.failure) (g : Oracle.failure) =
+  f.Oracle.culprit = g.Oracle.culprit && f.Oracle.oracle = g.Oracle.oracle
+
+let run ?(log = fun _ -> ()) config =
+  if config.max_vars < 4 then
+    invalid_arg "Fuzz.Runner.run: max_vars must be >= 4";
+  let solvers =
+    match config.solvers with
+    | Some s -> s
+    | None -> Oracle.default_solvers ()
+  in
+  let rng = Rng.create config.seed in
+  let sat = ref 0 and unsat = ref 0 and undecided = ref 0 in
+  let mutations_applied = ref 0 in
+  let counterexamples = ref [] in
+  for round = 1 to config.rounds do
+    let case = Generator.generate rng ~max_vars:config.max_vars in
+    let n = Rng.int rng (config.max_mutations + 1) in
+    let cnf, kinds = Mutate.random rng ~n case.Generator.cnf in
+    mutations_applied := !mutations_applied + List.length kinds;
+    let res = Oracle.differential ~solvers cnf in
+    (match res.Oracle.verdict with
+    | Oracle.V_sat -> incr sat
+    | Oracle.V_unsat -> incr unsat
+    | Oracle.V_undecided -> incr undecided);
+    if res.Oracle.failures <> [] then begin
+      let witness = List.hd res.Oracle.failures in
+      log
+        (Printf.sprintf "round %d: %s oracle failed for %s: %s" round
+           witness.Oracle.oracle witness.Oracle.culprit witness.Oracle.detail);
+      let minimized =
+        if not config.shrink then None
+        else begin
+          let keep c =
+            List.exists (same_failure witness)
+              (Oracle.differential ~solvers c).Oracle.failures
+          in
+          let m = Shrink.minimize ~keep cnf in
+          log
+            (Printf.sprintf "round %d: minimized to %d clauses over %d vars"
+               round (Cnf.num_clauses m) (Cnf.num_vars m));
+          Some m
+        end
+      in
+      counterexamples :=
+        {
+          round;
+          base = case.Generator.name;
+          mutations = List.map Mutate.name kinds;
+          failures = res.Oracle.failures;
+          cnf;
+          minimized;
+        }
+        :: !counterexamples
+    end
+  done;
+  {
+    config;
+    sat = !sat;
+    unsat = !unsat;
+    undecided = !undecided;
+    mutations_applied = !mutations_applied;
+    counterexamples = List.rev !counterexamples;
+  }
+
+let counterexample_to_json ce =
+  Json.Obj
+    ([
+       ("round", Json.Int ce.round);
+       ("base", Json.String ce.base);
+       ("mutations", Json.List (List.map (fun m -> Json.String m) ce.mutations));
+       ("failures", Json.List (List.map Oracle.failure_to_json ce.failures));
+       ("vars", Json.Int (Cnf.num_vars ce.cnf));
+       ("clauses", Json.Int (Cnf.num_clauses ce.cnf));
+       ("dimacs", Json.String (Berkmin_dimacs.Dimacs.to_string ce.cnf));
+     ]
+    @
+    match ce.minimized with
+    | None -> []
+    | Some m ->
+      [
+        ("minimized_vars", Json.Int (Cnf.num_vars m));
+        ("minimized_clauses", Json.Int (Cnf.num_clauses m));
+        ("minimized_dimacs", Json.String (Berkmin_dimacs.Dimacs.to_string m));
+      ])
+
+let report_to_json r =
+  Json.Obj
+    [
+      ("suite", Json.String "fuzz");
+      ("seed", Json.Int r.config.seed);
+      ("rounds", Json.Int r.config.rounds);
+      ("max_vars", Json.Int r.config.max_vars);
+      ("max_mutations", Json.Int r.config.max_mutations);
+      ("shrink", Json.Bool r.config.shrink);
+      ("sat", Json.Int r.sat);
+      ("unsat", Json.Int r.unsat);
+      ("undecided", Json.Int r.undecided);
+      ("mutations_applied", Json.Int r.mutations_applied);
+      ("disagreements", Json.Int (List.length r.counterexamples));
+      ( "counterexamples",
+        Json.List (List.map counterexample_to_json r.counterexamples) );
+    ]

@@ -1,0 +1,56 @@
+(** Campaign driver: the Runner-level API behind [bin/fuzz.ml].
+
+    A campaign is a seeded loop of rounds; each round draws a base case
+    ({!Generator}), applies a few structured mutations ({!Mutate}),
+    runs the differential oracle ({!Oracle}) and, on any failure,
+    minimizes the formula with {!Shrink} while the {e same} failure
+    (same solver, same oracle) persists.  Everything — including the
+    report JSON — is a pure function of the configuration, so two runs
+    with the same seed are bit-identical. *)
+
+open Berkmin_types
+
+type config = {
+  seed : int;
+  rounds : int;
+  max_vars : int;  (** per-case variable cap; must be [>= 4] *)
+  max_mutations : int;  (** each round draws 0..[max_mutations] mutations *)
+  shrink : bool;  (** minimize counterexamples before reporting *)
+  solvers : Oracle.solver list option;
+      (** [None] means {!Oracle.default_solvers}; tests inject broken
+          oracles here *)
+}
+
+val default : config
+(** seed 0, 200 rounds, 30 vars, up to 4 mutations, shrinking on,
+    default solvers. *)
+
+type counterexample = {
+  round : int;  (** 1-based round that found it *)
+  base : string;  (** generator description of the base case *)
+  mutations : string list;  (** mutation names applied, in order *)
+  failures : Oracle.failure list;
+  cnf : Cnf.t;  (** the formula as fuzzed *)
+  minimized : Cnf.t option;  (** present when [config.shrink] *)
+}
+
+type report = {
+  config : config;
+  sat : int;
+  unsat : int;
+  undecided : int;  (** rounds where no solver decided *)
+  mutations_applied : int;
+  counterexamples : counterexample list;
+}
+
+val run : ?log:(string -> unit) -> config -> report
+(** Runs the campaign.  [log] receives deterministic progress lines
+    (counterexamples and their minimized sizes — never timings).
+    @raise Invalid_argument if [config.max_vars < 4]. *)
+
+val counterexample_to_json : counterexample -> Json.t
+
+val report_to_json : report -> Json.t
+(** The ["fuzz"] schema of [docs/OBSERVABILITY.md]: seed, verdict
+    counts and embedded DIMACS counterexamples; no wall-clock fields,
+    so the document is reproducible byte-for-byte from the seed. *)

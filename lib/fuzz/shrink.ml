@@ -1,0 +1,123 @@
+open Berkmin_types
+
+let rebuild num_vars clauses =
+  let cnf = Cnf.create ~num_vars () in
+  List.iter (Cnf.add cnf) clauses;
+  cnf
+
+(* One sweep of ddmin at a fixed chunk size: tentatively drop each
+   window of [size] consecutive clauses, keeping the drop whenever the
+   failure survives. *)
+let remove_chunks keep num_vars clauses size =
+  let arr = Array.of_list clauses in
+  let n = Array.length arr in
+  let alive = Array.make n true in
+  let current () =
+    Array.to_list arr |> List.filteri (fun i _ -> alive.(i))
+  in
+  let idx = ref 0 in
+  while !idx < n do
+    let hi = min n (!idx + size) in
+    let saved = Array.sub alive !idx (hi - !idx) in
+    let any = ref false in
+    for i = !idx to hi - 1 do
+      if alive.(i) then begin
+        alive.(i) <- false;
+        any := true
+      end
+    done;
+    if !any && not (keep (rebuild num_vars (current ()))) then
+      Array.blit saved 0 alive !idx (hi - !idx);
+    idx := hi
+  done;
+  current ()
+
+let shrink_clauses keep num_vars clauses =
+  let clauses = ref clauses in
+  let size = ref (max 1 (List.length !clauses / 2)) in
+  while !size >= 1 do
+    clauses := remove_chunks keep num_vars !clauses !size;
+    size := (if !size = 1 then 0 else !size / 2)
+  done;
+  !clauses
+
+(* Strengthen clauses literal by literal: dropping a literal makes the
+   clause harder to satisfy, and smaller counterexamples are easier to
+   read.  Restarts on a clause after every successful drop. *)
+let shrink_literals keep num_vars clauses =
+  let arr = Array.of_list clauses in
+  for i = 0 to Array.length arr - 1 do
+    let again = ref true in
+    while !again do
+      again := false;
+      let lits = Clause.to_array arr.(i) in
+      let len = Array.length lits in
+      let j = ref 0 in
+      while !j < len && not !again do
+        let candidate =
+          Clause.of_list
+            (Array.to_list lits |> List.filteri (fun k _ -> k <> !j))
+        in
+        let trial =
+          Array.to_list
+            (Array.mapi (fun k c -> if k = i then candidate else c) arr)
+        in
+        if keep (rebuild num_vars trial) then begin
+          arr.(i) <- candidate;
+          again := true
+        end;
+        incr j
+      done
+    done
+  done;
+  Array.to_list arr
+
+(* Renumber the surviving variables densely so the counterexample's
+   header matches what it actually uses. *)
+let compact keep cnf =
+  let clauses = Cnf.clauses cnf in
+  let used = Hashtbl.create 16 in
+  List.iter
+    (fun c -> Clause.iter (fun l -> Hashtbl.replace used (Lit.var l) ()) c)
+    clauses;
+  let vars =
+    Hashtbl.fold (fun v () acc -> v :: acc) used [] |> List.sort compare
+  in
+  if List.length vars = Cnf.num_vars cnf then cnf
+  else begin
+    let map = Hashtbl.create 16 in
+    List.iteri (fun i v -> Hashtbl.add map v i) vars;
+    let rename l = Lit.make (Hashtbl.find map (Lit.var l)) (Lit.is_pos l) in
+    let candidate =
+      rebuild (List.length vars)
+        (List.map
+           (fun c -> Clause.of_array (Array.map rename (Clause.to_array c)))
+           clauses)
+    in
+    if keep candidate then candidate else cnf
+  end
+
+let minimize ?(max_passes = 8) ~keep cnf =
+  if not (keep cnf) then cnf
+  else begin
+    let current = ref cnf in
+    let changed = ref true in
+    let pass = ref 0 in
+    while !changed && !pass < max_passes do
+      incr pass;
+      changed := false;
+      let nv = Cnf.num_vars !current in
+      let before_clauses = Cnf.num_clauses !current in
+      let before_lits = Cnf.num_literals !current in
+      let clauses = shrink_clauses keep nv (Cnf.clauses !current) in
+      let clauses = shrink_literals keep nv clauses in
+      let next = compact keep (rebuild nv clauses) in
+      if
+        Cnf.num_clauses next < before_clauses
+        || Cnf.num_literals next < before_lits
+        || Cnf.num_vars next < nv
+      then changed := true;
+      current := next
+    done;
+    !current
+  end

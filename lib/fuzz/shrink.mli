@@ -1,0 +1,16 @@
+(** Delta-debugging minimizer for failing CNF cases.
+
+    Given a predicate that recognises "this formula still triggers the
+    failure", the minimizer searches for a much smaller formula on
+    which the predicate still holds: ddmin-style clause-chunk removal,
+    per-literal clause strengthening, then dense variable renumbering.
+    Entirely deterministic — the same input and predicate always yield
+    the same minimum. *)
+
+open Berkmin_types
+
+val minimize : ?max_passes:int -> keep:(Cnf.t -> bool) -> Cnf.t -> Cnf.t
+(** [minimize ~keep cnf] requires [keep cnf = true] (otherwise [cnf]
+    is returned unchanged) and greedily shrinks while [keep] holds.
+    [keep] is invoked O(clauses + literals) times per pass;
+    [max_passes] (default 8) bounds the outer fixpoint loop. *)

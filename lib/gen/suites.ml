@@ -117,6 +117,28 @@ let hard_instances () =
     Circuit_bench.pipeline_unsat ~stages:3 ~width:2;  (* 9vliw role *)
   ]
 
+let fuzz_seeds ~max_vars =
+  let candidates =
+    [
+      Pigeonhole.instance 4 3;
+      Pigeonhole.instance 5 4;
+      Pigeonhole.instance 6 5;
+      Instance.make "cycle7" Instance.Expect_unsat
+        (Parity.inconsistent_cycle ~num_vars:7);
+      Instance.make "cycle11" Instance.Expect_unsat
+        (Parity.inconsistent_cycle ~num_vars:11);
+      Graph_coloring.clique_instance 4 ~colors:3;
+      Graph_coloring.cycle_instance 5 ~colors:2;
+      Graph_coloring.cycle_instance 6 ~colors:2;
+      Puzzles.queens_instance 5;
+      Parity.chain_instance ~num_vars:12 ~extra:6 ~seed:3;
+      Parity.tseitin_instance ~num_vars:8 ~degree:3 ~seed:5;
+    ]
+  in
+  List.filter
+    (fun i -> Berkmin_types.Cnf.num_vars i.Instance.cnf <= max_vars)
+    candidates
+
 let find_class name =
   match List.assoc_opt name (all ()) with
   | Some instances -> instances

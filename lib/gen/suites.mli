@@ -29,5 +29,10 @@ val hard_instances : unit -> Instance.t list
     representative per hard class, ordered as the paper's
     miter/hanoi/beijing/fvp list. *)
 
+val fuzz_seeds : max_vars:int -> Instance.t list
+(** Small structured instances (at most [max_vars] variables) with
+    known verdicts — pigeonholes, parity cycles, colorings, queens —
+    used as mutation bases by the differential fuzzer ([lib/fuzz]). *)
+
 val find_class : string -> Instance.t list
 (** @raise Not_found for an unknown class name. *)

@@ -59,6 +59,11 @@ let default_budget =
 let quick_budget =
   { Berkmin.Solver.max_conflicts = Some 50_000; max_seconds = Some 10.0 }
 
+let fuzz_budget =
+  (* Conflict-only: the differential fuzzer's runs must be bit-identical
+     for a given seed, so wall-clock time never enters its budget. *)
+  { Berkmin.Solver.max_conflicts = Some 20_000; max_seconds = None }
+
 let run_instance ?(budget = default_budget) config inst =
   let cnf = inst.Instance.cnf in
   let solver = Berkmin.Solver.create ~config cnf in

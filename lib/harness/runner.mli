@@ -76,3 +76,8 @@ val default_budget : Berkmin.Solver.budget
 
 val quick_budget : Berkmin.Solver.budget
 (** 50k conflicts or 10 CPU seconds, for smoke runs. *)
+
+val fuzz_budget : Berkmin.Solver.budget
+(** 20k conflicts and no wall-clock component: the differential
+    fuzzer's ([lib/fuzz]) CDCL budget must be deterministic, so time
+    never enters it. *)

@@ -39,25 +39,33 @@ let parse_string s =
   |> List.iteri (fun i line ->
          let line = String.trim line in
          if line <> "" then begin
-           let is_delete = String.length line > 1 && line.[0] = 'd' in
+           let fail msg =
+             failwith (Printf.sprintf "Drup.parse: line %d: %s" (i + 1) msg)
+           in
+           let is_delete = line.[0] = 'd' in
            let body =
              if is_delete then String.sub line 1 (String.length line - 1)
              else line
            in
-           let lits =
+           let tokens =
              String.split_on_char ' ' body
              |> List.filter_map (fun tok ->
-                    let tok = String.trim tok in
-                    if tok = "" || tok = "0" then None
-                    else
-                      match int_of_string_opt tok with
-                      | Some n -> Some (Lit.of_dimacs n)
-                      | None ->
-                        failwith
-                          (Printf.sprintf "Drup.parse: line %d: bad token %S"
-                             (i + 1) tok))
+                    match String.trim tok with "" -> None | tok -> Some tok)
            in
-           let c = Clause.of_list lits in
+           (* Strict DRUP: exactly one terminating 0 per line.  A line
+              that lost its terminator (truncated file) or grew an
+              interior 0 (corruption) is rejected, not guessed at. *)
+           let rec lits = function
+             | [] -> fail "missing terminating 0"
+             | [ "0" ] -> []
+             | "0" :: _ -> fail "literal after terminating 0"
+             | tok :: rest -> (
+               match int_of_string_opt tok with
+               | Some n when n <> 0 -> Lit.of_dimacs n :: lits rest
+               | Some _ (* "-0" *) | None ->
+                 fail (Printf.sprintf "bad token %S" tok))
+           in
+           let c = Clause.of_list (lits tokens) in
            record t (if is_delete then Delete c else Add c)
          end)
   |> ignore;
@@ -72,6 +80,11 @@ let write_file path t =
 type check_result =
   | Valid
   | Invalid of { step : int; clause : Clause.t; reason : string }
+
+let check_result_to_string = function
+  | Valid -> "valid"
+  | Invalid { step; clause; reason } ->
+    Printf.sprintf "step %d: %s: [%s]" step reason (Clause.to_string clause)
 
 (* Unit propagation over an explicit clause list under initial
    assumptions; returns [true] when a conflict is reached. *)

@@ -35,13 +35,19 @@ val to_string : t -> string
     each line terminated by [0]. *)
 
 val parse_string : string -> t
-(** @raise Failure on malformed input. *)
+(** Strict parse: every non-empty line must be a well-formed clause
+    (optionally [d]-prefixed) with exactly one terminating [0].
+    @raise Failure on malformed input, including a truncated line that
+    lost its terminating [0] or an interior [0]. *)
 
 val write_file : string -> t -> unit
 
 type check_result =
   | Valid
   | Invalid of { step : int; clause : Clause.t; reason : string }
+
+val check_result_to_string : check_result -> string
+(** ["valid"], or a one-line ["step N: <reason>: [<clause>]"]. *)
 
 val check : Cnf.t -> t -> check_result
 (** [check cnf proof] verifies that every [Add] is a RUP consequence of

@@ -1,0 +1,294 @@
+(* Tests for the differential fuzzing subsystem: deterministic
+   generation, mutator semantics, the four oracles (including
+   test-injected broken ones), the delta-debugging shrinker, and
+   whole-campaign determinism. *)
+
+open Berkmin_types
+module Generator = Berkmin_fuzz.Generator
+module Mutate = Berkmin_fuzz.Mutate
+module Oracle = Berkmin_fuzz.Oracle
+module Shrink = Berkmin_fuzz.Shrink
+module Fuzz = Berkmin_fuzz.Runner
+module Drup = Berkmin_proof.Drup
+
+let check = Alcotest.check
+let dimacs cnf = Berkmin_dimacs.Dimacs.to_string cnf
+
+let dpll_verdict cnf =
+  match Berkmin.Dpll.solve ~max_nodes:1_000_000 cnf with
+  | Berkmin.Dpll.Sat _ -> true
+  | Berkmin.Dpll.Unsat -> false
+  | Berkmin.Dpll.Unknown -> Alcotest.fail "dpll budget exhausted"
+
+(* ------------------------------------------------------------------ *)
+(* Generator                                                           *)
+
+let test_generator_deterministic () =
+  let generate seed =
+    let rng = Rng.create seed in
+    List.init 25 (fun _ -> Generator.generate rng ~max_vars:20)
+  in
+  List.iter2
+    (fun a b ->
+      check Alcotest.string "name" a.Generator.name b.Generator.name;
+      check Alcotest.string "cnf" (dimacs a.Generator.cnf)
+        (dimacs b.Generator.cnf))
+    (generate 5) (generate 5)
+
+let test_generator_respects_max_vars () =
+  let rng = Rng.create 9 in
+  for _ = 1 to 50 do
+    let case = Generator.generate rng ~max_vars:12 in
+    check Alcotest.bool "vars <= 12" true
+      (Cnf.num_vars case.Generator.cnf <= 12)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Mutators                                                            *)
+
+let test_preserving_mutations () =
+  (* Duplication and renaming never change the verdict. *)
+  for seed = 0 to 14 do
+    let rng = Rng.create (100 + seed) in
+    let case = Generator.generate rng ~max_vars:12 in
+    let verdict = dpll_verdict case.Generator.cnf in
+    List.iter
+      (fun kind ->
+        let mutated = Mutate.apply rng kind case.Generator.cnf in
+        check Alcotest.bool (Mutate.name kind) verdict (dpll_verdict mutated))
+      [ Mutate.Duplicate_clause; Mutate.Rename_vars ]
+  done
+
+let test_delete_only_weakens () =
+  (* Dropping a clause can flip UNSAT to SAT but never SAT to UNSAT. *)
+  for seed = 0 to 14 do
+    let rng = Rng.create (200 + seed) in
+    let case = Generator.generate rng ~max_vars:12 in
+    if dpll_verdict case.Generator.cnf then begin
+      let mutated = Mutate.apply rng Mutate.Delete_clause case.Generator.cnf in
+      check Alcotest.bool "still SAT" true (dpll_verdict mutated)
+    end
+  done
+
+let test_mutations_leave_input_intact () =
+  let rng = Rng.create 31 in
+  let case = Generator.generate rng ~max_vars:10 in
+  let before = dimacs case.Generator.cnf in
+  List.iter
+    (fun kind -> ignore (Mutate.apply rng kind case.Generator.cnf))
+    Mutate.all;
+  check Alcotest.string "input unchanged" before (dimacs case.Generator.cnf)
+
+(* ------------------------------------------------------------------ *)
+(* Oracles                                                             *)
+
+let unit_cnf () =
+  let cnf = Cnf.create () in
+  Cnf.add_clause cnf [ Lit.of_dimacs 1 ];
+  cnf
+
+let test_oracle_clean_on_random () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 40 do
+    let case = Generator.generate rng ~max_vars:15 in
+    let res = Oracle.differential case.Generator.cnf in
+    check Alcotest.int "no failures" 0 (List.length res.Oracle.failures)
+  done
+
+let has_failure ~oracle ~culprit res =
+  List.exists
+    (fun f -> f.Oracle.oracle = oracle && f.Oracle.culprit = culprit)
+    res.Oracle.failures
+
+let test_oracle_flags_verdict_mismatch () =
+  let broken =
+    { Oracle.name = "broken"; solve = (fun _ -> Oracle.A_unsat None) }
+  in
+  let res =
+    Oracle.differential ~solvers:[ Oracle.dpll (); broken ] (unit_cnf ())
+  in
+  check Alcotest.bool "verdict failure" true
+    (has_failure ~oracle:"verdict" ~culprit:"broken" res)
+
+let test_oracle_flags_bad_model () =
+  let liar =
+    {
+      Oracle.name = "liar";
+      solve =
+        (fun cnf -> Oracle.A_sat (Array.make (Cnf.num_vars cnf) false));
+    }
+  in
+  let res =
+    Oracle.differential ~solvers:[ liar; Oracle.dpll () ] (unit_cnf ())
+  in
+  check Alcotest.bool "model failure" true
+    (has_failure ~oracle:"model" ~culprit:"liar" res)
+
+let test_oracle_flags_bad_proof () =
+  (* An UNSAT claim certified by an empty derivation must be rejected
+     even when the verdict itself is right. *)
+  let cnf = Cnf.create () in
+  Cnf.add_clause cnf [ Lit.of_dimacs 1 ];
+  Cnf.add_clause cnf [ Lit.of_dimacs (-1) ];
+  let noproof =
+    {
+      Oracle.name = "noproof";
+      solve = (fun _ -> Oracle.A_unsat (Some (Drup.create ())));
+    }
+  in
+  let res = Oracle.differential ~solvers:[ noproof; Oracle.dpll () ] cnf in
+  check Alcotest.bool "proof failure" true
+    (has_failure ~oracle:"proof" ~culprit:"noproof" res)
+
+let test_oracle_flags_crash () =
+  let bomb =
+    { Oracle.name = "bomb"; solve = (fun _ -> failwith "boom") }
+  in
+  let res =
+    Oracle.differential ~solvers:[ bomb; Oracle.dpll () ] (unit_cnf ())
+  in
+  check Alcotest.bool "crash failure" true
+    (has_failure ~oracle:"crash" ~culprit:"bomb" res)
+
+(* ------------------------------------------------------------------ *)
+(* Shrinker                                                            *)
+
+let test_shrink_to_unit () =
+  let cnf =
+    Berkmin_gen.Random_ksat.generate ~num_vars:15 ~num_clauses:60 ~k:3
+      ~seed:9
+  in
+  Cnf.add_clause cnf
+    [ Lit.of_dimacs 1; Lit.of_dimacs 7; Lit.of_dimacs (-12) ];
+  let keep c =
+    List.exists (fun cl -> Clause.mem (Lit.of_dimacs 1) cl) (Cnf.clauses c)
+  in
+  let minimized = Shrink.minimize ~keep cnf in
+  check Alcotest.int "one clause" 1 (Cnf.num_clauses minimized);
+  check Alcotest.int "one literal" 1 (Clause.length (Cnf.get minimized 0));
+  check Alcotest.int "one variable" 1 (Cnf.num_vars minimized);
+  check Alcotest.bool "still failing" true (keep minimized)
+
+let test_shrink_requires_failing_input () =
+  let cnf = unit_cnf () in
+  let minimized = Shrink.minimize ~keep:(fun _ -> false) cnf in
+  check Alcotest.string "unchanged" (dimacs cnf) (dimacs minimized)
+
+(* ------------------------------------------------------------------ *)
+(* Campaign                                                            *)
+
+let test_campaign_clean_and_deterministic () =
+  let config = { Fuzz.default with Fuzz.seed = 42; rounds = 60 } in
+  let r1 = Fuzz.run config in
+  let r2 = Fuzz.run config in
+  check Alcotest.int "no counterexamples" 0
+    (List.length r1.Fuzz.counterexamples);
+  check Alcotest.string "bit-identical reports"
+    (Json.to_string (Fuzz.report_to_json r1))
+    (Json.to_string (Fuzz.report_to_json r2))
+
+let test_campaign_catches_broken_oracle () =
+  (* Acceptance criterion: a test-injected broken oracle must yield a
+     shrunk counterexample of at most 20 clauses. *)
+  let broken =
+    { Oracle.name = "broken"; solve = (fun _ -> Oracle.A_unsat None) }
+  in
+  let config =
+    {
+      Fuzz.default with
+      Fuzz.seed = 1;
+      rounds = 12;
+      max_vars = 12;
+      solvers = Some [ Oracle.dpll (); broken ];
+    }
+  in
+  let report = Fuzz.run config in
+  check Alcotest.bool "found counterexamples" true
+    (report.Fuzz.counterexamples <> []);
+  List.iter
+    (fun ce ->
+      match ce.Fuzz.minimized with
+      | None -> Alcotest.fail "expected a minimized counterexample"
+      | Some m ->
+        check Alcotest.bool "shrunk to <= 20 clauses" true
+          (Cnf.num_clauses m <= 20);
+        let res =
+          Oracle.differential ~solvers:[ Oracle.dpll (); broken ] m
+        in
+        check Alcotest.bool "minimized still fails" true
+          (res.Oracle.failures <> []))
+    report.Fuzz.counterexamples
+
+let test_campaign_json_embeds_repro () =
+  let broken =
+    { Oracle.name = "broken"; solve = (fun _ -> Oracle.A_unsat None) }
+  in
+  let config =
+    {
+      Fuzz.default with
+      Fuzz.seed = 1;
+      rounds = 12;
+      max_vars = 12;
+      solvers = Some [ Oracle.dpll (); broken ];
+    }
+  in
+  let report = Fuzz.run config in
+  let json = Fuzz.report_to_json report in
+  match Json.member "counterexamples" json with
+  | Some (Json.List (ce :: _)) -> (
+    match Json.member "minimized_dimacs" ce with
+    | Some (Json.String text) ->
+      (* the embedded DIMACS must parse back to the same formula *)
+      let cnf = Berkmin_dimacs.Dimacs.parse_string text in
+      check Alcotest.bool "parses back" true (Cnf.num_clauses cnf >= 0)
+    | _ -> Alcotest.fail "missing minimized_dimacs")
+  | _ -> Alcotest.fail "missing counterexamples"
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "generator",
+        [
+          Alcotest.test_case "deterministic" `Quick
+            test_generator_deterministic;
+          Alcotest.test_case "respects max_vars" `Quick
+            test_generator_respects_max_vars;
+        ] );
+      ( "mutate",
+        [
+          Alcotest.test_case "duplicate/rename preserve verdict" `Slow
+            test_preserving_mutations;
+          Alcotest.test_case "delete only weakens" `Slow
+            test_delete_only_weakens;
+          Alcotest.test_case "input left intact" `Quick
+            test_mutations_leave_input_intact;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "clean on random cases" `Slow
+            test_oracle_clean_on_random;
+          Alcotest.test_case "flags verdict mismatch" `Quick
+            test_oracle_flags_verdict_mismatch;
+          Alcotest.test_case "flags bad model" `Quick
+            test_oracle_flags_bad_model;
+          Alcotest.test_case "flags bad proof" `Quick
+            test_oracle_flags_bad_proof;
+          Alcotest.test_case "flags crash" `Quick test_oracle_flags_crash;
+        ] );
+      ( "shrink",
+        [
+          Alcotest.test_case "shrinks to a unit clause" `Quick
+            test_shrink_to_unit;
+          Alcotest.test_case "requires failing input" `Quick
+            test_shrink_requires_failing_input;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "clean and deterministic" `Slow
+            test_campaign_clean_and_deterministic;
+          Alcotest.test_case "broken oracle yields shrunk counterexample"
+            `Slow test_campaign_catches_broken_oracle;
+          Alcotest.test_case "json embeds repro" `Slow
+            test_campaign_json_embeds_repro;
+        ] );
+    ]

@@ -113,6 +113,126 @@ let test_parse_rejects_garbage () =
   | _ -> Alcotest.fail "expected Failure"
 
 (* ------------------------------------------------------------------ *)
+(* Negative paths: corrupted, truncated and reordered proofs must be
+   rejected — never accepted, never a crash.                           *)
+
+let expect_parse_failure name text =
+  match Drup.parse_string text with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail (name ^ ": malformed proof accepted")
+
+let test_parse_rejects_truncated_line () =
+  (* A line that lost its terminating 0 is a truncated file, not a
+     shorter clause. *)
+  expect_parse_failure "no terminator" "1 2\n";
+  expect_parse_failure "cut mid-proof" "1 2 0\n-1 3\n"
+
+let test_parse_rejects_interior_zero () =
+  expect_parse_failure "two clauses on a line" "1 0 2 0\n";
+  expect_parse_failure "leading zero" "0 1 0\n"
+
+let test_parse_rejects_bare_delete () =
+  expect_parse_failure "bare d" "d\n";
+  expect_parse_failure "minus zero" "-0 0\n"
+
+(* A real solver-produced refutation to corrupt. *)
+let solver_proof () =
+  let inst = Berkmin_gen.Pigeonhole.instance 4 3 in
+  let cnf = inst.Berkmin_gen.Instance.cnf in
+  let solver = Berkmin.Solver.create cnf in
+  let proof = Drup.create () in
+  Berkmin.Solver.set_proof_logger solver (Drup.record proof);
+  (match Berkmin.Solver.solve solver with
+  | Berkmin.Solver.Unsat -> ()
+  | Berkmin.Solver.Sat _ | Berkmin.Solver.Unknown ->
+    Alcotest.fail "php(4,3) should be UNSAT");
+  check Alcotest.bool "sanity: proof valid" true
+    (is_valid (Drup.check cnf proof));
+  (cnf, Drup.events proof)
+
+let replay events =
+  let proof = Drup.create () in
+  List.iter (Drup.record proof) events;
+  proof
+
+let test_check_rejects_truncated_proof () =
+  (* Truncating the proof before its empty-clause step loses the
+     refutation: every prefix that stops earlier must be rejected. *)
+  let cnf, events = solver_proof () in
+  let is_empty_add = function
+    | Drup.Add c -> Clause.is_empty c
+    | Drup.Delete _ -> false
+  in
+  let rec prefix = function
+    | [] -> []
+    | e :: _ when is_empty_add e -> []
+    | e :: rest -> e :: prefix rest
+  in
+  match Drup.check cnf (replay (prefix events)) with
+  | Drup.Invalid { reason = "empty clause never derived"; _ } -> ()
+  | Drup.Invalid { reason; _ } ->
+    Alcotest.fail ("unexpected reason: " ^ reason)
+  | Drup.Valid -> Alcotest.fail "truncated proof accepted"
+
+let test_check_rejects_corrupted_step () =
+  (* Replace the first learnt clause by a unit over a fresh variable:
+     nothing in php(4,3) propagates to a conflict from just its
+     negation, so the step cannot be RUP. *)
+  let cnf, events = solver_proof () in
+  let fresh = Cnf.num_vars cnf + 5 in
+  let corrupted =
+    match events with
+    | _ :: rest -> Drup.Add (cl [ fresh + 1 ]) :: rest
+    | [] -> Alcotest.fail "empty solver proof"
+  in
+  match Drup.check cnf (replay corrupted) with
+  | Drup.Invalid { step = 1; reason = "not RUP"; _ } -> ()
+  | Drup.Invalid { reason; _ } ->
+    Alcotest.fail ("unexpected reason: " ^ reason)
+  | Drup.Valid -> Alcotest.fail "corrupted proof accepted"
+
+let test_check_rejects_reordered_proof () =
+  (* Moving the empty-clause step first asks the checker to refute the
+     formula by unit propagation alone, which php(4,3) resists. *)
+  let cnf, events = solver_proof () in
+  let is_empty_add = function
+    | Drup.Add c -> Clause.is_empty c
+    | Drup.Delete _ -> false
+  in
+  let empty_add =
+    match List.filter is_empty_add events with
+    | e :: _ -> e
+    | [] -> Alcotest.fail "proof without empty clause"
+  in
+  let reordered =
+    empty_add :: List.filter (fun e -> not (is_empty_add e)) events
+  in
+  match Drup.check cnf (replay reordered) with
+  | Drup.Invalid { step = 1; reason = "not RUP"; _ } -> ()
+  | Drup.Invalid { reason; _ } ->
+    Alcotest.fail ("unexpected reason: " ^ reason)
+  | Drup.Valid -> Alcotest.fail "reordered proof accepted"
+
+let test_check_rejects_delete_before_add () =
+  let cnf = cnf_of [ [ 1 ]; [ -1; 2 ] ] in
+  let proof = Drup.create () in
+  Drup.record proof (Drup.Delete (cl [ 2 ]));
+  Drup.record proof (Drup.Add (cl [ 2 ]));
+  match Drup.check cnf proof with
+  | Drup.Invalid { step = 1; reason = "deleting unknown clause"; _ } -> ()
+  | Drup.Invalid { reason; _ } ->
+    Alcotest.fail ("unexpected reason: " ^ reason)
+  | Drup.Valid -> Alcotest.fail "delete-before-add accepted"
+
+let test_check_result_to_string () =
+  check Alcotest.string "valid" "valid" (Drup.check_result_to_string Drup.Valid);
+  let r =
+    Drup.Invalid { step = 3; clause = cl [ 1; -2 ]; reason = "not RUP" }
+  in
+  check Alcotest.string "invalid" "step 3: not RUP: [1 -2]"
+    (Drup.check_result_to_string r)
+
+(* ------------------------------------------------------------------ *)
 (* End-to-end: solver proofs check on every UNSAT family.              *)
 
 let solver_proof_cases =
@@ -180,6 +300,25 @@ let () =
           Alcotest.test_case "parse roundtrip" `Quick test_parse_roundtrip;
           Alcotest.test_case "parse rejects garbage" `Quick
             test_parse_rejects_garbage;
+        ] );
+      ( "negative",
+        [
+          Alcotest.test_case "parse rejects truncated line" `Quick
+            test_parse_rejects_truncated_line;
+          Alcotest.test_case "parse rejects interior zero" `Quick
+            test_parse_rejects_interior_zero;
+          Alcotest.test_case "parse rejects bare delete" `Quick
+            test_parse_rejects_bare_delete;
+          Alcotest.test_case "check rejects truncated proof" `Quick
+            test_check_rejects_truncated_proof;
+          Alcotest.test_case "check rejects corrupted step" `Quick
+            test_check_rejects_corrupted_step;
+          Alcotest.test_case "check rejects reordered proof" `Quick
+            test_check_rejects_reordered_proof;
+          Alcotest.test_case "check rejects delete before add" `Quick
+            test_check_rejects_delete_before_add;
+          Alcotest.test_case "check_result_to_string" `Quick
+            test_check_result_to_string;
         ] );
       ("end-to-end", solver_proof_cases);
     ]
