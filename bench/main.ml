@@ -278,6 +278,48 @@ let verdict_map json =
       items
   | _ -> []
 
+(* Metric-schema gate: the per-instance records the summary promises —
+   and downstream dashboards index — must actually be present.  Keys
+   only; values are run-dependent. *)
+let required_instance_keys =
+  [
+    "propagations";
+    "propagations_per_sec";
+    "watcher_visits";
+    "blocker_hits";
+    "gc_runs";
+    "gc_reclaimed_bytes";
+  ]
+
+let schema_violations json =
+  match Json.member "instances" json with
+  | Some (Json.List items) ->
+    List.concat_map
+      (fun item ->
+        let name =
+          match Json.member "instance" item with
+          | Some (Json.String n) -> n
+          | _ -> "<unnamed>"
+        in
+        List.filter_map
+          (fun key ->
+            if Json.member key item = None then
+              Some (Printf.sprintf "%s: missing key %S" name key)
+            else None)
+          required_instance_keys)
+      items
+  | _ -> [ "summary has no \"instances\" list" ]
+
+let check_schema json =
+  match schema_violations json with
+  | [] ->
+    Printf.printf "metric schema: all required keys present\n";
+    true
+  | lines ->
+    Printf.printf "metric schema: REGRESSION (%d)\n" (List.length lines);
+    List.iter (fun l -> Printf.printf "  %s\n" l) lines;
+    false
+
 let diff_baseline path json =
   let contents = In_channel.with_open_text path In_channel.input_all in
   let base = verdict_map (Json.of_string contents) in
@@ -349,7 +391,9 @@ let run quick bechamel extensions only list_names smoke workers json_out
     let json, status = run_smoke () in
     Option.iter (fun path -> write_json path json) json_out;
     match baseline with
-    | Some path -> if diff_baseline path json then status else 1
+    | Some path ->
+      let schema_ok = check_schema json in
+      if diff_baseline path json && schema_ok then status else 1
     | None -> status
   end
   else begin

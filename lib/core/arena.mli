@@ -1,0 +1,103 @@
+(** Flat clause arena: every clause lives in one contiguous [int array].
+
+    A clause is a {!cref} — an offset into the buffer — pointing at two
+    header words followed by the packed literals:
+
+    {v
+      word 0   header:  size lsl 3  |  relocated(4) | deleted(2) | learnt(1)
+      word 1   activity — or, after {!reloc}, the forwarding cref
+      word 2+  literals (Lit.t, one per word)
+    v}
+
+    Compared to boxed per-clause records this removes a pointer chase
+    per clause visit in BCP, keeps clauses cache-adjacent in allocation
+    order, and makes deletion a bookkeeping bit: space is reclaimed by
+    copying the live clauses into a fresh buffer ({!reloc} per clause,
+    {!commit} to swap buffers) while forwarding pointers stored in the
+    old headers relocate every outstanding reference exactly once.
+
+    The representation is exposed (not abstract) so the solver's hot
+    loops can read [a.data.(c + lits_offset + j)] directly; every
+    invariant above must hold for such raw access.  Mutation outside
+    this module should go through the accessors. *)
+
+open Berkmin_types
+
+type t = {
+  mutable data : int array;
+  mutable size : int;  (** bump pointer: words in use, [<= Array.length data] *)
+  mutable wasted : int;  (** words owned by freed clauses, reclaimable by GC *)
+}
+
+type cref = int
+
+val cref_undef : cref
+(** [-1]; never a valid allocation. *)
+
+val header_words : int
+(** Words before the literals (2). *)
+
+val lits_offset : int
+(** Alias of {!header_words}: [data.(c + lits_offset + j)] is literal [j]. *)
+
+val create : ?capacity:int -> unit -> t
+(** An empty arena. [capacity] (words, default 1024) is a hint only. *)
+
+val alloc : t -> learnt:bool -> Lit.t array -> cref
+(** Appends a clause (size [>= 1]), growing the buffer by doubling.
+    Activity starts at 0. *)
+
+val clause_words : t -> cref -> int
+(** Total footprint of the clause in words (header + literals). *)
+
+val clause_size : t -> cref -> int
+val is_learnt : t -> cref -> bool
+val is_deleted : t -> cref -> bool
+
+val activity : t -> cref -> int
+val set_activity : t -> cref -> int -> unit
+val bump_activity : t -> cref -> unit
+
+val lit : t -> cref -> int -> Lit.t
+val set_lit : t -> cref -> int -> Lit.t -> unit
+val swap_lits : t -> cref -> int -> int -> unit
+
+val lits_array : t -> cref -> Lit.t array
+(** Fresh array copy of the literals (cold paths: proof logging,
+    tests). *)
+
+val exists_lit : t -> cref -> (Lit.t -> bool) -> bool
+val iter_lits : t -> cref -> (Lit.t -> unit) -> unit
+val for_all_lits : t -> cref -> (Lit.t -> bool) -> bool
+
+val free : t -> cref -> unit
+(** Marks the clause deleted and counts its words as wasted.  The
+    clause stays readable until the next GC; freeing twice is a no-op. *)
+
+val size_words : t -> int
+val wasted_words : t -> int
+val live_words : t -> int
+
+val bytes : t -> int
+(** [size_words] scaled to bytes of the host word size. *)
+
+val wasted_bytes : t -> int
+val live_bytes : t -> int
+
+(** {2 Garbage collection}
+
+    Protocol: make a fresh arena [into] sized {!live_words}; call
+    {!reloc} on every outstanding reference (watchers, reasons, clause
+    stacks, occurrence lists) — the first call copies the clause and
+    plants a forwarding pointer, later calls just follow it — then
+    {!commit} to swap the compacted buffer in. *)
+
+val relocated : t -> cref -> bool
+
+val reloc : t -> into:t -> cref -> cref
+(** The clause's new cref in [into].  Must not be called on a deleted
+    clause (those references should be dropped instead). *)
+
+val commit : t -> into:t -> unit
+(** Replaces [t]'s storage with [into]'s compacted buffer; [into] must
+    not be used afterwards. *)

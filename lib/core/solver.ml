@@ -14,19 +14,17 @@ type budget = {
 let no_budget = { max_conflicts = None; max_seconds = None }
 let budget_conflicts n = { max_conflicts = Some n; max_seconds = None }
 
-(* The solver's internal clause record.  [lits.(0)] and [lits.(1)] are
-   the watched literals; for a learnt clause acting as the reason of an
-   implied literal, that literal sits at index 0.  [activity] is the
-   paper's clause_activity: the number of conflicts this clause has been
-   responsible for. *)
-type cls = {
-  mutable lits : Lit.t array;
-  learnt : bool;
-  mutable activity : int;
-  mutable deleted : bool;
-}
+(* Clauses live in a flat int arena ({!Arena}); a clause is a [cref]
+   offset into it.  Literals 0 and 1 are the watched literals; for a
+   clause acting as the reason of an implied literal, that literal sits
+   at index 0.  The arena's per-clause activity slot is the paper's
+   clause_activity: the number of conflicts the clause has been
+   responsible for.
 
-let dummy_cls = { lits = [||]; learnt = false; activity = 0; deleted = true }
+   Watch lists are stride-2 int vectors of (blocker, cref) pairs: the
+   blocker is some literal of the clause (initially the other watch);
+   when it is already true the clause is satisfied and BCP skips the
+   arena read entirely. *)
 
 type t = {
   cfg : Config.t;
@@ -35,13 +33,14 @@ type t = {
   rng : Rng.t;
   nvars : int;
   mutable n_original : int;
-  original : cls Vec.t;
-  learnt : cls Vec.t;  (* the chronological conflict-clause stack *)
-  watches : cls Vec.t array;  (* indexed by literal *)
-  occ : cls Vec.t array;  (* original-clause occurrences, for nb_two *)
+  arena : Arena.t;
+  original : Arena.cref Vec.t;
+  learnt : Arena.cref Vec.t;  (* the chronological conflict-clause stack *)
+  watches : int Vec.t array;  (* per literal: flattened (blocker, cref) pairs *)
+  occ : Arena.cref Vec.t array;  (* original-clause occurrences, for nb_two *)
   assigns : Value.t array;
   level : int array;
-  reason : cls option array;
+  reason : Arena.cref array;  (* [Arena.cref_undef] = decision / level 0 *)
   trail : Lit.t Vec.t;
   trail_lim : int Vec.t;
   mutable qhead : int;
@@ -74,6 +73,8 @@ let old_activity_threshold s = s.old_threshold
 let set_proof_logger s f = s.proof <- Some f
 let set_decision_hook s f = s.on_decision <- Some f
 let value_of s v = s.assigns.(v)
+let arena_bytes s = Arena.bytes s.arena
+let arena_wasted_bytes s = Arena.wasted_bytes s.arena
 
 let log_proof s e =
   match s.proof with
@@ -99,13 +100,13 @@ let enqueue s l reason =
   s.level.(v) <- dl;
   (* Level-0 reasons are never consulted by conflict analysis and would
      pin clauses against deletion, so they are dropped. *)
-  s.reason.(v) <- (if dl = 0 then None else reason);
+  s.reason.(v) <- (if dl = 0 then Arena.cref_undef else reason);
   Vec.push s.trail l
 
 let unassign s l =
   let v = Lit.var l in
   s.assigns.(v) <- Value.Unassigned;
-  s.reason.(v) <- None;
+  s.reason.(v) <- Arena.cref_undef;
   match s.heap with
   | Some h -> Var_heap.push h v
   | None -> ()
@@ -122,59 +123,114 @@ let backtrack s lvl =
   end
 
 let attach s c =
-  Vec.push s.watches.(c.lits.(0)) c;
-  Vec.push s.watches.(c.lits.(1)) c
+  let l0 = Arena.lit s.arena c 0 and l1 = Arena.lit s.arena c 1 in
+  (* Each watcher carries the other watch as its initial blocker. *)
+  let w0 = s.watches.(l0) in
+  Vec.push w0 l1;
+  Vec.push w0 c;
+  let w1 = s.watches.(l1) in
+  Vec.push w1 l0;
+  Vec.push w1 c
 
 (* ------------------------------------------------------------------ *)
-(* Boolean constraint propagation: two watched literals per clause.    *)
+(* Boolean constraint propagation: two watched literals per clause,
+   with blocker-literal short-circuiting.  Returns the conflicting
+   cref, or [Arena.cref_undef].
+
+   The watch list of the falsified literal is compacted in place with
+   two cursors: kept watchers are copied down to [j]; watchers whose
+   clause found a replacement watch are dropped (the replacement was
+   pushed onto another list).  Deleted clauses never appear here —
+   deletion happens only at level 0, where the reduce/GC path clears
+   and rebuilds every list — so the hot loop carries no deleted
+   check. *)
 
 let propagate s =
-  let conflict = ref None in
-  while !conflict = None && s.qhead < Vec.length s.trail do
+  let conflict = ref Arena.cref_undef in
+  let ar = s.arena in
+  let visits = ref 0 in
+  let hits = ref 0 in
+  while !conflict = Arena.cref_undef && s.qhead < Vec.length s.trail do
     let p = Vec.get s.trail s.qhead in
     s.qhead <- s.qhead + 1;
     s.stats.propagations <- s.stats.propagations + 1;
     let false_lit = Lit.negate p in
     let ws = s.watches.(false_lit) in
+    let n = Vec.length ws in
     let i = ref 0 in
-    while !conflict = None && !i < Vec.length ws do
-      let c = Vec.get ws !i in
-      if c.deleted then Vec.swap_remove ws !i
+    let j = ref 0 in
+    while !i < n do
+      let blocker = Vec.get ws !i in
+      let c = Vec.get ws (!i + 1) in
+      incr visits;
+      if lit_value s blocker = Value.True then begin
+        (* Satisfied: keep the watcher without touching the arena. *)
+        incr hits;
+        Vec.set ws !j blocker;
+        Vec.set ws (!j + 1) c;
+        j := !j + 2;
+        i := !i + 2
+      end
       else begin
-        let lits = c.lits in
-        if lits.(0) = false_lit then begin
-          lits.(0) <- lits.(1);
-          lits.(1) <- false_lit
+        let data = ar.Arena.data in
+        let base = c + Arena.lits_offset in
+        (* Ensure the falsified watch sits at index 1. *)
+        if data.(base) = false_lit then begin
+          data.(base) <- data.(base + 1);
+          data.(base + 1) <- false_lit
         end;
-        if lit_value s lits.(0) = Value.True then incr i
+        i := !i + 2;
+        let first = data.(base) in
+        if first <> blocker && lit_value s first = Value.True then begin
+          (* Satisfied by the other watch: keep, with a better blocker. *)
+          Vec.set ws !j first;
+          Vec.set ws (!j + 1) c;
+          j := !j + 2
+        end
         else begin
           (* Look for a replacement watch among the tail literals. *)
-          let n = Array.length lits in
+          let sz = Arena.clause_size ar c in
           let k = ref 2 in
-          while !k < n && lit_value s lits.(!k) = Value.False do
+          while !k < sz && lit_value s data.(base + !k) = Value.False do
             incr k
           done;
-          if !k < n then begin
-            lits.(1) <- lits.(!k);
-            lits.(!k) <- false_lit;
-            Vec.push s.watches.(lits.(1)) c;
-            Vec.swap_remove ws !i
+          if !k < sz then begin
+            (* Found one: move it into slot 1 and migrate the watcher. *)
+            data.(base + 1) <- data.(base + !k);
+            data.(base + !k) <- false_lit;
+            let wl = s.watches.(data.(base + 1)) in
+            Vec.push wl first;
+            Vec.push wl c
           end
-          else
-            match lit_value s lits.(0) with
-            | Value.False -> conflict := Some c
+          else begin
+            (* Unit or conflicting: the watcher stays. *)
+            Vec.set ws !j first;
+            Vec.set ws (!j + 1) c;
+            j := !j + 2;
+            match lit_value s first with
+            | Value.False ->
+              conflict := c;
+              (* Copy the remaining watchers before bailing out. *)
+              while !i < n do
+                Vec.set ws !j (Vec.get ws !i);
+                Vec.set ws (!j + 1) (Vec.get ws (!i + 1));
+                i := !i + 2;
+                j := !j + 2
+              done
             | Value.Unassigned ->
-              enqueue s lits.(0) (Some c);
+              enqueue s first c;
               if s.tracer.Trace.active then
                 Trace.emit s.tracer
-                  (Trace.Propagate
-                     { level = decision_level s; lit = lits.(0) });
-              incr i
+                  (Trace.Propagate { level = decision_level s; lit = first })
             | Value.True -> assert false
+          end
         end
       end
-    done
+    done;
+    Vec.shrink ws !j
   done;
+  s.stats.watcher_visits <- s.stats.watcher_visits + !visits;
+  s.stats.blocker_hits <- s.stats.blocker_hits + !hits;
   !conflict
 
 (* ------------------------------------------------------------------ *)
@@ -230,7 +286,8 @@ let maybe_decay s =
    "sensitivity" novelty is the [Responsible_clauses] branch, which
    bumps every variable occurrence of every clause responsible for the
    conflict, not only the learnt clause's variables (Section 4). *)
-let analyze s (confl : cls) =
+let analyze s (confl : Arena.cref) =
+  let ar = s.arena in
   let dl = decision_level s in
   let learnt = ref [] in
   let counter = ref 0 in
@@ -239,15 +296,16 @@ let analyze s (confl : cls) =
   let c = ref confl in
   let continue = ref true in
   while !continue do
-    let cls = !c in
-    if cls.learnt then cls.activity <- cls.activity + 1;
+    let cref = !c in
+    if Arena.is_learnt ar cref then Arena.bump_activity ar cref;
     (match s.cfg.activity_mode with
     | Config.Responsible_clauses ->
-      Array.iter (fun q -> bump_var s (Lit.var q)) cls.lits
+      Arena.iter_lits ar cref (fun q -> bump_var s (Lit.var q))
     | Config.Conflict_clause_only -> ());
     let start = if !p = -1 then 0 else 1 in
-    for j = start to Array.length cls.lits - 1 do
-      let q = cls.lits.(j) in
+    let sz = Arena.clause_size ar cref in
+    for j = start to sz - 1 do
+      let q = Arena.lit ar cref j in
       let v = Lit.var q in
       if (not s.seen.(v)) && s.level.(v) > 0 then begin
         s.seen.(v) <- true;
@@ -265,10 +323,11 @@ let analyze s (confl : cls) =
     decr counter;
     p := l;
     if !counter = 0 then continue := false
-    else
-      match s.reason.(Lit.var l) with
-      | Some r -> c := r
-      | None -> assert false (* only the UIP can lack a reason *)
+    else begin
+      let r = s.reason.(Lit.var l) in
+      assert (r <> Arena.cref_undef);  (* only the UIP can lack a reason *)
+      c := r
+    end
   done;
   let asserting = Lit.negate !p in
   (* Optional MiniSat-style basic minimization (a post-2002 extension,
@@ -280,15 +339,12 @@ let analyze s (confl : cls) =
     if not s.cfg.minimize_learnt then !learnt
     else begin
       let redundant q =
-        match s.reason.(Lit.var q) with
-        | None -> false
-        | Some r ->
-          Array.for_all
-            (fun p ->
-              Lit.var p = Lit.var q
-              || s.seen.(Lit.var p)
-              || s.level.(Lit.var p) = 0)
-            r.lits
+        let r = s.reason.(Lit.var q) in
+        r <> Arena.cref_undef
+        && Arena.for_all_lits ar r (fun p ->
+               Lit.var p = Lit.var q
+               || s.seen.(Lit.var p)
+               || s.level.(Lit.var p) = 0)
       in
       let kept = List.filter (fun q -> not (redundant q)) !learnt in
       s.stats.minimized_literals <-
@@ -334,34 +390,95 @@ let record_learnt s lits =
   s.stats.learnt_total <- s.stats.learnt_total + 1;
   s.stats.learnt_literals <- s.stats.learnt_literals + Array.length lits;
   log_add s lits;
-  if Array.length lits = 1 then begin
+  if Array.length lits = 1 then
     (* Unit conflict clause: becomes a retained top-level assignment
        rather than a stored clause (Section 8). *)
-    enqueue s lits.(0) None;
-    None
-  end
+    enqueue s lits.(0) Arena.cref_undef
   else begin
-    let c = { lits; learnt = true; activity = 0; deleted = false } in
+    let c = Arena.alloc s.arena ~learnt:true lits in
+    s.stats.arena_bytes <- Arena.bytes s.arena;
     Vec.push s.learnt c;
     if Vec.length s.learnt > s.stats.max_learnt_live then
       s.stats.max_learnt_live <- Vec.length s.learnt;
     Stats.note_live_clauses s.stats (s.n_original + Vec.length s.learnt);
     attach s c;
-    enqueue s lits.(0) (Some c);
-    Some c
+    enqueue s lits.(0) c
   end
+
+(* ------------------------------------------------------------------ *)
+(* Arena compaction.                                                   *)
+
+(* Copy every live clause into a fresh arena and swap it in, following
+   the forwarding-pointer protocol of {!Arena.reloc}.  Every
+   outstanding cref — watch lists, trail reasons, learnt stack,
+   original list, occurrence lists — is rewritten to the clause's new
+   address; dead watchers (a deleted clause can linger in a watch list
+   only if the caller compacts without rebuilding) are dropped. *)
+let gc s =
+  let ar = s.arena in
+  let before = Arena.bytes ar in
+  let reclaimed = Arena.wasted_bytes ar in
+  let into = Arena.create ~capacity:(max (Arena.live_words ar) 16) () in
+  Array.iter
+    (fun ws ->
+      let n = Vec.length ws in
+      let i = ref 0 in
+      let j = ref 0 in
+      while !i < n do
+        let b = Vec.get ws !i in
+        let c = Vec.get ws (!i + 1) in
+        if not (Arena.is_deleted ar c) then begin
+          Vec.set ws !j b;
+          Vec.set ws (!j + 1) (Arena.reloc ar ~into c);
+          j := !j + 2
+        end;
+        i := !i + 2
+      done;
+      Vec.shrink ws !j)
+    s.watches;
+  for i = 0 to Vec.length s.trail - 1 do
+    let v = Lit.var (Vec.get s.trail i) in
+    let r = s.reason.(v) in
+    if r <> Arena.cref_undef then s.reason.(v) <- Arena.reloc ar ~into r
+  done;
+  for i = 0 to Vec.length s.learnt - 1 do
+    Vec.set s.learnt i (Arena.reloc ar ~into (Vec.get s.learnt i))
+  done;
+  for i = 0 to Vec.length s.original - 1 do
+    Vec.set s.original i (Arena.reloc ar ~into (Vec.get s.original i))
+  done;
+  Array.iter
+    (fun ov ->
+      for i = 0 to Vec.length ov - 1 do
+        Vec.set ov i (Arena.reloc ar ~into (Vec.get ov i))
+      done)
+    s.occ;
+  Arena.commit ar ~into;
+  s.stats.gc_runs <- s.stats.gc_runs + 1;
+  s.stats.gc_reclaimed_bytes <- s.stats.gc_reclaimed_bytes + reclaimed;
+  s.stats.arena_bytes <- Arena.bytes ar;
+  if s.tracer.Trace.active then
+    Trace.emit s.tracer
+      (Trace.Gc
+         {
+           reclaimed_bytes = reclaimed;
+           arena_bytes_before = before;
+           arena_bytes_after = Arena.bytes ar;
+         })
+
+let compact = gc
 
 (* ------------------------------------------------------------------ *)
 (* Clause database management (Section 8).                             *)
 
 let satisfied_at_level0 s c =
-  Array.exists
-    (fun l -> s.level.(Lit.var l) = 0 && lit_value s l = Value.True)
-    c.lits
+  Arena.exists_lit s.arena c (fun l ->
+      s.level.(Lit.var l) = 0 && lit_value s l = Value.True)
 
 (* Decide which live learnt clauses survive a reduction.  Called at
    decision level 0 only. *)
 let reduction_keeps s =
+  let ar = s.arena in
   let n = Vec.length s.learnt in
   let keep = Array.make n true in
   (match s.cfg.reduction_mode with
@@ -370,7 +487,7 @@ let reduction_keeps s =
     Vec.iteri
       (fun i c ->
         if satisfied_at_level0 s c then keep.(i) <- false
-        else if Array.length c.lits > limit then keep.(i) <- false)
+        else if Arena.clause_size ar c > limit then keep.(i) <- false)
       s.learnt
   | Config.Berkmin_age_activity ->
     let young_band = s.cfg.young_fraction *. float_of_int n in
@@ -382,12 +499,12 @@ let reduction_keeps s =
         else begin
           let distance = n - 1 - i in
           let young = float_of_int distance < young_band in
-          let len = Array.length c.lits in
+          let len = Arena.clause_size ar c in
+          let act = Arena.activity ar c in
           keep.(i) <-
             (if young then
-               len < s.cfg.young_keep_length
-               || c.activity > s.cfg.young_keep_activity
-             else len < s.cfg.old_keep_length || c.activity > s.old_threshold)
+               len < s.cfg.young_keep_length || act > s.cfg.young_keep_activity
+             else len < s.cfg.old_keep_length || act > s.old_threshold)
         end)
       s.learnt);
   keep
@@ -395,33 +512,43 @@ let reduction_keeps s =
 (* Rebuild every watch list from scratch, re-establishing the invariant
    that watched literals are non-false at level 0.  The paper notes that
    BerkMin recomputes its data structures after reductions; doing a full
-   rebuild also keeps the propagation invariants simple to audit. *)
+   rebuild also keeps the propagation invariants simple to audit.
+
+   Clauses already satisfied at level 0 are left unattached: the
+   satisfying literal is permanent, so the clause can never propagate
+   again.  (Attaching them instead would demand a second non-false
+   watch, which a clause with one true and otherwise false literals
+   does not have.) *)
 let rebuild_watches s =
   assert (decision_level s = 0);
   Array.iter Vec.clear s.watches;
+  let ar = s.arena in
   let reattach c =
-    if not c.deleted then begin
-      let lits = c.lits in
-      let n = Array.length lits in
-      (* Pull up to two non-false literals into the watch slots. *)
-      let found = ref 0 in
-      (try
-         for j = 0 to n - 1 do
-           if lit_value s lits.(j) <> Value.False then begin
-             let tmp = lits.(!found) in
-             lits.(!found) <- lits.(j);
-             lits.(j) <- tmp;
-             incr found;
-             if !found = 2 then raise Exit
-           end
-         done
-       with Exit -> ());
-      match !found with
-      | 0 -> s.ok <- false (* clause falsified at level 0 *)
-      | 1 ->
-        if lit_value s lits.(0) = Value.Unassigned then enqueue s lits.(0) None;
-        if n >= 2 then attach s c
-      | _ -> attach s c
+    if not (Arena.is_deleted ar c) then begin
+      if Arena.exists_lit ar c (fun l -> lit_value s l = Value.True) then ()
+      else begin
+        let n = Arena.clause_size ar c in
+        (* Pull up to two non-false literals into the watch slots. *)
+        let found = ref 0 in
+        (try
+           for j = 0 to n - 1 do
+             if lit_value s (Arena.lit ar c j) <> Value.False then begin
+               Arena.swap_lits ar c !found j;
+               incr found;
+               if !found = 2 then raise Exit
+             end
+           done
+         with Exit -> ());
+        match !found with
+        | 0 -> s.ok <- false (* clause falsified at level 0 *)
+        | 1 ->
+          (* One non-false literal in an unsatisfied clause: it is
+             unassigned, and every other literal is permanently false —
+             enqueue it as a top-level fact and leave the clause
+             unattached. *)
+          enqueue s (Arena.lit ar c 0) Arena.cref_undef
+        | _ -> attach s c
+      end
     end
   in
   Vec.iter reattach s.original;
@@ -437,14 +564,18 @@ let reduce_db s =
     Vec.iteri
       (fun i c ->
         if not keep.(i) then begin
-          c.deleted <- true;
           incr removed;
-          log_delete s c.lits
+          log_delete s (Arena.lits_array s.arena c);
+          Arena.free s.arena c
         end)
       s.learnt;
     if !removed > 0 then begin
       s.stats.removed_clauses <- s.stats.removed_clauses + !removed;
-      Vec.filter_in_place (fun c -> not c.deleted) s.learnt;
+      Vec.filter_in_place (fun c -> not (Arena.is_deleted s.arena c)) s.learnt;
+      (* Watches are about to be rebuilt; clearing them first keeps the
+         GC's watcher pass trivial. *)
+      Array.iter Vec.clear s.watches;
+      gc s;
       rebuild_watches s
     end;
     if s.tracer.Trace.active then
@@ -472,7 +603,7 @@ let find_top_clauses s =
   let i = ref (n - 1) in
   while !count < window && !i >= 0 do
     let c = Vec.get s.learnt !i in
-    let satisfied = Array.exists (fun l -> lit_value s l = Value.True) c.lits in
+    let satisfied = Arena.exists_lit s.arena c (fun l -> lit_value s l = Value.True) in
     if not satisfied then begin
       found := (c, n - 1 - !i) :: !found;
       incr count
@@ -530,20 +661,22 @@ let best_vsids_literal s =
 let binary_other_lit s c self =
   (* If [c] is currently binary and contains free literal [self],
      return its other free literal. *)
+  let ar = s.arena in
   let other = ref (-1) in
   let free = ref 0 in
   let sat = ref false in
-  let lits = c.lits in
+  let n = Arena.clause_size ar c in
   (try
-     for j = 0 to Array.length lits - 1 do
-       match lit_value s lits.(j) with
+     for j = 0 to n - 1 do
+       let l = Arena.lit ar c j in
+       match lit_value s l with
        | Value.True ->
          sat := true;
          raise Exit
        | Value.Unassigned ->
          incr free;
          if !free > 2 then raise Exit;
-         if lits.(j) <> self then other := lits.(j)
+         if l <> self then other := l
        | Value.False -> ()
      done
    with Exit -> ());
@@ -552,8 +685,7 @@ let binary_other_lit s c self =
 let count_binary_with s l =
   let count = ref 0 in
   Vec.iter
-    (fun c ->
-      if (not c.deleted) && binary_other_lit s c l <> None then incr count)
+    (fun c -> if binary_other_lit s c l <> None then incr count)
     s.occ.(l);
   !count
 
@@ -563,12 +695,11 @@ let nb_two s l =
   (try
      Vec.iter
        (fun c ->
-         if not c.deleted then
-           match binary_other_lit s c l with
-           | None -> ()
-           | Some u ->
-             total := !total + 1 + count_binary_with s (Lit.negate u);
-             if !total > threshold then raise Exit)
+         match binary_other_lit s c l with
+         | None -> ()
+         | Some u ->
+           total := !total + 1 + count_binary_with s (Lit.negate u);
+           if !total > threshold then raise Exit)
        s.occ.(l)
    with Exit -> ());
   !total
@@ -608,16 +739,14 @@ let global_value s v =
 let best_free_in_clause s c =
   let best = ref (-1) in
   let best_act = ref neg_infinity in
-  Array.iter
-    (fun l ->
+  Arena.iter_lits s.arena c (fun l ->
       if lit_value s l = Value.Unassigned then begin
         let v = Lit.var l in
         if s.var_act.(v) > !best_act then begin
           best_act := s.var_act.(v);
           best := l
         end
-      end)
-    c.lits;
+      end);
   if !best < 0 then None else Some !best
 
 let global_decision s =
@@ -657,7 +786,7 @@ let pick_branch s =
        (the list is newest-first and the comparison strict). *)
     let best = ref None in
     List.iter
-      (fun ((c : cls), distance) ->
+      (fun (c, distance) ->
         match best_free_in_clause s c with
         | Some l ->
           let act = s.var_act.(Lit.var l) in
@@ -691,7 +820,7 @@ let decide s =
     | Value.Unassigned ->
       s.stats.decisions <- s.stats.decisions + 1;
       Vec.push s.trail_lim (Vec.length s.trail);
-      enqueue s l None;
+      enqueue s l Arena.cref_undef;
       if s.tracer.Trace.active then
         Trace.emit s.tracer
           (Trace.Decide
@@ -712,7 +841,7 @@ let decide s =
       | Some hook -> hook v value
       | None -> ());
       Vec.push s.trail_lim (Vec.length s.trail);
-      enqueue s (Lit.make v value) None;
+      enqueue s (Lit.make v value) Arena.cref_undef;
       if s.tracer.Trace.active then
         Trace.emit s.tracer
           (Trace.Decide { level = decision_level s; var = v; value; kind });
@@ -730,17 +859,16 @@ let analyze_final s false_lit =
     let l = Vec.get s.trail i in
     let v = Lit.var l in
     if s.seen.(v) then begin
-      (match s.reason.(v) with
-      | None ->
+      let r = s.reason.(v) in
+      if r = Arena.cref_undef then begin
         (* A decision below the failure point is itself an assumption
            literal: it belongs to the failed core. *)
         if s.level.(v) > 0 then core := l :: !core
-      | Some r ->
-        Array.iter
-          (fun q ->
+      end
+      else
+        Arena.iter_lits s.arena r (fun q ->
             let u = Lit.var q in
-            if u <> v && s.level.(u) > 0 then s.seen.(u) <- true)
-          r.lits);
+            if u <> v && s.level.(u) > 0 then s.seen.(u) <- true);
       s.seen.(v) <- false
     end
   done;
@@ -791,13 +919,14 @@ let create ?(config = Config.berkmin) cnf =
     rng = Rng.create config.Config.seed;
     nvars;
     n_original = 0;
-    original = Vec.create ~dummy:dummy_cls ();
-    learnt = Vec.create ~dummy:dummy_cls ();
-    watches = Array.init nlits (fun _ -> Vec.create ~capacity:4 ~dummy:dummy_cls ());
-    occ = Array.init nlits (fun _ -> Vec.create ~capacity:4 ~dummy:dummy_cls ());
+    arena = Arena.create ~capacity:4096 ();
+    original = Vec.create ~dummy:Arena.cref_undef ();
+    learnt = Vec.create ~dummy:Arena.cref_undef ();
+    watches = Array.init nlits (fun _ -> Vec.create ~capacity:8 ~dummy:0 ());
+    occ = Array.init nlits (fun _ -> Vec.create ~capacity:4 ~dummy:Arena.cref_undef ());
     assigns = Array.make (max nvars 1) Value.Unassigned;
     level = Array.make (max nvars 1) 0;
-    reason = Array.make (max nvars 1) None;
+    reason = Array.make (max nvars 1) Arena.cref_undef;
     trail = Vec.create ~dummy:0 ();
     trail_lim = Vec.create ~dummy:0 ();
     qhead = 0;
@@ -828,16 +957,82 @@ let create ?(config = Config.berkmin) cnf =
           match lit_value s lits.(0) with
           | Value.True -> ()
           | Value.False -> s.ok <- false
-          | Value.Unassigned -> enqueue s lits.(0) None)
+          | Value.Unassigned -> enqueue s lits.(0) Arena.cref_undef)
         | _ ->
-          let c = { lits; learnt = false; activity = 0; deleted = false } in
+          let c = Arena.alloc s.arena ~learnt:false lits in
           Vec.push s.original c;
           attach s c;
           Array.iter (fun l -> Vec.push s.occ.(l) c) lits
       end)
     cnf;
+  s.stats.arena_bytes <- Arena.bytes s.arena;
   Stats.note_live_clauses s.stats s.n_original;
   s
+
+(* ------------------------------------------------------------------ *)
+(* Watch-list invariant audit (tests).                                 *)
+
+let watch_invariant_violations s =
+  if not s.ok then []
+  else begin
+    let ar = s.arena in
+    let errs = ref [] in
+    let err fmt = Printf.ksprintf (fun m -> errs := m :: !errs) fmt in
+    Array.iteri
+      (fun l ws ->
+        let n = Vec.length ws in
+        if n land 1 <> 0 then err "watch list of lit %d has odd length %d" l n;
+        let i = ref 0 in
+        while !i + 1 < n do
+          let c = Vec.get ws (!i + 1) in
+          if c < 0 || c >= Arena.size_words ar then
+            err "lit %d: cref %d out of arena bounds" l c
+          else if Arena.is_deleted ar c then
+            err "lit %d: watches deleted cref %d" l c
+          else begin
+            let l0 = Arena.lit ar c 0 and l1 = Arena.lit ar c 1 in
+            if l <> l0 && l <> l1 then
+              err "lit %d: watches cref %d whose watch slots hold %d/%d" l c l0
+                l1
+          end;
+          i := !i + 2
+        done)
+      s.watches;
+    let count_watchers lit c =
+      let ws = s.watches.(lit) in
+      let n = Vec.length ws in
+      let cnt = ref 0 in
+      let i = ref 0 in
+      while !i + 1 < n do
+        if Vec.get ws (!i + 1) = c then incr cnt;
+        i := !i + 2
+      done;
+      !cnt
+    in
+    let bcp_done = decision_level s = 0 && s.qhead = Vec.length s.trail in
+    let check_clause c =
+      if (not (Arena.is_deleted ar c)) && Arena.clause_size ar c >= 2 then begin
+        let l0 = Arena.lit ar c 0 and l1 = Arena.lit ar c 1 in
+        let n0 = count_watchers l0 c and n1 = count_watchers l1 c in
+        let sat0 = satisfied_at_level0 s c in
+        if n0 = 0 && n1 = 0 then begin
+          if not sat0 then
+            err "cref %d is unattached but not satisfied at level 0" c
+        end
+        else if n0 <> 1 || n1 <> 1 then
+          err "cref %d watcher counts %d/%d (expected 1/1)" c n0 n1
+        else if bcp_done && not sat0 then begin
+          if lit_value s l0 = Value.False then
+            err "cref %d: watch 0 (lit %d) is false at level 0" c l0;
+          if lit_value s l1 = Value.False then
+            err "cref %d: watch 1 (lit %d) is false at level 0" c l1
+        end
+      end
+    in
+    Vec.iter check_clause s.original;
+    Vec.iter check_clause s.learnt;
+    List.rev !errs
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Main search loop.                                                   *)
@@ -878,8 +1073,7 @@ let search s budget =
       end
       else propagate s
     in
-    match confl with
-    | Some confl ->
+    if confl <> Arena.cref_undef then begin
       s.stats.conflicts <- s.stats.conflicts + 1;
       let dl = decision_level s in
       if s.tracer.Trace.active then begin
@@ -928,7 +1122,7 @@ let search s budget =
           Trace.emit s.tracer (Trace.Backjump { from_level = dl; to_level = bt })
         end;
         backtrack s bt;
-        ignore (record_learnt s lits);
+        record_learnt s lits;
         maybe_decay s;
         if restart_due s then begin
           restart s;
@@ -938,15 +1132,15 @@ let search s budget =
           end
         end
       end
-    | None ->
-      if !iter land 63 = 0 && over_budget s budget started then
-        verdict := Some `Unknown
-      else (
-        match decide s with
-        | `All_assigned -> verdict := Some (`Sat (extract_model s))
-        | `Assumption_failed l ->
-          verdict := Some (`Unsat_assuming (analyze_final s l))
-        | `Continue -> ())
+    end
+    else if !iter land 63 = 0 && over_budget s budget started then
+      verdict := Some `Unknown
+    else (
+      match decide s with
+      | `All_assigned -> verdict := Some (`Sat (extract_model s))
+      | `Assumption_failed l ->
+        verdict := Some (`Unsat_assuming (analyze_final s l))
+      | `Continue -> ())
   done;
   Option.get !verdict
 
@@ -1037,8 +1231,14 @@ let metrics s =
   int_gauge "global_decisions" (fun () -> st.Stats.global_decisions);
   int_gauge "conflicts" (fun () -> st.Stats.conflicts);
   int_gauge "propagations" (fun () -> st.Stats.propagations);
+  int_gauge "watcher_visits" (fun () -> st.Stats.watcher_visits);
+  int_gauge "blocker_hits" (fun () -> st.Stats.blocker_hits);
   int_gauge "restarts" (fun () -> st.Stats.restarts);
   int_gauge "reductions" (fun () -> st.Stats.reductions);
+  int_gauge "gc_runs" (fun () -> st.Stats.gc_runs);
+  int_gauge "gc_reclaimed_bytes" (fun () -> st.Stats.gc_reclaimed_bytes);
+  int_gauge "arena_bytes" (fun () -> Arena.bytes s.arena);
+  int_gauge "arena_wasted_bytes" (fun () -> Arena.wasted_bytes s.arena);
   int_gauge "learnt_total" (fun () -> st.Stats.learnt_total);
   int_gauge "learnt_literals" (fun () -> st.Stats.learnt_literals);
   int_gauge "removed_clauses" (fun () -> st.Stats.removed_clauses);

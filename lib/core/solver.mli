@@ -97,6 +97,31 @@ val set_decision_hook : t -> (int -> bool -> unit) -> unit
 val value_of : t -> int -> Value.t
 (** Current assignment of a variable (mainly for tests). *)
 
+val compact : t -> unit
+(** Forces an arena compaction: every live clause is copied into a
+    fresh buffer and all outstanding crefs — watch lists, trail
+    reasons, the learnt stack, original and occurrence lists — are
+    relocated.  Safe at any decision level.  The search triggers this
+    itself after every reduction that deletes clauses; the public hook
+    exists for tests and memory-pressure callers. *)
+
+val arena_bytes : t -> int
+(** Current clause-arena footprint in bytes (headers + literals,
+    live + not-yet-collected garbage). *)
+
+val arena_wasted_bytes : t -> int
+(** Bytes owned by deleted clauses awaiting compaction. *)
+
+val watch_invariant_violations : t -> string list
+(** Audits the watched-literal invariants and returns a human-readable
+    description of each violation (empty = healthy): watch lists hold
+    well-formed (blocker, cref) pairs referencing live clauses by one
+    of their two watch slots; every live clause of size >= 2 is watched
+    exactly once from each watch literal, or not at all only when it is
+    satisfied at level 0; and — when called at decision level 0 with no
+    pending propagations — both watches of every unsatisfied clause are
+    non-false.  O(database size); for tests. *)
+
 val check_model : Cnf.t -> bool array -> bool
 (** [check_model cnf m] re-evaluates the formula under [m]. *)
 

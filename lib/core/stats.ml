@@ -6,8 +6,13 @@ type t = {
   mutable global_decisions : int;
   mutable conflicts : int;
   mutable propagations : int;
+  mutable watcher_visits : int;
+  mutable blocker_hits : int;
   mutable restarts : int;
   mutable reductions : int;
+  mutable gc_runs : int;
+  mutable gc_reclaimed_bytes : int;
+  mutable arena_bytes : int;
   mutable learnt_total : int;
   mutable learnt_literals : int;
   mutable minimized_literals : int;
@@ -29,8 +34,13 @@ let create () = {
   global_decisions = 0;
   conflicts = 0;
   propagations = 0;
+  watcher_visits = 0;
+  blocker_hits = 0;
   restarts = 0;
   reductions = 0;
+  gc_runs = 0;
+  gc_reclaimed_bytes = 0;
+  arena_bytes = 0;
   learnt_total = 0;
   learnt_literals = 0;
   minimized_literals = 0;
@@ -50,8 +60,13 @@ let reset t =
   t.global_decisions <- 0;
   t.conflicts <- 0;
   t.propagations <- 0;
+  t.watcher_visits <- 0;
+  t.blocker_hits <- 0;
   t.restarts <- 0;
   t.reductions <- 0;
+  t.gc_runs <- 0;
+  t.gc_reclaimed_bytes <- 0;
+  t.arena_bytes <- 0;
   t.learnt_total <- 0;
   t.learnt_literals <- 0;
   t.minimized_literals <- 0;
@@ -120,8 +135,13 @@ let to_json ?worker ?seconds t =
       "global_decisions", Json.Int t.global_decisions;
       "conflicts", Json.Int t.conflicts;
       "propagations", Json.Int t.propagations;
+      "watcher_visits", Json.Int t.watcher_visits;
+      "blocker_hits", Json.Int t.blocker_hits;
       "restarts", Json.Int t.restarts;
       "reductions", Json.Int t.reductions;
+      "gc_runs", Json.Int t.gc_runs;
+      "gc_reclaimed_bytes", Json.Int t.gc_reclaimed_bytes;
+      "arena_bytes", Json.Int t.arena_bytes;
       "learnt_total", Json.Int t.learnt_total;
       "learnt_literals", Json.Int t.learnt_literals;
       "minimized_literals", Json.Int t.minimized_literals;
@@ -143,6 +163,7 @@ let to_json ?worker ?seconds t =
       [
         "seconds", Json.Float s;
         "props_per_sec", Json.Float (props_per_sec t ~seconds:s);
+        "propagations_per_sec", Json.Float (props_per_sec t ~seconds:s);
       ]
   in
   Json.Obj (tag @ base @ derived)
@@ -152,12 +173,15 @@ let pp fmt t =
     "decisions      : %d (top-clause %d, global %d)@\n\
      conflicts      : %d@\n\
      propagations   : %d@\n\
+     watcher visits : %d (blocker hits %d)@\n\
      restarts       : %d (reductions %d)@\n\
      learnt         : %d (avg len %.1f, removed %d)@\n\
-     peak live DB   : %d clauses"
+     peak live DB   : %d clauses@\n\
+     arena          : %d bytes (%d GCs, %d bytes reclaimed)"
     t.decisions t.top_clause_decisions t.global_decisions t.conflicts
-    t.propagations t.restarts t.reductions t.learnt_total
-    (avg_learnt_length t) t.removed_clauses t.max_live_clauses
+    t.propagations t.watcher_visits t.blocker_hits t.restarts t.reductions
+    t.learnt_total (avg_learnt_length t) t.removed_clauses t.max_live_clauses
+    t.arena_bytes t.gc_runs t.gc_reclaimed_bytes
 
 let pp_line fmt t =
   Format.fprintf fmt "dec=%d conf=%d prop=%d rst=%d learnt=%d"

@@ -13,8 +13,20 @@ type t = {
       (** fallback decisions when every learnt clause was satisfied *)
   mutable conflicts : int;
   mutable propagations : int;
+  mutable watcher_visits : int;
+      (** watcher pairs examined by BCP (each is a potential clause
+          inspection) *)
+  mutable blocker_hits : int;
+      (** watcher visits short-circuited because the cached blocker
+          literal was already true — no arena read happened *)
   mutable restarts : int;
   mutable reductions : int;
+  mutable gc_runs : int;  (** arena compactions performed *)
+  mutable gc_reclaimed_bytes : int;
+      (** total bytes of deleted clauses physically reclaimed by GC *)
+  mutable arena_bytes : int;
+      (** clause-arena footprint in bytes, as of the last allocation
+          or GC *)
   mutable learnt_total : int;  (** learnt clauses ever created (incl. units) *)
   mutable learnt_literals : int;
   mutable minimized_literals : int;
@@ -59,8 +71,9 @@ val props_per_sec : t -> seconds:float -> float
 val to_json : ?worker:int -> ?seconds:float -> t -> Berkmin_types.Json.t
 (** Every counter as a JSON object (skin histogram trimmed to its last
     non-zero bucket).  When [seconds] is passed, adds ["seconds"] and
-    the derived ["props_per_sec"]; [worker] prepends the portfolio
-    worker index so per-worker records are self-describing. *)
+    the derived ["props_per_sec"] (also under its long alias
+    ["propagations_per_sec"]); [worker] prepends the portfolio worker
+    index so per-worker records are self-describing. *)
 
 val pp : Format.formatter -> t -> unit
 (** Multi-line human-readable dump. *)

@@ -13,6 +13,11 @@ type event =
   | Backjump of { from_level : int; to_level : int }
   | Restart of { restart_no : int; conflict_no : int }
   | Reduce_db of { live_before : int; removed : int; threshold : int }
+  | Gc of {
+      reclaimed_bytes : int;
+      arena_bytes_before : int;
+      arena_bytes_after : int;
+    }
   | Heartbeat of {
       conflict_no : int;
       decisions : int;
@@ -93,6 +98,14 @@ let event_fields = function
         "live_before", Json.Int live_before;
         "removed", Json.Int removed;
         "threshold", Json.Int threshold;
+      ]
+  | Gc { reclaimed_bytes; arena_bytes_before; arena_bytes_after } ->
+    Json.Obj
+      [
+        "event", Json.String "gc";
+        "reclaimed_bytes", Json.Int reclaimed_bytes;
+        "arena_bytes_before", Json.Int arena_bytes_before;
+        "arena_bytes_after", Json.Int arena_bytes_after;
       ]
   | Heartbeat { conflict_no; decisions; propagations; learnt_live; seconds } ->
     Json.Obj

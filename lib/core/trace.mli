@@ -29,6 +29,13 @@ type event =
   | Backjump of { from_level : int; to_level : int }
   | Restart of { restart_no : int; conflict_no : int }
   | Reduce_db of { live_before : int; removed : int; threshold : int }
+  | Gc of {
+      reclaimed_bytes : int;
+      arena_bytes_before : int;
+      arena_bytes_after : int;
+    }
+      (** clause-arena compaction: dead clause space physically
+          reclaimed, crefs relocated *)
   | Heartbeat of {
       conflict_no : int;
       decisions : int;

@@ -15,6 +15,10 @@ type outcome = {
   conflicts : int;
   decisions : int;
   propagations : int;
+  watcher_visits : int;
+  blocker_hits : int;
+  gc_runs : int;
+  gc_reclaimed_bytes : int;
   learnt_total : int;
   max_live_clauses : int;
   initial_clauses : int;
@@ -47,6 +51,11 @@ let outcome_to_json o =
       "decisions", Json.Int o.decisions;
       "propagations", Json.Int o.propagations;
       "props_per_sec", Json.Float (props_per_sec o);
+      "propagations_per_sec", Json.Float (props_per_sec o);
+      "watcher_visits", Json.Int o.watcher_visits;
+      "blocker_hits", Json.Int o.blocker_hits;
+      "gc_runs", Json.Int o.gc_runs;
+      "gc_reclaimed_bytes", Json.Int o.gc_reclaimed_bytes;
       "learnt_total", Json.Int o.learnt_total;
       "max_live_clauses", Json.Int o.max_live_clauses;
       "initial_clauses", Json.Int o.initial_clauses;
@@ -88,6 +97,10 @@ let run_instance ?(budget = default_budget) config inst =
     conflicts = st.Berkmin.Stats.conflicts;
     decisions = st.Berkmin.Stats.decisions;
     propagations = st.Berkmin.Stats.propagations;
+    watcher_visits = st.Berkmin.Stats.watcher_visits;
+    blocker_hits = st.Berkmin.Stats.blocker_hits;
+    gc_runs = st.Berkmin.Stats.gc_runs;
+    gc_reclaimed_bytes = st.Berkmin.Stats.gc_reclaimed_bytes;
     learnt_total = st.Berkmin.Stats.learnt_total;
     max_live_clauses = st.Berkmin.Stats.max_live_clauses;
     initial_clauses = Berkmin.Solver.num_original_clauses solver;
@@ -144,6 +157,10 @@ let run_instance_portfolio ?(budget = default_budget) config inst =
       conflicts = st.Berkmin.Stats.conflicts;
       decisions = st.Berkmin.Stats.decisions;
       propagations = st.Berkmin.Stats.propagations;
+      watcher_visits = st.Berkmin.Stats.watcher_visits;
+      blocker_hits = st.Berkmin.Stats.blocker_hits;
+      gc_runs = st.Berkmin.Stats.gc_runs;
+      gc_reclaimed_bytes = st.Berkmin.Stats.gc_reclaimed_bytes;
       learnt_total = st.Berkmin.Stats.learnt_total;
       max_live_clauses = st.Berkmin.Stats.max_live_clauses;
       initial_clauses = Cnf.num_clauses cnf;

@@ -18,6 +18,10 @@ type outcome = {
   conflicts : int;
   decisions : int;
   propagations : int;
+  watcher_visits : int;  (** watcher pairs examined by BCP *)
+  blocker_hits : int;  (** visits short-circuited by a true blocker *)
+  gc_runs : int;  (** arena compactions *)
+  gc_reclaimed_bytes : int;  (** clause bytes physically reclaimed *)
   learnt_total : int;
   max_live_clauses : int;
   initial_clauses : int;
@@ -31,8 +35,9 @@ val props_per_sec : outcome -> float
 
 val outcome_to_json : outcome -> Berkmin_types.Json.t
 (** One instance run as a JSON object: name, expectation, verdict,
-    time, conflicts/decisions/propagations, props/sec, database
-    numbers and the trimmed skin histogram. *)
+    time, conflicts/decisions/propagations, props/sec (also under the
+    long alias ["propagations_per_sec"]), watcher/blocker and GC
+    counters, database numbers and the trimmed skin histogram. *)
 
 val run_instance :
   ?budget:Berkmin.Solver.budget -> Berkmin.Config.t -> Instance.t -> outcome

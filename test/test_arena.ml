@@ -1,0 +1,302 @@
+(* Arena-level tests: alloc/read/write round-trips, header packing,
+   the free/reloc/commit GC protocol, the blocker fast path in BCP,
+   mid-search compaction, and the level-0 watched-literal invariant
+   across reductions and GC. *)
+
+open Berkmin_types
+module Arena = Berkmin.Arena
+module Solver = Berkmin.Solver
+module Config = Berkmin.Config
+module Trace = Berkmin.Trace
+module Pigeonhole = Berkmin_gen.Pigeonhole
+
+let check = Alcotest.check
+
+let cnf_of lists =
+  let cnf = Cnf.create () in
+  List.iter (fun c -> Cnf.add_clause cnf (List.map Lit.of_dimacs c)) lists;
+  cnf
+
+(* ------------------------------------------------------------------ *)
+(* Alloc / read / write round-trips.                                   *)
+
+let test_alloc_roundtrip () =
+  let a = Arena.create ~capacity:4 () in
+  let l1 = [| 0; 3; 4 |] and l2 = [| 1; 2 |] in
+  let c1 = Arena.alloc a ~learnt:false l1 in
+  let c2 = Arena.alloc a ~learnt:true l2 in
+  check Alcotest.int "c1 size" 3 (Arena.clause_size a c1);
+  check Alcotest.int "c2 size" 2 (Arena.clause_size a c2);
+  check Alcotest.(array int) "c1 lits" l1 (Arena.lits_array a c1);
+  check Alcotest.(array int) "c2 lits" l2 (Arena.lits_array a c2);
+  check Alcotest.int "c1 lit 1" 3 (Arena.lit a c1 1);
+  (* Writes through the accessors land in the right slots. *)
+  Arena.set_lit a c1 1 9;
+  check Alcotest.int "set_lit" 9 (Arena.lit a c1 1);
+  check Alcotest.(array int) "c2 untouched" l2 (Arena.lits_array a c2);
+  Arena.swap_lits a c1 0 2;
+  check Alcotest.int "swap 0" 4 (Arena.lit a c1 0);
+  check Alcotest.int "swap 2" 0 (Arena.lit a c1 2);
+  check Alcotest.int "total words"
+    (2 * Arena.header_words + 3 + 2)
+    (Arena.size_words a)
+
+let test_growth () =
+  let a = Arena.create ~capacity:4 () in
+  (* Force many doublings and verify nothing is corrupted. *)
+  let crefs =
+    List.init 100 (fun i -> (i, Arena.alloc a ~learnt:(i mod 2 = 0) [| i; i + 1; i + 2 |]))
+  in
+  List.iter
+    (fun (i, c) ->
+      check Alcotest.(array int)
+        (Printf.sprintf "clause %d intact" i)
+        [| i; i + 1; i + 2 |]
+        (Arena.lits_array a c))
+    crefs
+
+(* ------------------------------------------------------------------ *)
+(* Header packing: flags and size share one word without clobbering.   *)
+
+let test_header_packing () =
+  let a = Arena.create () in
+  let big = Array.init 500 (fun i -> i) in
+  let c1 = Arena.alloc a ~learnt:true big in
+  let c2 = Arena.alloc a ~learnt:false [| 7; 8 |] in
+  check Alcotest.bool "c1 learnt" true (Arena.is_learnt a c1);
+  check Alcotest.bool "c2 not learnt" false (Arena.is_learnt a c2);
+  check Alcotest.int "big size survives flags" 500 (Arena.clause_size a c1);
+  check Alcotest.int "activity starts 0" 0 (Arena.activity a c1);
+  Arena.bump_activity a c1;
+  Arena.bump_activity a c1;
+  Arena.set_activity a c2 41;
+  check Alcotest.int "bumped" 2 (Arena.activity a c1);
+  check Alcotest.int "set" 41 (Arena.activity a c2);
+  check Alcotest.int "size after bumps" 500 (Arena.clause_size a c1);
+  Arena.free a c1;
+  check Alcotest.bool "deleted" true (Arena.is_deleted a c1);
+  check Alcotest.bool "learnt bit survives delete" true (Arena.is_learnt a c1);
+  check Alcotest.int "size survives delete" 500 (Arena.clause_size a c1);
+  check Alcotest.bool "c2 not deleted" false (Arena.is_deleted a c2)
+
+let test_free_accounting () =
+  let a = Arena.create () in
+  let c1 = Arena.alloc a ~learnt:false [| 0; 1; 2 |] in
+  let _c2 = Arena.alloc a ~learnt:false [| 3; 4 |] in
+  check Alcotest.int "nothing wasted" 0 (Arena.wasted_words a);
+  Arena.free a c1;
+  let w = Arena.header_words + 3 in
+  check Alcotest.int "freed words counted" w (Arena.wasted_words a);
+  Arena.free a c1;
+  check Alcotest.int "double free is a no-op" w (Arena.wasted_words a);
+  check Alcotest.int "live = size - wasted"
+    (Arena.size_words a - w)
+    (Arena.live_words a)
+
+(* ------------------------------------------------------------------ *)
+(* The reloc/commit protocol.                                          *)
+
+let test_reloc_commit () =
+  let a = Arena.create () in
+  let c1 = Arena.alloc a ~learnt:true [| 1; 2; 3 |] in
+  let c2 = Arena.alloc a ~learnt:false [| 4; 5 |] in
+  let c3 = Arena.alloc a ~learnt:true [| 6; 7; 8; 9 |] in
+  Arena.set_activity a c1 13;
+  Arena.free a c2;
+  let into = Arena.create ~capacity:(Arena.live_words a) () in
+  let c1' = Arena.reloc a ~into c1 in
+  check Alcotest.bool "forwarding planted" true (Arena.relocated a c1);
+  check Alcotest.int "second reloc follows forwarding" c1'
+    (Arena.reloc a ~into c1);
+  let c3' = Arena.reloc a ~into c3 in
+  Arena.commit a ~into;
+  check Alcotest.(array int) "c1 moved intact" [| 1; 2; 3 |]
+    (Arena.lits_array a c1');
+  check Alcotest.int "c1 activity moved" 13 (Arena.activity a c1');
+  check Alcotest.bool "c1 learnt moved" true (Arena.is_learnt a c1');
+  check Alcotest.bool "c1' clean flags" false (Arena.relocated a c1');
+  check Alcotest.(array int) "c3 moved intact" [| 6; 7; 8; 9 |]
+    (Arena.lits_array a c3');
+  check Alcotest.int "compacted size"
+    (2 * Arena.header_words + 3 + 4)
+    (Arena.size_words a);
+  check Alcotest.int "nothing wasted after commit" 0 (Arena.wasted_words a)
+
+(* ------------------------------------------------------------------ *)
+(* Blocker fast path: a true blocker short-circuits the arena read.    *)
+
+let test_blocker_hit () =
+  (* x0 is a level-0 fact; when ¬x1 propagates, the (x0∨x1∨x2) watcher
+     on x1 carries blocker x0 = true, so the visit is a blocker hit. *)
+  let s = Solver.create (cnf_of [ [ 1; 2; 3 ]; [ 1 ]; [ -2 ] ]) in
+  (match Solver.solve s with
+  | Solver.Sat _ -> ()
+  | Solver.Unsat | Solver.Unknown -> Alcotest.fail "expected SAT");
+  let st = Solver.stats s in
+  check Alcotest.bool "at least one visit" true (st.Berkmin.Stats.watcher_visits >= 1);
+  check Alcotest.bool "blocker hit recorded" true (st.Berkmin.Stats.blocker_hits >= 1);
+  check Alcotest.bool "hits bounded by visits" true
+    (st.Berkmin.Stats.blocker_hits <= st.Berkmin.Stats.watcher_visits)
+
+let test_blocker_miss () =
+  (* Same clause without the x0 fact: the visit on ¬x1 finds blocker x0
+     unassigned and must read the clause (migrating the watch to x2). *)
+  let s = Solver.create (cnf_of [ [ 1; 2; 3 ]; [ -2 ] ]) in
+  (match Solver.solve s with
+  | Solver.Sat _ -> ()
+  | Solver.Unsat | Solver.Unknown -> Alcotest.fail "expected SAT");
+  let st = Solver.stats s in
+  check Alcotest.bool "visits happened" true (st.Berkmin.Stats.watcher_visits >= 1);
+  check Alcotest.int "no blocker was true" 0 st.Berkmin.Stats.blocker_hits
+
+(* ------------------------------------------------------------------ *)
+(* Mid-search compaction relocates reasons, watchers and the learnt
+   stack without disturbing the search.                                *)
+
+let test_compact_mid_search () =
+  let inst = Pigeonhole.instance 7 6 in
+  let cnf = inst.Berkmin_gen.Instance.cnf in
+  let expected = Solver.solve_cnf cnf in
+  (match expected with
+  | Solver.Unsat -> ()
+  | Solver.Sat _ | Solver.Unknown -> Alcotest.fail "pigeonhole must be UNSAT");
+  let s = Solver.create cnf in
+  (match Solver.solve ~budget:(Solver.budget_conflicts 40) s with
+  | Solver.Unknown -> ()
+  | Solver.Sat _ | Solver.Unsat ->
+    Alcotest.fail "budget too large to stop mid-search");
+  let learnt_before = Solver.num_learnt_live s in
+  Solver.compact s;
+  Solver.compact s;
+  check Alcotest.(list string) "invariants hold after compaction" []
+    (Solver.watch_invariant_violations s);
+  check Alcotest.int "learnt stack length preserved" learnt_before
+    (Solver.num_learnt_live s);
+  (* Resuming over the relocated database reaches the same verdict. *)
+  match Solver.solve s with
+  | Solver.Unsat -> ()
+  | Solver.Sat _ -> Alcotest.fail "compaction changed the verdict to SAT"
+  | Solver.Unknown -> Alcotest.fail "resume did not finish"
+
+(* ------------------------------------------------------------------ *)
+(* GC under the aging policy: deletions are physically reclaimed.      *)
+
+(* Reduce aggressively but keep the search alive: the young half of the
+   stack survives every reduction (so learning still makes progress)
+   while the old half is deleted wholesale — the activity bar is
+   unreachable and no old clause is short enough — forcing a
+   compaction at nearly every restart. *)
+let gc_config =
+  {
+    Config.berkmin with
+    Config.restart_mode = Config.Fixed 30;
+    young_fraction = 0.5;
+    young_keep_length = 100;
+    old_keep_length = 1;
+    old_activity_threshold = max_int / 2;
+    old_threshold_increment = 0;
+  }
+
+let test_gc_reclaims () =
+  let inst = Pigeonhole.instance 6 5 in
+  let s = Solver.create ~config:gc_config inst.Berkmin_gen.Instance.cnf in
+  let gc_events = ref 0 in
+  Solver.set_trace_sink s
+    (Trace.Callback
+       (function
+       | Trace.Gc { reclaimed_bytes; arena_bytes_before; arena_bytes_after } ->
+         incr gc_events;
+         check Alcotest.bool "gc shrinks the arena" true
+           (arena_bytes_after <= arena_bytes_before);
+         check Alcotest.int "reclaimed = before - after" reclaimed_bytes
+           (arena_bytes_before - arena_bytes_after)
+       | _ -> ()));
+  (match Solver.solve s with
+  | Solver.Unsat -> ()
+  | Solver.Sat _ | Solver.Unknown -> Alcotest.fail "expected UNSAT");
+  let st = Solver.stats s in
+  check Alcotest.bool "gc ran" true (st.Berkmin.Stats.gc_runs >= 1);
+  check Alcotest.int "gc events traced" st.Berkmin.Stats.gc_runs !gc_events;
+  check Alcotest.bool "bytes reclaimed" true
+    (st.Berkmin.Stats.gc_reclaimed_bytes > 0);
+  check Alcotest.int "no garbage left behind" 0 (Solver.arena_wasted_bytes s);
+  check Alcotest.bool "arena footprint reported" true
+    (st.Berkmin.Stats.arena_bytes > 0);
+  check Alcotest.int "stats arena matches live gauge"
+    (Solver.arena_bytes s) st.Berkmin.Stats.arena_bytes
+
+(* ------------------------------------------------------------------ *)
+(* Level-0 invariant across reductions and GC: after every reduce_db
+   (which deletes, compacts and rebuilds the watch lists at level 0)
+   the watch invariants must hold — in particular no unsatisfied
+   clause may watch a level-0-false literal once BCP has settled.      *)
+
+let test_level0_invariant_across_reductions () =
+  let inst = Pigeonhole.instance 6 5 in
+  let s = Solver.create ~config:gc_config inst.Berkmin_gen.Instance.cnf in
+  let reductions_with_removal = ref 0 in
+  let violations = ref [] in
+  Solver.set_trace_sink s
+    (Trace.Callback
+       (function
+       | Trace.Reduce_db { removed; _ } ->
+         if removed > 0 then incr reductions_with_removal;
+         violations := Solver.watch_invariant_violations s @ !violations
+       | _ -> ()));
+  (match Solver.solve s with
+  | Solver.Unsat -> ()
+  | Solver.Sat _ | Solver.Unknown -> Alcotest.fail "expected UNSAT");
+  check Alcotest.bool "rebuild path exercised" true
+    (!reductions_with_removal >= 2);
+  check Alcotest.(list string) "no violation after any reduction" []
+    (List.rev !violations);
+  check Alcotest.(list string) "no violation at the end" []
+    (Solver.watch_invariant_violations s)
+
+let test_level0_facts_detach_satisfied () =
+  (* A clause satisfied by a level-0 fact whose other literals go false
+     is the shape the old rebuild mishandled (attaching it with a
+     permanently false second watch).  The audit must stay clean on a
+     full solve of such a formula. *)
+  let s = Solver.create (cnf_of [ [ 1; 2 ]; [ 1 ]; [ -2 ]; [ 2; 3 ] ]) in
+  (match Solver.solve s with
+  | Solver.Sat _ -> ()
+  | Solver.Unsat | Solver.Unknown -> Alcotest.fail "expected SAT");
+  check Alcotest.(list string) "audit clean" []
+    (Solver.watch_invariant_violations s)
+
+let () =
+  Alcotest.run "arena"
+    [
+      ( "storage",
+        [
+          Alcotest.test_case "alloc/read/write round-trip" `Quick
+            test_alloc_roundtrip;
+          Alcotest.test_case "growth preserves contents" `Quick test_growth;
+          Alcotest.test_case "header packing" `Quick test_header_packing;
+          Alcotest.test_case "free accounting" `Quick test_free_accounting;
+        ] );
+      ( "gc-protocol",
+        [ Alcotest.test_case "reloc/commit" `Quick test_reloc_commit ] );
+      ( "blockers",
+        [
+          Alcotest.test_case "true blocker short-circuits" `Quick
+            test_blocker_hit;
+          Alcotest.test_case "unassigned blocker reads the clause" `Quick
+            test_blocker_miss;
+        ] );
+      ( "compaction",
+        [
+          Alcotest.test_case "mid-search compact is transparent" `Quick
+            test_compact_mid_search;
+          Alcotest.test_case "aging deletions are reclaimed" `Quick
+            test_gc_reclaims;
+        ] );
+      ( "level0-invariant",
+        [
+          Alcotest.test_case "holds across reductions and GC" `Quick
+            test_level0_invariant_across_reductions;
+          Alcotest.test_case "satisfied clauses detach cleanly" `Quick
+            test_level0_facts_detach_satisfied;
+        ] );
+    ]

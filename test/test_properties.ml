@@ -151,6 +151,65 @@ let prop_deterministic =
       in
       run () = run ())
 
+(* ------------------------------------------------------------------ *)
+(* Differential regression tier: a fixed-seed fuzz campaign (lib/fuzz)
+   as an ordinary test.  Three solvers are raced — the CDCL engine, the
+   same engine under an aggressive restart/deletion schedule that
+   compacts the clause arena at nearly every restart, and the
+   independent DPLL — and all four oracles (crash, model, DRUP proof,
+   verdict agreement) must hold on every round.  In particular, GC can
+   never change a verdict.  The campaign is a pure function of the
+   seed, so a failure here reproduces exactly. *)
+
+module Fuzz_runner = Berkmin_fuzz.Runner
+module Fuzz_oracle = Berkmin_fuzz.Oracle
+
+let gc_heavy_config =
+  {
+    Config.berkmin with
+    Config.restart_mode = Config.Fixed 30;
+    young_fraction = 0.5;
+    young_keep_length = 100;
+    old_keep_length = 1;
+    old_activity_threshold = max_int / 2;
+    old_threshold_increment = 0;
+  }
+
+let test_fuzz_differential_regression () =
+  let config =
+    {
+      Fuzz_runner.default with
+      Fuzz_runner.seed = 11;
+      rounds = 200;
+      solvers =
+        Some
+          [
+            Fuzz_oracle.cdcl ();
+            Fuzz_oracle.cdcl ~config:gc_heavy_config ();
+            Fuzz_oracle.dpll ();
+          ];
+    }
+  in
+  let report = Fuzz_runner.run config in
+  let describe ce =
+    Berkmin_types.Json.to_string (Fuzz_runner.counterexample_to_json ce)
+  in
+  Alcotest.check
+    Alcotest.(list string)
+    "no counterexample in 200 seeded rounds" []
+    (List.map describe report.Fuzz_runner.counterexamples);
+  Alcotest.check Alcotest.bool "campaign decided SAT rounds" true
+    (report.Fuzz_runner.sat > 0);
+  Alcotest.check Alcotest.bool "campaign decided UNSAT rounds" true
+    (report.Fuzz_runner.unsat > 0)
+
+let prop_gc_never_changes_verdict =
+  QCheck.Test.make ~name:"aggressive GC schedule preserves every verdict"
+    ~count:200 random_cnf_gen
+    (fun params ->
+      let cnf = build params in
+      solver_verdict ~config:gc_heavy_config cnf = solver_verdict cnf)
+
 let () =
   Alcotest.run "properties"
     [
@@ -167,5 +226,11 @@ let () =
           qtest prop_preprocess_preserves_verdict;
           qtest prop_budget_never_lies;
           qtest prop_deterministic;
+        ] );
+      ( "differential-regression",
+        [
+          Alcotest.test_case "seeded 200-round fuzz campaign, four oracles"
+            `Quick test_fuzz_differential_regression;
+          qtest prop_gc_never_changes_verdict;
         ] );
     ]
