@@ -128,6 +128,11 @@ let smoke_instances () =
       Pigeonhole.instance 8 7;
       Circuit_bench.adder_miter ~width:8;
       Parity.tseitin_instance ~num_vars:16 ~degree:3 ~seed:3;
+      (* Random 3-SAT near the phase transition: seeded, so the work
+         counters below are deterministic and gate-worthy. *)
+      Random_ksat.instance ~num_vars:100 ~ratio:4.3 ~seed:5;
+      Random_ksat.instance ~num_vars:120 ~ratio:4.3 ~seed:9;
+      Random_ksat.planted_instance ~num_vars:150 ~ratio:4.2 ~seed:12;
     ]
 
 let run_smoke () =
@@ -283,10 +288,14 @@ let verdict_map json =
    only; values are run-dependent. *)
 let required_instance_keys =
   [
+    "decisions";
     "propagations";
+    "binary_propagations";
     "propagations_per_sec";
     "watcher_visits";
     "blocker_hits";
+    "top_cursor_steps";
+    "nb_two_cache_hits";
     "gc_runs";
     "gc_reclaimed_bytes";
   ]
@@ -348,6 +357,99 @@ let diff_baseline path json =
     List.iter (fun l -> Printf.printf "  %s\n" l) lines;
     false
 
+(* Counter-regression gate: deterministic work counters — never
+   timings — against a committed baseline summary.  [watcher_visits]
+   and [propagations] are pure functions of the (instance,
+   configuration) pair, so growth beyond the tolerance is a real
+   algorithmic regression, not runner noise; shrinkage is an
+   improvement and passes (regenerate the baseline to bank it). *)
+
+let perf_counters = [ "watcher_visits"; "propagations" ]
+let perf_tolerance = 0.10
+
+let counter_map json =
+  match Json.member "instances" json with
+  | Some (Json.List items) ->
+    List.filter_map
+      (fun item ->
+        match Json.member "instance" item with
+        | Some (Json.String name) ->
+          Some
+            ( name,
+              List.filter_map
+                (fun key ->
+                  match Json.member key item with
+                  | Some (Json.Int v) -> Some (key, v)
+                  | _ -> None)
+                perf_counters )
+        | _ -> None)
+      items
+  | _ -> []
+
+(* Returns the per-counter diff rows (for the JSON artifact) and
+   whether every counter stayed within tolerance. *)
+let diff_perf_baseline path json =
+  let contents = In_channel.with_open_text path In_channel.input_all in
+  let base = counter_map (Json.of_string contents) in
+  let rows = ref [] in
+  let regressions = ref [] in
+  List.iter
+    (fun (name, counters) ->
+      List.iter
+        (fun (key, v) ->
+          match
+            Option.bind (List.assoc_opt name base) (List.assoc_opt key)
+          with
+          | None -> ()
+          | Some bv ->
+            let ratio =
+              if bv = 0 then if v = 0 then 1.0 else infinity
+              else float_of_int v /. float_of_int bv
+            in
+            let regressed = ratio > 1.0 +. perf_tolerance in
+            if regressed then
+              regressions :=
+                Printf.sprintf "%s: %s %d -> %d (%.2fx)" name key bv v ratio
+                :: !regressions;
+            rows :=
+              Json.Obj
+                [
+                  "instance", Json.String name;
+                  "counter", Json.String key;
+                  "baseline", Json.Int bv;
+                  "current", Json.Int v;
+                  "ratio", Json.Float ratio;
+                  "regressed", Json.Bool regressed;
+                ]
+              :: !rows)
+        counters)
+    (counter_map json);
+  let regressions = List.rev !regressions in
+  (match regressions with
+  | [] ->
+    Printf.printf
+      "perf baseline %s: all counters within %.0f%% (%d comparisons)\n" path
+      (100.0 *. perf_tolerance)
+      (List.length !rows)
+  | lines ->
+    Printf.printf "perf baseline %s: COUNTER REGRESSION (%d)\n" path
+      (List.length lines);
+    List.iter (fun l -> Printf.printf "  %s\n" l) lines);
+  let diff =
+    Json.Obj
+      [
+        "baseline", Json.String path;
+        "tolerance", Json.Float perf_tolerance;
+        "regressions", Json.Int (List.length regressions);
+        "comparisons", Json.List (List.rev !rows);
+      ]
+  in
+  (diff, regressions = [])
+
+let add_member key value = function
+  | Json.Obj fields -> Json.Obj (fields @ [ (key, value) ])
+  | json -> json
+
 let write_json path json =
   let text = Json.to_string_pretty json ^ "\n" in
   if path = "-" then print_string text
@@ -370,7 +472,7 @@ let experiments_json () =
     ]
 
 let run quick bechamel extensions only list_names smoke workers json_out
-    baseline =
+    baseline perf_baseline =
   if list_names then begin
     List.iter print_endline Experiments.names;
     0
@@ -385,11 +487,20 @@ let run quick bechamel extensions only list_names smoke workers json_out
     0
   end
   else if smoke || (json_out <> None && only = []) || baseline <> None
+          || perf_baseline <> None
   then begin
     (* --json with no experiment selection means the smoke suite: fast,
        per-instance, and gate-worthy — what CI wants from --quick. *)
     let json, status = run_smoke () in
+    let json, perf_ok =
+      match perf_baseline with
+      | None -> (json, true)
+      | Some path ->
+        let diff, ok = diff_perf_baseline path json in
+        (add_member "perf_baseline" diff json, ok)
+    in
     Option.iter (fun path -> write_json path json) json_out;
+    let status = if perf_ok then status else 1 in
     match baseline with
     | Some path ->
       let schema_ok = check_schema json in
@@ -492,12 +603,25 @@ let baseline =
            against the JSON summary in $(docv); any drift — changed, \
            new or missing verdicts — exits non-zero.")
 
+let perf_baseline =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "perf-baseline" ] ~docv:"FILE"
+        ~doc:
+          "Run the smoke suite and compare its deterministic work \
+           counters (watcher_visits, propagations — never timings) \
+           against the JSON summary in $(docv); any counter more than \
+           10% above its baseline exits non-zero.  The per-counter \
+           diff is embedded in the --json summary under \
+           \"perf_baseline\".")
+
 let cmd =
   let doc = "Regenerate the BerkMin paper's tables and figures" in
   Cmd.v
     (Cmd.info "berkmin-bench" ~doc)
     Term.(
       const run $ quick $ bechamel $ extensions $ only $ list_names $ smoke
-      $ workers $ json_out $ baseline)
+      $ workers $ json_out $ baseline $ perf_baseline)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,56 @@
+open Berkmin_types
+
+type t = {
+  index : int Vec.t array;  (* per literal: (implied_lit, cref) stride-2 pairs *)
+  mutable entries : int;
+}
+
+let create ~num_lits =
+  {
+    index = Array.init (max num_lits 1) (fun _ -> Vec.create ~capacity:4 ~dummy:0 ());
+    entries = 0;
+  }
+
+let add t ~cref a b =
+  let va = t.index.(Lit.negate a) in
+  Vec.push va b;
+  Vec.push va cref;
+  let vb = t.index.(Lit.negate b) in
+  Vec.push vb a;
+  Vec.push vb cref;
+  t.entries <- t.entries + 2
+
+let implications t p = t.index.(p)
+
+let num_entries t = t.entries
+
+let iter_entries t f =
+  Array.iteri
+    (fun src v ->
+      let n = Vec.length v in
+      let i = ref 0 in
+      while !i < n do
+        f src (Vec.get v !i) (Vec.get v (!i + 1));
+        i := !i + 2
+      done)
+    t.index
+
+let filter_reloc t ~dead ~reloc =
+  Array.iter
+    (fun v ->
+      let n = Vec.length v in
+      let i = ref 0 in
+      let j = ref 0 in
+      while !i < n do
+        let u = Vec.get v !i in
+        let c = Vec.get v (!i + 1) in
+        if not (dead c) then begin
+          Vec.set v !j u;
+          Vec.set v (!j + 1) (reloc c);
+          j := !j + 2
+        end
+        else t.entries <- t.entries - 1;
+        i := !i + 2
+      done;
+      Vec.shrink v !j)
+    t.index

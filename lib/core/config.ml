@@ -50,6 +50,7 @@ type t = {
   old_threshold_increment : int;
   nb_two_threshold : int;
   top_window : int;
+  debug_top_cursor : bool;
   minimize_learnt : bool;
   use_var_heap : bool;
   seed : int;
@@ -85,6 +86,7 @@ let berkmin = {
   old_threshold_increment = 1;
   nb_two_threshold = 100;
   top_window = 1;
+  debug_top_cursor = false;
   minimize_learnt = false;
   use_var_heap = false;
   seed = 1;
@@ -140,6 +142,7 @@ let with_workers n t =
   if n < 1 then invalid_arg "Config.with_workers: need at least one worker";
   { t with workers = n }
 
+let with_debug_top_cursor t = { t with debug_top_cursor = true }
 let with_portfolio_diversify portfolio_diversify t = { t with portfolio_diversify }
 let with_worker_wall_timeout s t = { t with worker_wall_timeout = Some s }
 
@@ -169,6 +172,7 @@ let name_of t =
           trace_jsonl = t.trace_jsonl;
           heartbeat_interval = t.heartbeat_interval;
           profile_timers = t.profile_timers;
+          debug_top_cursor = t.debug_top_cursor;
           workers = t.workers;
           portfolio_diversify = t.portfolio_diversify;
           worker_wall_timeout = t.worker_wall_timeout;

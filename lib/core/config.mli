@@ -92,6 +92,11 @@ type t = {
           procedure considers (1 in the paper; Remark 2 proposes
           examining "a small set of conflict clauses that are close to
           the current top of the stack") *)
+  debug_top_cursor : bool;
+      (** cross-check every cursor-backed top-clause lookup against
+          the naive full stack scan and fail loudly on any mismatch;
+          off by default (the check re-reads the whole learnt stack
+          per decision, exactly the cost the cursor removes) *)
   minimize_learnt : bool;
       (** post-2002 extension: drop learnt-clause literals whose
           reasons are subsumed by the rest of the clause (MiniSat-style
@@ -169,6 +174,10 @@ val with_heartbeat : int -> t -> t
 val with_profile_timers : t -> t
 (** Enable the BCP/analysis/reduction phase timers. *)
 
+val with_debug_top_cursor : t -> t
+(** Enable the top-clause cursor cross-check (see
+    {!t.debug_top_cursor}). *)
+
 val with_workers : int -> t -> t
 (** Set the portfolio worker count.
     @raise Invalid_argument when the count is below 1. *)
@@ -182,8 +191,8 @@ val with_worker_wall_timeout : float -> t -> t
 val name_of : t -> string
 (** Best-effort human name: matches a preset or describes the fields.
     Observability and portfolio fields (trace, heartbeat, timers,
-    workers) are ignored by the match — they don't change the search a
-    single solver performs. *)
+    cursor debug, workers) are ignored by the match — they don't
+    change the search a single solver performs. *)
 
 val presets : (string * t) list
 (** All named presets, for CLIs and the bench harness. *)

@@ -15,16 +15,23 @@ let no_budget = { max_conflicts = None; max_seconds = None }
 let budget_conflicts n = { max_conflicts = Some n; max_seconds = None }
 
 (* Clauses live in a flat int arena ({!Arena}); a clause is a [cref]
-   offset into it.  Literals 0 and 1 are the watched literals; for a
-   clause acting as the reason of an implied literal, that literal sits
-   at index 0.  The arena's per-clause activity slot is the paper's
-   clause_activity: the number of conflicts the clause has been
-   responsible for.
+   offset into it.  For clauses of three or more literals, literals 0
+   and 1 are the watched literals; a clause acting as the reason of an
+   implied literal holds that literal in one of its first two slots
+   (conflict analysis skips it by variable, not by position).  The
+   arena's per-clause activity slot is the paper's clause_activity:
+   the number of conflicts the clause has been responsible for.
 
    Watch lists are stride-2 int vectors of (blocker, cref) pairs: the
    blocker is some literal of the clause (initially the other watch);
    when it is already true the clause is satisfied and BCP skips the
-   arena read entirely. *)
+   arena read entirely.
+
+   Two-literal clauses never enter the watch lists: they live in the
+   {!Binary} implication index, and [propagate] drains all binary
+   implications of an assigned literal — straight out of the packed
+   per-literal arrays, with no arena reads and no allocation — before
+   touching any long-clause watcher. *)
 
 type t = {
   cfg : Config.t;
@@ -37,13 +44,26 @@ type t = {
   original : Arena.cref Vec.t;
   learnt : Arena.cref Vec.t;  (* the chronological conflict-clause stack *)
   watches : int Vec.t array;  (* per literal: flattened (blocker, cref) pairs *)
-  occ : Arena.cref Vec.t array;  (* original-clause occurrences, for nb_two *)
+  binary : Binary.t;  (* implication index of all stored 2-clauses *)
   assigns : Value.t array;
   level : int array;
   reason : Arena.cref array;  (* [Arena.cref_undef] = decision / level 0 *)
   trail : Lit.t Vec.t;
   trail_lim : int Vec.t;
-  mutable qhead : int;
+  mutable qhead : int;  (* long-clause (watch list) propagation head *)
+  mutable bin_qhead : int;  (* binary-implication head, drained first *)
+  mutable top_cursor : int;
+  (* Learnt-stack index caching the top-clause scan: every clause
+     strictly above it is satisfied under the current assignment
+     ([-1] = the whole stack is).  Between conflicts the trail only
+     grows, so satisfied clauses stay satisfied and the cursor only
+     moves downward; any backtrack, learn or stack reshuffle resets it
+     to the top. *)
+  mutable assign_epoch : int;
+  (* Bumped on every assignment change (enqueue or backtrack);
+     versions the nb_two memo below. *)
+  nb_memo : int array;  (* per literal: memoized currently-binary degree *)
+  nb_memo_epoch : int array;  (* assign_epoch at which nb_memo was computed *)
   var_act : float array;
   lit_act : int array;  (* symmetrization counters, never decayed *)
   vsids : float array;  (* Chaff-baseline literal scores, decayed *)
@@ -75,6 +95,7 @@ let set_decision_hook s f = s.on_decision <- Some f
 let value_of s v = s.assigns.(v)
 let arena_bytes s = Arena.bytes s.arena
 let arena_wasted_bytes s = Arena.wasted_bytes s.arena
+let num_binary_entries s = Binary.num_entries s.binary
 
 let log_proof s e =
   match s.proof with
@@ -95,6 +116,7 @@ let lit_value s l =
 let enqueue s l reason =
   let v = Lit.var l in
   assert (not (Value.is_assigned s.assigns.(v)));
+  s.assign_epoch <- s.assign_epoch + 1;
   s.assigns.(v) <- (if Lit.is_pos l then Value.True else Value.False);
   let dl = decision_level s in
   s.level.(v) <- dl;
@@ -119,7 +141,12 @@ let backtrack s lvl =
     done;
     Vec.shrink s.trail limit;
     Vec.shrink s.trail_lim lvl;
-    s.qhead <- limit
+    s.qhead <- limit;
+    s.bin_qhead <- limit;
+    s.assign_epoch <- s.assign_epoch + 1;
+    (* Unassignments can desatisfy clauses above the cached top-clause
+       cursor; repair lazily by resetting it to the stack top. *)
+    s.top_cursor <- Vec.length s.learnt - 1
   end
 
 let attach s c =
@@ -133,9 +160,20 @@ let attach s c =
   Vec.push w1 c
 
 (* ------------------------------------------------------------------ *)
-(* Boolean constraint propagation: two watched literals per clause,
-   with blocker-literal short-circuiting.  Returns the conflicting
-   cref, or [Arena.cref_undef].
+(* Boolean constraint propagation.
+
+   Binary clauses first: the implications of every assigned literal
+   are drained straight out of the {!Binary} packed per-literal
+   arrays — the implied literal and the reason cref sit side by side
+   in one flat int vector, so this inner loop performs no arena
+   reads, no watch-list surgery and no allocation.  [bin_qhead] runs
+   ahead of [qhead]: all binary consequences (including those of
+   literals the binary drain itself enqueues) are known before any
+   long-clause watcher is inspected.
+
+   Long clauses then go through the classic two-watched-literal
+   scheme with blocker-literal short-circuiting.  Returns the
+   conflicting cref, or [Arena.cref_undef].
 
    The watch list of the falsified literal is compacted in place with
    two cursors: kept watchers are copied down to [j]; watchers whose
@@ -150,7 +188,35 @@ let propagate s =
   let ar = s.arena in
   let visits = ref 0 in
   let hits = ref 0 in
+  let bin_props = ref 0 in
+  (* [bin_qhead >= qhead] always: both reset to the same trail limit on
+     backtrack, and the binary drain runs to the trail end before each
+     long-clause step.  The outer loop therefore keys on [qhead]. *)
   while !conflict = Arena.cref_undef && s.qhead < Vec.length s.trail do
+    (* Saturate the binary layer before the next long-clause literal. *)
+    while !conflict = Arena.cref_undef && s.bin_qhead < Vec.length s.trail do
+      let p = Vec.get s.trail s.bin_qhead in
+      s.bin_qhead <- s.bin_qhead + 1;
+      let bs = Binary.implications s.binary p in
+      let n = Vec.length bs in
+      let i = ref 0 in
+      while !conflict = Arena.cref_undef && !i < n do
+        let u = Vec.get bs !i in
+        (match lit_value s u with
+        | Value.True -> ()
+        | Value.Unassigned ->
+          incr bin_props;
+          enqueue s u (Vec.get bs (!i + 1));
+          if s.tracer.Trace.active then
+            Trace.emit s.tracer
+              (Trace.Propagate { level = decision_level s; lit = u })
+        | Value.False ->
+          s.stats.binary_conflicts <- s.stats.binary_conflicts + 1;
+          conflict := Vec.get bs (!i + 1));
+        i := !i + 2
+      done
+    done;
+    if !conflict = Arena.cref_undef then begin
     let p = Vec.get s.trail s.qhead in
     s.qhead <- s.qhead + 1;
     s.stats.propagations <- s.stats.propagations + 1;
@@ -228,9 +294,11 @@ let propagate s =
       end
     done;
     Vec.shrink ws !j
+    end
   done;
   s.stats.watcher_visits <- s.stats.watcher_visits + !visits;
   s.stats.blocker_hits <- s.stats.blocker_hits + !hits;
+  s.stats.binary_propagations <- s.stats.binary_propagations + !bin_props;
   !conflict
 
 (* ------------------------------------------------------------------ *)
@@ -302,12 +370,15 @@ let analyze s (confl : Arena.cref) =
     | Config.Responsible_clauses ->
       Arena.iter_lits ar cref (fun q -> bump_var s (Lit.var q))
     | Config.Conflict_clause_only -> ());
-    let start = if !p = -1 then 0 else 1 in
+    (* Skip the implied literal by variable, not by slot: binary
+       reasons come from the implication index and make no promise
+       about which slot holds the implied literal. *)
+    let pv = if !p = -1 then -1 else Lit.var !p in
     let sz = Arena.clause_size ar cref in
-    for j = start to sz - 1 do
+    for j = 0 to sz - 1 do
       let q = Arena.lit ar cref j in
       let v = Lit.var q in
-      if (not s.seen.(v)) && s.level.(v) > 0 then begin
+      if v <> pv && (not s.seen.(v)) && s.level.(v) > 0 then begin
         s.seen.(v) <- true;
         if s.level.(v) >= dl then incr counter else learnt := q :: !learnt
       end
@@ -398,10 +469,15 @@ let record_learnt s lits =
     let c = Arena.alloc s.arena ~learnt:true lits in
     s.stats.arena_bytes <- Arena.bytes s.arena;
     Vec.push s.learnt c;
+    (* The new clause tops the stack and is unsatisfied (its asserting
+       literal is only enqueued below), so the top-clause cursor must
+       restart from it. *)
+    s.top_cursor <- Vec.length s.learnt - 1;
     if Vec.length s.learnt > s.stats.max_learnt_live then
       s.stats.max_learnt_live <- Vec.length s.learnt;
     Stats.note_live_clauses s.stats (s.n_original + Vec.length s.learnt);
-    attach s c;
+    if Array.length lits = 2 then Binary.add s.binary ~cref:c lits.(0) lits.(1)
+    else attach s c;
     enqueue s lits.(0) c
   end
 
@@ -411,7 +487,7 @@ let record_learnt s lits =
 (* Copy every live clause into a fresh arena and swap it in, following
    the forwarding-pointer protocol of {!Arena.reloc}.  Every
    outstanding cref — watch lists, trail reasons, learnt stack,
-   original list, occurrence lists — is rewritten to the clause's new
+   original list, binary implication index — is rewritten to the clause's new
    address; dead watchers (a deleted clause can linger in a watch list
    only if the caller compacts without rebuilding) are dropped. *)
 let gc s =
@@ -447,12 +523,9 @@ let gc s =
   for i = 0 to Vec.length s.original - 1 do
     Vec.set s.original i (Arena.reloc ar ~into (Vec.get s.original i))
   done;
-  Array.iter
-    (fun ov ->
-      for i = 0 to Vec.length ov - 1 do
-        Vec.set ov i (Arena.reloc ar ~into (Vec.get ov i))
-      done)
-    s.occ;
+  Binary.filter_reloc s.binary
+    ~dead:(fun c -> Arena.is_deleted ar c)
+    ~reloc:(fun c -> Arena.reloc ar ~into c);
   Arena.commit ar ~into;
   s.stats.gc_runs <- s.stats.gc_runs + 1;
   s.stats.gc_reclaimed_bytes <- s.stats.gc_reclaimed_bytes + reclaimed;
@@ -524,7 +597,11 @@ let rebuild_watches s =
   Array.iter Vec.clear s.watches;
   let ar = s.arena in
   let reattach c =
-    if not (Arena.is_deleted ar c) then begin
+    (* Binary clauses live in the implication index, never in watch
+       lists; their level-0 consequences were drained when their
+       source literals propagated, so there is nothing to re-derive
+       here. *)
+    if (not (Arena.is_deleted ar c)) && Arena.clause_size ar c > 2 then begin
       if Arena.exists_lit ar c (fun l -> lit_value s l = Value.True) then ()
       else begin
         let n = Arena.clause_size ar c in
@@ -572,6 +649,9 @@ let reduce_db s =
     if !removed > 0 then begin
       s.stats.removed_clauses <- s.stats.removed_clauses + !removed;
       Vec.filter_in_place (fun c -> not (Arena.is_deleted s.arena c)) s.learnt;
+      (* Indices shifted: restart the top-clause cursor from the new
+         stack top. *)
+      s.top_cursor <- Vec.length s.learnt - 1;
       (* Watches are about to be rebuilt; clearing them first keeps the
          GC's watcher pass trivial. *)
       Array.iter Vec.clear s.watches;
@@ -595,22 +675,59 @@ let reduce_db s =
    closest to the top of the stack, newest first (the paper uses a
    window of 1; Remark 2 proposes examining a small set).  Each comes
    with its distance from the top — the skin-effect [r] of Table 3. *)
-let find_top_clauses s =
+
+let clause_satisfied s c =
+  Arena.exists_lit s.arena c (fun l -> lit_value s l = Value.True)
+
+(* Scan the learnt stack downward from index [start]: the window of
+   unsatisfied clauses (newest first, with stack distances) plus the
+   index of the topmost unsatisfied clause, or [-1] when the whole
+   suffix is satisfied. *)
+let scan_top_clauses s start =
   let n = Vec.length s.learnt in
   let window = max 1 s.cfg.top_window in
   let found = ref [] in
   let count = ref 0 in
-  let i = ref (n - 1) in
+  let steps = ref 0 in
+  let first_unsat = ref (-1) in
+  let i = ref start in
   while !count < window && !i >= 0 do
+    incr steps;
     let c = Vec.get s.learnt !i in
-    let satisfied = Arena.exists_lit s.arena c (fun l -> lit_value s l = Value.True) in
-    if not satisfied then begin
+    if not (clause_satisfied s c) then begin
+      if !first_unsat < 0 then first_unsat := !i;
       found := (c, n - 1 - !i) :: !found;
       incr count
     end;
     decr i
   done;
-  List.rev !found
+  (List.rev !found, !first_unsat, !steps)
+
+(* Cursor-backed variant: between conflicts the trail only grows, so
+   every clause the previous scan proved satisfied stays satisfied and
+   the scan may resume at the cached [top_cursor] instead of the stack
+   top.  Learning, backtracking and stack reshuffles reset the cursor
+   (see {!backtrack} / {!record_learnt} / {!reduce_db}), making the
+   skipped prefix sound by construction.  [debug_top_cursor] replays
+   the naive full scan and insists on identical picks. *)
+let find_top_clauses s =
+  let n = Vec.length s.learnt in
+  if s.top_cursor >= n then s.top_cursor <- n - 1;
+  let found, first_unsat, steps = scan_top_clauses s s.top_cursor in
+  s.top_cursor <- first_unsat;
+  s.stats.top_cursor_steps <- s.stats.top_cursor_steps + steps;
+  if s.cfg.debug_top_cursor then begin
+    let naive, _, _ = scan_top_clauses s (n - 1) in
+    if naive <> found then
+      failwith
+        (Printf.sprintf
+           "top-clause cursor out of sync: cursor pick [%s], naive pick [%s]"
+           (String.concat ";"
+              (List.map (fun (c, d) -> Printf.sprintf "%d@%d" c d) found))
+           (String.concat ";"
+              (List.map (fun (c, d) -> Printf.sprintf "%d@%d" c d) naive)))
+  end;
+  found
 
 (* Most active free variable.  The naive linear scan is what the paper
    benchmarked (Remark 1); the heap is BerkMin561's optimized
@@ -653,55 +770,54 @@ let best_vsids_literal s =
 (* nb_two(l): the number of binary clauses containing l, plus, for each
    such clause (l v u), the number of binary clauses containing ¬u — a
    rough estimate of the BCP power of setting l to 0 (Section 7).  A
-   clause counts as binary when it is unsatisfied with exactly two free
-   literals under the current partial assignment.  Computation stops at
-   the configured threshold.  Only original clauses are inspected: this
-   heuristic runs only when every learnt clause is satisfied, so no
-   learnt clause can be "binary" then. *)
-let binary_other_lit s c self =
-  (* If [c] is currently binary and contains free literal [self],
-     return its other free literal. *)
-  let ar = s.arena in
-  let other = ref (-1) in
-  let free = ref 0 in
-  let sat = ref false in
-  let n = Arena.clause_size ar c in
-  (try
-     for j = 0 to n - 1 do
-       let l = Arena.lit ar c j in
-       match lit_value s l with
-       | Value.True ->
-         sat := true;
-         raise Exit
-       | Value.Unassigned ->
-         incr free;
-         if !free > 2 then raise Exit;
-         if l <> self then other := l
-       | Value.False -> ()
-     done
-   with Exit -> ());
-  if (not !sat) && !free = 2 && !other >= 0 then Some !other else None
+   stored 2-clause counts when both its literals are free under the
+   current partial assignment (both free = unsatisfied), read straight
+   off the static {!Binary} index: the entries under [¬l] are exactly
+   the stored 2-clauses containing [l].  Computation stops at the
+   configured threshold.  Learnt 2-clauses in the index are harmless
+   here — the heuristic runs only when every learnt clause is
+   satisfied, and a satisfied clause fails the both-free test. *)
 
-let count_binary_with s l =
-  let count = ref 0 in
-  Vec.iter
-    (fun c -> if binary_other_lit s c l <> None then incr count)
-    s.occ.(l);
-  !count
+(* Currently-binary degree of [l], memoized per assignment epoch: the
+   second-hop counts of [nb_two] revisit the same neighbour literals
+   many times between two assignments, and the memo turns those
+   revisits into one array read. *)
+let bin_degree s l =
+  if s.nb_memo_epoch.(l) = s.assign_epoch then begin
+    s.stats.nb_two_cache_hits <- s.stats.nb_two_cache_hits + 1;
+    s.nb_memo.(l)
+  end
+  else begin
+    let count = ref 0 in
+    if not (Value.is_assigned s.assigns.(Lit.var l)) then begin
+      let bs = Binary.implications s.binary (Lit.negate l) in
+      let n = Vec.length bs in
+      let i = ref 0 in
+      while !i < n do
+        if not (Value.is_assigned s.assigns.(Lit.var (Vec.get bs !i)))
+        then incr count;
+        i := !i + 2
+      done
+    end;
+    s.nb_memo.(l) <- !count;
+    s.nb_memo_epoch.(l) <- s.assign_epoch;
+    !count
+  end
 
 let nb_two s l =
   let threshold = s.cfg.nb_two_threshold in
   let total = ref 0 in
-  (try
-     Vec.iter
-       (fun c ->
-         match binary_other_lit s c l with
-         | None -> ()
-         | Some u ->
-           total := !total + 1 + count_binary_with s (Lit.negate u);
-           if !total > threshold then raise Exit)
-       s.occ.(l)
-   with Exit -> ());
+  if not (Value.is_assigned s.assigns.(Lit.var l)) then begin
+    let bs = Binary.implications s.binary (Lit.negate l) in
+    let n = Vec.length bs in
+    let i = ref 0 in
+    while !total <= threshold && !i < n do
+      let u = Vec.get bs !i in
+      if not (Value.is_assigned s.assigns.(Lit.var u)) then
+        total := !total + 1 + bin_degree s (Lit.negate u);
+      i := !i + 2
+    done
+  end;
   !total
 
 (* Database-symmetrization polarity (Section 7): explore first the
@@ -795,8 +911,17 @@ let pick_branch s =
           | Some _ | None -> best := Some (l, distance, act))
         | None ->
           (* An unsatisfied clause with no free literal would be a
-             conflict, which BCP has already excluded. *)
-          assert false)
+             conflict, which BCP should have excluded.  If the
+             invariant is ever broken, skip the clause and keep
+             solving — a degraded decision beats an abort — but leave
+             a warning in the trace. *)
+          Trace.emit s.tracer
+            (Trace.Warn
+               {
+                 message =
+                   Printf.sprintf
+                     "top clause at cref %d has no free literal; skipped" c;
+               }))
       (find_top_clauses s);
     match !best with
     | Some (l, distance, _) ->
@@ -923,13 +1048,18 @@ let create ?(config = Config.berkmin) cnf =
     original = Vec.create ~dummy:Arena.cref_undef ();
     learnt = Vec.create ~dummy:Arena.cref_undef ();
     watches = Array.init nlits (fun _ -> Vec.create ~capacity:8 ~dummy:0 ());
-    occ = Array.init nlits (fun _ -> Vec.create ~capacity:4 ~dummy:Arena.cref_undef ());
+    binary = Binary.create ~num_lits:nlits;
     assigns = Array.make (max nvars 1) Value.Unassigned;
     level = Array.make (max nvars 1) 0;
     reason = Array.make (max nvars 1) Arena.cref_undef;
     trail = Vec.create ~dummy:0 ();
     trail_lim = Vec.create ~dummy:0 ();
     qhead = 0;
+    bin_qhead = 0;
+    top_cursor = -1;
+    assign_epoch = 0;
+    nb_memo = Array.make nlits 0;
+    nb_memo_epoch = Array.make nlits (-1);
     var_act;
     lit_act = Array.make nlits 0;
     vsids = Array.make nlits 0.0;
@@ -958,11 +1088,14 @@ let create ?(config = Config.berkmin) cnf =
           | Value.True -> ()
           | Value.False -> s.ok <- false
           | Value.Unassigned -> enqueue s lits.(0) Arena.cref_undef)
+        | 2 ->
+          let c = Arena.alloc s.arena ~learnt:false lits in
+          Vec.push s.original c;
+          Binary.add s.binary ~cref:c lits.(0) lits.(1)
         | _ ->
           let c = Arena.alloc s.arena ~learnt:false lits in
           Vec.push s.original c;
-          attach s c;
-          Array.iter (fun l -> Vec.push s.occ.(l) c) lits
+          attach s c
       end)
     cnf;
   s.stats.arena_bytes <- Arena.bytes s.arena;
@@ -1009,9 +1142,32 @@ let watch_invariant_violations s =
       done;
       !cnt
     in
+    let count_binary_entries lit c =
+      let bs = Binary.implications s.binary lit in
+      let n = Vec.length bs in
+      let cnt = ref 0 in
+      let i = ref 0 in
+      while !i + 1 < n do
+        if Vec.get bs (!i + 1) = c then incr cnt;
+        i := !i + 2
+      done;
+      !cnt
+    in
     let bcp_done = decision_level s = 0 && s.qhead = Vec.length s.trail in
     let check_clause c =
-      if (not (Arena.is_deleted ar c)) && Arena.clause_size ar c >= 2 then begin
+      if (not (Arena.is_deleted ar c)) && Arena.clause_size ar c = 2 then begin
+        (* Binary clauses: indexed once in each direction, never
+           watched. *)
+        let l0 = Arena.lit ar c 0 and l1 = Arena.lit ar c 1 in
+        if count_watchers l0 c + count_watchers l1 c <> 0 then
+          err "binary cref %d appears in a watch list" c;
+        let n0 = count_binary_entries (Lit.negate l0) c
+        and n1 = count_binary_entries (Lit.negate l1) c in
+        if n0 <> 1 || n1 <> 1 then
+          err "binary cref %d index entries %d/%d (expected 1/1)" c n0 n1
+      end
+      else if (not (Arena.is_deleted ar c)) && Arena.clause_size ar c > 2
+      then begin
         let l0 = Arena.lit ar c 0 and l1 = Arena.lit ar c 1 in
         let n0 = count_watchers l0 c and n1 = count_watchers l1 c in
         let sat0 = satisfied_at_level0 s c in
@@ -1031,6 +1187,22 @@ let watch_invariant_violations s =
     in
     Vec.iter check_clause s.original;
     Vec.iter check_clause s.learnt;
+    (* Every index entry must describe a live 2-clause whose literals
+       match the arena copy. *)
+    Binary.iter_entries s.binary (fun src implied c ->
+        if c < 0 || c >= Arena.size_words ar then
+          err "binary index: cref %d out of arena bounds" c
+        else if Arena.is_deleted ar c then
+          err "binary index: entry for deleted cref %d" c
+        else if Arena.clause_size ar c <> 2 then
+          err "binary index: cref %d has size %d" c (Arena.clause_size ar c)
+        else begin
+          let l0 = Arena.lit ar c 0 and l1 = Arena.lit ar c 1 in
+          let a = Lit.negate src in
+          if not ((a = l0 && implied = l1) || (a = l1 && implied = l0)) then
+            err "binary index: entry (%d -> %d) does not match cref %d" src
+              implied c
+        end);
     List.rev !errs
   end
 
@@ -1231,8 +1403,13 @@ let metrics s =
   int_gauge "global_decisions" (fun () -> st.Stats.global_decisions);
   int_gauge "conflicts" (fun () -> st.Stats.conflicts);
   int_gauge "propagations" (fun () -> st.Stats.propagations);
+  int_gauge "binary_propagations" (fun () -> st.Stats.binary_propagations);
+  int_gauge "binary_conflicts" (fun () -> st.Stats.binary_conflicts);
   int_gauge "watcher_visits" (fun () -> st.Stats.watcher_visits);
   int_gauge "blocker_hits" (fun () -> st.Stats.blocker_hits);
+  int_gauge "top_cursor_steps" (fun () -> st.Stats.top_cursor_steps);
+  int_gauge "nb_two_cache_hits" (fun () -> st.Stats.nb_two_cache_hits);
+  int_gauge "binary_index_entries" (fun () -> Binary.num_entries s.binary);
   int_gauge "restarts" (fun () -> st.Stats.restarts);
   int_gauge "reductions" (fun () -> st.Stats.reductions);
   int_gauge "gc_runs" (fun () -> st.Stats.gc_runs);

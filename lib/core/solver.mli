@@ -83,6 +83,10 @@ val num_original_clauses : t -> int
 
 val num_learnt_live : t -> int
 
+val num_binary_entries : t -> int
+(** Live [(implied_lit, reason)] pairs in the binary implication index
+    — two per stored 2-clause, original or learnt (see {!Binary}). *)
+
 val old_activity_threshold : t -> int
 (** Current value of the growing old-clause activity bar (Section 8). *)
 
@@ -100,10 +104,11 @@ val value_of : t -> int -> Value.t
 val compact : t -> unit
 (** Forces an arena compaction: every live clause is copied into a
     fresh buffer and all outstanding crefs — watch lists, trail
-    reasons, the learnt stack, original and occurrence lists — are
-    relocated.  Safe at any decision level.  The search triggers this
-    itself after every reduction that deletes clauses; the public hook
-    exists for tests and memory-pressure callers. *)
+    reasons, the learnt stack, the original list and the binary
+    implication index — are relocated.  Safe at any decision level.
+    The search triggers this itself after every reduction that deletes
+    clauses; the public hook exists for tests and memory-pressure
+    callers. *)
 
 val arena_bytes : t -> int
 (** Current clause-arena footprint in bytes (headers + literals,
@@ -113,14 +118,17 @@ val arena_wasted_bytes : t -> int
 (** Bytes owned by deleted clauses awaiting compaction. *)
 
 val watch_invariant_violations : t -> string list
-(** Audits the watched-literal invariants and returns a human-readable
-    description of each violation (empty = healthy): watch lists hold
-    well-formed (blocker, cref) pairs referencing live clauses by one
-    of their two watch slots; every live clause of size >= 2 is watched
-    exactly once from each watch literal, or not at all only when it is
-    satisfied at level 0; and — when called at decision level 0 with no
-    pending propagations — both watches of every unsatisfied clause are
-    non-false.  O(database size); for tests. *)
+(** Audits the watched-literal and binary-index invariants and returns
+    a human-readable description of each violation (empty = healthy):
+    watch lists hold well-formed (blocker, cref) pairs referencing
+    live clauses by one of their two watch slots; every live clause of
+    size > 2 is watched exactly once from each watch literal, or not
+    at all only when it is satisfied at level 0; when called at
+    decision level 0 with no pending propagations, both watches of
+    every unsatisfied clause are non-false; every live 2-clause is
+    indexed exactly once in each direction and never watched; and
+    every index entry matches a live 2-clause in the arena.
+    O(database size); for tests. *)
 
 val check_model : Cnf.t -> bool array -> bool
 (** [check_model cnf m] re-evaluates the formula under [m]. *)

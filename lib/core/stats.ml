@@ -6,8 +6,12 @@ type t = {
   mutable global_decisions : int;
   mutable conflicts : int;
   mutable propagations : int;
+  mutable binary_propagations : int;
+  mutable binary_conflicts : int;
   mutable watcher_visits : int;
   mutable blocker_hits : int;
+  mutable top_cursor_steps : int;
+  mutable nb_two_cache_hits : int;
   mutable restarts : int;
   mutable reductions : int;
   mutable gc_runs : int;
@@ -34,8 +38,12 @@ let create () = {
   global_decisions = 0;
   conflicts = 0;
   propagations = 0;
+  binary_propagations = 0;
+  binary_conflicts = 0;
   watcher_visits = 0;
   blocker_hits = 0;
+  top_cursor_steps = 0;
+  nb_two_cache_hits = 0;
   restarts = 0;
   reductions = 0;
   gc_runs = 0;
@@ -60,8 +68,12 @@ let reset t =
   t.global_decisions <- 0;
   t.conflicts <- 0;
   t.propagations <- 0;
+  t.binary_propagations <- 0;
+  t.binary_conflicts <- 0;
   t.watcher_visits <- 0;
   t.blocker_hits <- 0;
+  t.top_cursor_steps <- 0;
+  t.nb_two_cache_hits <- 0;
   t.restarts <- 0;
   t.reductions <- 0;
   t.gc_runs <- 0;
@@ -135,8 +147,12 @@ let to_json ?worker ?seconds t =
       "global_decisions", Json.Int t.global_decisions;
       "conflicts", Json.Int t.conflicts;
       "propagations", Json.Int t.propagations;
+      "binary_propagations", Json.Int t.binary_propagations;
+      "binary_conflicts", Json.Int t.binary_conflicts;
       "watcher_visits", Json.Int t.watcher_visits;
       "blocker_hits", Json.Int t.blocker_hits;
+      "top_cursor_steps", Json.Int t.top_cursor_steps;
+      "nb_two_cache_hits", Json.Int t.nb_two_cache_hits;
       "restarts", Json.Int t.restarts;
       "reductions", Json.Int t.reductions;
       "gc_runs", Json.Int t.gc_runs;
@@ -171,17 +187,18 @@ let to_json ?worker ?seconds t =
 let pp fmt t =
   Format.fprintf fmt
     "decisions      : %d (top-clause %d, global %d)@\n\
-     conflicts      : %d@\n\
-     propagations   : %d@\n\
+     conflicts      : %d (binary %d)@\n\
+     propagations   : %d (binary %d)@\n\
      watcher visits : %d (blocker hits %d)@\n\
      restarts       : %d (reductions %d)@\n\
      learnt         : %d (avg len %.1f, removed %d)@\n\
      peak live DB   : %d clauses@\n\
      arena          : %d bytes (%d GCs, %d bytes reclaimed)"
     t.decisions t.top_clause_decisions t.global_decisions t.conflicts
-    t.propagations t.watcher_visits t.blocker_hits t.restarts t.reductions
-    t.learnt_total (avg_learnt_length t) t.removed_clauses t.max_live_clauses
-    t.arena_bytes t.gc_runs t.gc_reclaimed_bytes
+    t.binary_conflicts t.propagations t.binary_propagations t.watcher_visits
+    t.blocker_hits t.restarts t.reductions t.learnt_total
+    (avg_learnt_length t) t.removed_clauses t.max_live_clauses t.arena_bytes
+    t.gc_runs t.gc_reclaimed_bytes
 
 let pp_line fmt t =
   Format.fprintf fmt "dec=%d conf=%d prop=%d rst=%d learnt=%d"

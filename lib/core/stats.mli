@@ -13,12 +13,24 @@ type t = {
       (** fallback decisions when every learnt clause was satisfied *)
   mutable conflicts : int;
   mutable propagations : int;
+  mutable binary_propagations : int;
+      (** literals implied straight from the binary implication index,
+          bypassing the watch lists and the arena entirely *)
+  mutable binary_conflicts : int;
+      (** conflicts detected inside the binary implication drain *)
   mutable watcher_visits : int;
       (** watcher pairs examined by BCP (each is a potential clause
           inspection) *)
   mutable blocker_hits : int;
       (** watcher visits short-circuited because the cached blocker
           literal was already true — no arena read happened *)
+  mutable top_cursor_steps : int;
+      (** learnt-stack entries examined by the cached top-clause
+          cursor; the naive per-decision rescan would pay one step per
+          clause above the first unsatisfied one, every time *)
+  mutable nb_two_cache_hits : int;
+      (** [nb_two] neighbourhood counts answered from the per-epoch
+          memo instead of rescanning the binary index *)
   mutable restarts : int;
   mutable reductions : int;
   mutable gc_runs : int;  (** arena compactions performed *)

@@ -25,6 +25,7 @@ type event =
       learnt_live : int;
       seconds : float;
     }
+  | Warn of { message : string }
 
 type sink =
   | Null
@@ -117,6 +118,9 @@ let event_fields = function
         "learnt_live", Json.Int learnt_live;
         "seconds", Json.Float seconds;
       ]
+  | Warn { message } ->
+    Json.Obj
+      [ "event", Json.String "warn"; "message", Json.String message ]
 
 let event_to_json ?worker event =
   let fields =

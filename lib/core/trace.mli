@@ -43,6 +43,9 @@ type event =
       learnt_live : int;
       seconds : float;  (** CPU seconds since the solve started *)
     }
+  | Warn of { message : string }
+      (** a broken-but-survivable invariant the solver degraded
+          around instead of aborting *)
 
 type sink =
   | Null

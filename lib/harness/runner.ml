@@ -15,8 +15,11 @@ type outcome = {
   conflicts : int;
   decisions : int;
   propagations : int;
+  binary_propagations : int;
   watcher_visits : int;
   blocker_hits : int;
+  top_cursor_steps : int;
+  nb_two_cache_hits : int;
   gc_runs : int;
   gc_reclaimed_bytes : int;
   learnt_total : int;
@@ -50,10 +53,13 @@ let outcome_to_json o =
       "conflicts", Json.Int o.conflicts;
       "decisions", Json.Int o.decisions;
       "propagations", Json.Int o.propagations;
+      "binary_propagations", Json.Int o.binary_propagations;
       "props_per_sec", Json.Float (props_per_sec o);
       "propagations_per_sec", Json.Float (props_per_sec o);
       "watcher_visits", Json.Int o.watcher_visits;
       "blocker_hits", Json.Int o.blocker_hits;
+      "top_cursor_steps", Json.Int o.top_cursor_steps;
+      "nb_two_cache_hits", Json.Int o.nb_two_cache_hits;
       "gc_runs", Json.Int o.gc_runs;
       "gc_reclaimed_bytes", Json.Int o.gc_reclaimed_bytes;
       "learnt_total", Json.Int o.learnt_total;
@@ -97,8 +103,11 @@ let run_instance ?(budget = default_budget) config inst =
     conflicts = st.Berkmin.Stats.conflicts;
     decisions = st.Berkmin.Stats.decisions;
     propagations = st.Berkmin.Stats.propagations;
+    binary_propagations = st.Berkmin.Stats.binary_propagations;
     watcher_visits = st.Berkmin.Stats.watcher_visits;
     blocker_hits = st.Berkmin.Stats.blocker_hits;
+    top_cursor_steps = st.Berkmin.Stats.top_cursor_steps;
+    nb_two_cache_hits = st.Berkmin.Stats.nb_two_cache_hits;
     gc_runs = st.Berkmin.Stats.gc_runs;
     gc_reclaimed_bytes = st.Berkmin.Stats.gc_reclaimed_bytes;
     learnt_total = st.Berkmin.Stats.learnt_total;
@@ -157,8 +166,11 @@ let run_instance_portfolio ?(budget = default_budget) config inst =
       conflicts = st.Berkmin.Stats.conflicts;
       decisions = st.Berkmin.Stats.decisions;
       propagations = st.Berkmin.Stats.propagations;
+      binary_propagations = st.Berkmin.Stats.binary_propagations;
       watcher_visits = st.Berkmin.Stats.watcher_visits;
       blocker_hits = st.Berkmin.Stats.blocker_hits;
+      top_cursor_steps = st.Berkmin.Stats.top_cursor_steps;
+      nb_two_cache_hits = st.Berkmin.Stats.nb_two_cache_hits;
       gc_runs = st.Berkmin.Stats.gc_runs;
       gc_reclaimed_bytes = st.Berkmin.Stats.gc_reclaimed_bytes;
       learnt_total = st.Berkmin.Stats.learnt_total;

@@ -18,8 +18,12 @@ type outcome = {
   conflicts : int;
   decisions : int;
   propagations : int;
+  binary_propagations : int;
+      (** literals implied straight from the binary implication index *)
   watcher_visits : int;  (** watcher pairs examined by BCP *)
   blocker_hits : int;  (** visits short-circuited by a true blocker *)
+  top_cursor_steps : int;  (** learnt-stack entries the decision cursor read *)
+  nb_two_cache_hits : int;  (** memoized nb_two neighbourhood lookups *)
   gc_runs : int;  (** arena compactions *)
   gc_reclaimed_bytes : int;  (** clause bytes physically reclaimed *)
   learnt_total : int;

@@ -138,6 +138,30 @@ let prop_wide_clauses =
       done;
       solver_verdict cnf = oracle_verdict cnf)
 
+let prop_cursor_matches_naive =
+  (* The cached top-clause cursor must be invisible: under
+     [debug_top_cursor] the solver replays the naive full-stack scan
+     after every cursor-backed lookup and aborts on any divergence,
+     and the decision sequence — every (variable, value) pair, in
+     order — must be identical with the cursor check on and off. *)
+  QCheck.Test.make ~name:"top-clause cursor picks the naive scan's decisions"
+    ~count:300 random_cnf_gen
+    (fun params ->
+      let cnf = build params in
+      let run config =
+        let s = Solver.create ~config cnf in
+        let decisions = ref [] in
+        Solver.set_decision_hook s (fun v b -> decisions := (v, b) :: !decisions);
+        let verdict =
+          match Solver.solve s with
+          | Solver.Sat _ -> true
+          | Solver.Unsat -> false
+          | Solver.Unknown -> QCheck.Test.fail_report "unexpected Unknown"
+        in
+        (verdict, List.rev !decisions)
+      in
+      run (Config.with_debug_top_cursor Config.berkmin) = run Config.berkmin)
+
 let prop_deterministic =
   QCheck.Test.make ~name:"runs are reproducible" ~count:100 random_cnf_gen
     (fun params ->
@@ -203,6 +227,42 @@ let test_fuzz_differential_regression () =
   Alcotest.check Alcotest.bool "campaign decided UNSAT rounds" true
     (report.Fuzz_runner.unsat > 0)
 
+let test_fuzz_binary_layer_campaign () =
+  (* PR-5 regression tier: the binary implication layer reordered BCP
+     (binary implications drain before any long-clause watcher), so
+     this campaign races the new engine against its own cursor
+     cross-check, the pre-existing Chaff configuration and the DPLL
+     oracle.  Any verdict change, invalid model, bogus proof or crash
+     introduced by the new propagation order fails the round. *)
+  let config =
+    {
+      Fuzz_runner.default with
+      Fuzz_runner.seed = 13;
+      rounds = 200;
+      solvers =
+        Some
+          [
+            Fuzz_oracle.cdcl ();
+            Fuzz_oracle.cdcl
+              ~config:(Config.with_debug_top_cursor Config.berkmin) ();
+            Fuzz_oracle.cdcl ~config:Config.chaff ();
+            Fuzz_oracle.dpll ();
+          ];
+    }
+  in
+  let report = Fuzz_runner.run config in
+  let describe ce =
+    Berkmin_types.Json.to_string (Fuzz_runner.counterexample_to_json ce)
+  in
+  Alcotest.check
+    Alcotest.(list string)
+    "no counterexample in 200 seeded rounds" []
+    (List.map describe report.Fuzz_runner.counterexamples);
+  Alcotest.check Alcotest.bool "campaign decided SAT rounds" true
+    (report.Fuzz_runner.sat > 0);
+  Alcotest.check Alcotest.bool "campaign decided UNSAT rounds" true
+    (report.Fuzz_runner.unsat > 0)
+
 let prop_gc_never_changes_verdict =
   QCheck.Test.make ~name:"aggressive GC schedule preserves every verdict"
     ~count:200 random_cnf_gen
@@ -226,11 +286,15 @@ let () =
           qtest prop_preprocess_preserves_verdict;
           qtest prop_budget_never_lies;
           qtest prop_deterministic;
+          qtest prop_cursor_matches_naive;
         ] );
       ( "differential-regression",
         [
           Alcotest.test_case "seeded 200-round fuzz campaign, four oracles"
             `Quick test_fuzz_differential_regression;
+          Alcotest.test_case
+            "seed-13 binary-layer campaign vs chaff, cursor check and dpll"
+            `Quick test_fuzz_binary_layer_campaign;
           qtest prop_gc_never_changes_verdict;
         ] );
     ]
