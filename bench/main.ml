@@ -367,6 +367,13 @@ let diff_baseline path json =
 let perf_counters = [ "watcher_visits"; "propagations" ]
 let perf_tolerance = 0.10
 
+(* Pure relative tolerance is flaky on tiny counters: a baseline of 0
+   makes any activity an infinite ratio, and a 9 -> 11 jump on a
+   hundred-propagation instance is noise, not a regression.  A counter
+   therefore regresses only when it exceeds the relative tolerance AND
+   grows by more than this absolute slack. *)
+let perf_abs_slack = 500
+
 let counter_map json =
   match Json.member "instances" json with
   | Some (Json.List items) ->
@@ -406,7 +413,9 @@ let diff_perf_baseline path json =
               if bv = 0 then if v = 0 then 1.0 else infinity
               else float_of_int v /. float_of_int bv
             in
-            let regressed = ratio > 1.0 +. perf_tolerance in
+            let regressed =
+              ratio > 1.0 +. perf_tolerance && v - bv > perf_abs_slack
+            in
             if regressed then
               regressions :=
                 Printf.sprintf "%s: %s %d -> %d (%.2fx)" name key bv v ratio
@@ -440,6 +449,7 @@ let diff_perf_baseline path json =
       [
         "baseline", Json.String path;
         "tolerance", Json.Float perf_tolerance;
+        "abs_slack", Json.Int perf_abs_slack;
         "regressions", Json.Int (List.length regressions);
         "comparisons", Json.List (List.rev !rows);
       ]
@@ -449,6 +459,73 @@ let diff_perf_baseline path json =
 let add_member key value = function
   | Json.Obj fields -> Json.Obj (fields @ [ (key, value) ])
   | json -> json
+
+(* ------------------------------------------------------------------ *)
+(* Incremental equivalence-checking workload: one miter over the
+   ripple-carry/carry-select adder pair, one probe per output.  The
+   resident solver answers every probe from a single instance (learnt
+   clauses and heuristic state carried across probes); the fresh lane
+   restarts a solver per probe on the same CNF.  Gate: the resident
+   lane's total conflicts must be strictly below the fresh lane's —
+   the measurable payoff of incremental solving.                       *)
+
+module Miter = Berkmin_circuit.Miter
+module Tseitin = Berkmin_circuit.Tseitin
+
+let run_ec_incremental ~width =
+  let ripple, carry_select = Circuit_bench.adder_circuits ~width in
+  let miter, probes = Miter.build_probed ripple carry_select in
+  let mapping = Tseitin.encode miter in
+  let assumps_of (_, node) = [ Lit.pos mapping.Tseitin.node_var.(node) ] in
+  let conflicts s = (Berkmin.Solver.stats s).Berkmin.Stats.conflicts in
+  let propagations s = (Berkmin.Solver.stats s).Berkmin.Stats.propagations in
+  let unexpected = ref [] in
+  let expect_unsat lane name result =
+    match result with
+    | Berkmin.Solver.Unsat -> ()
+    | Berkmin.Solver.Sat _ | Berkmin.Solver.Unknown ->
+      unexpected := Printf.sprintf "%s probe %s: not UNSAT" lane name
+                    :: !unexpected
+  in
+  let resident = Berkmin.Solver.create mapping.Tseitin.cnf in
+  List.iter
+    (fun probe ->
+      expect_unsat "resident" (fst probe)
+        (Berkmin.Solver.solve ~assumps:(assumps_of probe) resident))
+    probes;
+  let fresh_conflicts = ref 0 and fresh_propagations = ref 0 in
+  List.iter
+    (fun probe ->
+      let s = Berkmin.Solver.create mapping.Tseitin.cnf in
+      expect_unsat "fresh" (fst probe)
+        (Berkmin.Solver.solve ~assumps:(assumps_of probe) s);
+      fresh_conflicts := !fresh_conflicts + conflicts s;
+      fresh_propagations := !fresh_propagations + propagations s)
+    probes;
+  let rc = conflicts resident and fc = !fresh_conflicts in
+  let ok = !unexpected = [] && rc < fc in
+  Printf.printf
+    "ec-incremental w%d: %d probes, resident %d conflicts vs fresh %d (%s)\n"
+    width (List.length probes) rc fc
+    (if ok then "PASS" else "FAIL");
+  List.iter (fun l -> Printf.printf "  %s\n" l) (List.rev !unexpected);
+  let json =
+    Json.Obj
+      [
+        ( "ec_incremental",
+          Json.Obj
+            [
+              "width", Json.Int width;
+              "probes", Json.Int (List.length probes);
+              "resident_conflicts", Json.Int rc;
+              "fresh_conflicts", Json.Int fc;
+              "resident_propagations", Json.Int (propagations resident);
+              "fresh_propagations", Json.Int !fresh_propagations;
+              "ok", Json.Bool ok;
+            ] );
+      ]
+  in
+  (json, if ok then 0 else 1)
 
 let write_json path json =
   let text = Json.to_string_pretty json ^ "\n" in
@@ -472,10 +549,15 @@ let experiments_json () =
     ]
 
 let run quick bechamel extensions only list_names smoke workers json_out
-    baseline perf_baseline =
+    baseline perf_baseline ec_incremental =
   if list_names then begin
     List.iter print_endline Experiments.names;
     0
+  end
+  else if ec_incremental then begin
+    let json, status = run_ec_incremental ~width:16 in
+    Option.iter (fun path -> write_json path json) json_out;
+    status
   end
   else if workers > 1 then begin
     let json, status = run_parallel ~workers in
@@ -612,9 +694,23 @@ let perf_baseline =
           "Run the smoke suite and compare its deterministic work \
            counters (watcher_visits, propagations — never timings) \
            against the JSON summary in $(docv); any counter more than \
-           10% above its baseline exits non-zero.  The per-counter \
-           diff is embedded in the --json summary under \
+           10% AND more than an absolute slack floor above its \
+           baseline exits non-zero (the floor keeps near-zero \
+           counters from tripping the relative gate on noise).  The \
+           per-counter diff is embedded in the --json summary under \
            \"perf_baseline\".")
+
+let ec_incremental =
+  Arg.(
+    value & flag
+    & info [ "ec-incremental" ]
+        ~doc:
+          "Run the incremental equivalence-checking workload: probe \
+           every output of an adder miter on one resident solver and \
+           again with a fresh solver per probe; exits non-zero unless \
+           the resident lane spends strictly fewer total conflicts.  \
+           The comparison lands in the --json summary under \
+           \"ec_incremental\".")
 
 let cmd =
   let doc = "Regenerate the BerkMin paper's tables and figures" in
@@ -622,6 +718,6 @@ let cmd =
     (Cmd.info "berkmin-bench" ~doc)
     Term.(
       const run $ quick $ bechamel $ extensions $ only $ list_names $ smoke
-      $ workers $ json_out $ baseline $ perf_baseline)
+      $ workers $ json_out $ baseline $ perf_baseline $ ec_incremental)
 
 let () = exit (Cmd.eval' cmd)

@@ -2,12 +2,22 @@
    own deployment domain (Cadence equivalence checking).
 
    Usage: ec a.blif b.blif
-   Exit codes: 0 equivalent, 1 inequivalent, 2 error/unknown. *)
+   Exit codes: 0 equivalent, 1 inequivalent, 2 error/unknown.
 
+   Two flows share the miter construction:
+   - one-shot (default): a single CNF with the ORed miter output
+     forced to 1, one solve call;
+   - incremental (--incremental): the miter is encoded once with no
+     output constraint and one resident solver answers a per-output
+     probe under an assumption on that output's XOR difference node,
+     reusing learnt clauses and heuristic state across probes. *)
+
+open Berkmin_types
 module C = Berkmin_circuit.Circuit
 module Blif = Berkmin_circuit.Blif
 module M = Berkmin_circuit.Miter
 module T = Berkmin_circuit.Tseitin
+module Solver = Berkmin.Solver
 
 let load path =
   try Ok (Blif.parse_file path) with
@@ -15,7 +25,84 @@ let load path =
   | Blif.Parse_error { line; message } ->
     Error (Printf.sprintf "%s:%d: %s" path line message)
 
-let run file_a file_b strategy max_conflicts max_seconds verbose =
+let report_counterexample miter mapping model file_a a file_b b =
+  let inputs = M.interpret_model miter mapping model in
+  Printf.printf "NOT EQUIVALENT; differentiating input:\n";
+  List.iteri
+    (fun i name ->
+      Printf.printf "  %s = %d\n" name (if inputs.(i) then 1 else 0))
+    (C.input_names miter);
+  let oa = C.eval_outputs a inputs and ob = C.eval_outputs b inputs in
+  List.iter
+    (fun (name, va) ->
+      let vb = List.assoc name ob in
+      if va <> vb then
+        Printf.printf "  output %s: %s=%d %s=%d\n" name file_a
+          (if va then 1 else 0)
+          file_b
+          (if vb then 1 else 0))
+    oa
+
+(* Per-probe budget on a shared solver: the solver's [max_conflicts]
+   is absolute over its whole life, so each probe's allowance is
+   rebased on the conflicts already spent by earlier probes. *)
+let probe_budget solver max_conflicts max_seconds =
+  {
+    Solver.max_conflicts =
+      Option.map
+        (fun n -> (Solver.stats solver).Berkmin.Stats.conflicts + n)
+        max_conflicts;
+    max_seconds;
+  }
+
+let run_incremental ?config miter probes max_conflicts max_seconds verbose
+    file_a a file_b b =
+  let mapping = T.encode miter in
+  let solver = Solver.create ?config mapping.T.cnf in
+  let rec probe = function
+    | [] ->
+      Printf.printf "EQUIVALENT (%d outputs probed, %d conflicts total)\n"
+        (List.length probes)
+        (Solver.stats solver).Berkmin.Stats.conflicts;
+      0
+    | (name, node) :: rest -> (
+      let assumps = [ Lit.pos mapping.T.node_var.(node) ] in
+      let before = (Solver.stats solver).Berkmin.Stats.conflicts in
+      let budget = probe_budget solver max_conflicts max_seconds in
+      match Solver.solve ~budget ~assumps solver with
+      | Solver.Unsat ->
+        if verbose then
+          Printf.printf "  probe %s: equivalent (+%d conflicts)\n" name
+            ((Solver.stats solver).Berkmin.Stats.conflicts - before);
+        probe rest
+      | Solver.Sat model ->
+        if verbose then Printf.printf "  probe %s: differs\n" name;
+        report_counterexample miter mapping model file_a a file_b b;
+        1
+      | Solver.Unknown ->
+        Printf.printf "UNKNOWN (budget exhausted probing output %s)\n" name;
+        2)
+  in
+  probe probes
+
+let run_oneshot ?config miter max_conflicts max_seconds file_a a file_b b =
+  let mapping = T.encode miter in
+  T.assert_output miter mapping "miter" true;
+  let budget = { Solver.max_conflicts; max_seconds } in
+  let solver = Solver.create ?config mapping.T.cnf in
+  match Solver.solve ~budget solver with
+  | Solver.Unsat ->
+    Printf.printf "EQUIVALENT (%d conflicts)\n"
+      (Solver.stats solver).Berkmin.Stats.conflicts;
+    0
+  | Solver.Sat model ->
+    report_counterexample miter mapping model file_a a file_b b;
+    1
+  | Solver.Unknown ->
+    Printf.printf "UNKNOWN (budget exhausted)\n";
+    2
+
+let run file_a file_b strategy max_conflicts max_seconds incremental verbose =
   match List.assoc_opt strategy Berkmin.Config.presets with
   | None ->
     Printf.eprintf
@@ -25,49 +112,25 @@ let run file_a file_b strategy max_conflicts max_seconds verbose =
       (String.concat ", " (List.map fst Berkmin.Config.presets));
     2
   | Some config -> (
-  let config = Some config in
-  match load file_a, load file_b with
-  | Error e, _ | _, Error e ->
-    Printf.eprintf "berkmin-ec: %s\n" e;
-    2
-  | Ok a, Ok b -> (
-    if verbose then begin
-      Format.printf "%s: %a@." file_a C.pp_stats a;
-      Format.printf "%s: %a@." file_b C.pp_stats b
-    end;
-    match M.build a b with
-    | exception Invalid_argument msg ->
-      Printf.eprintf "incompatible interfaces: %s\n" msg;
+    let config = Some config in
+    match load file_a, load file_b with
+    | Error e, _ | _, Error e ->
+      Printf.eprintf "berkmin-ec: %s\n" e;
       2
-    | miter -> (
-      let mapping = T.encode miter in
-      T.assert_output miter mapping "miter" true;
-      let budget = { Berkmin.Solver.max_conflicts; max_seconds } in
-      let solver = Berkmin.Solver.create ?config mapping.T.cnf in
-      match Berkmin.Solver.solve ~budget solver with
-      | Berkmin.Solver.Unsat ->
-        Printf.printf "EQUIVALENT (%d conflicts)\n"
-          (Berkmin.Solver.stats solver).Berkmin.Stats.conflicts;
-        0
-      | Berkmin.Solver.Sat model ->
-        let inputs = M.interpret_model miter mapping model in
-        Printf.printf "NOT EQUIVALENT; differentiating input:\n";
-        List.iteri
-          (fun i name ->
-            Printf.printf "  %s = %d\n" name (if inputs.(i) then 1 else 0))
-          (C.input_names miter);
-        let oa = C.eval_outputs a inputs and ob = C.eval_outputs b inputs in
-        List.iter
-          (fun (name, va) ->
-            let vb = List.assoc name ob in
-            if va <> vb then
-              Printf.printf "  output %s: %s=%d %s=%d\n" name file_a
-                (if va then 1 else 0) file_b (if vb then 1 else 0))
-          oa;
-        1
-      | Berkmin.Solver.Unknown ->
-        Printf.printf "UNKNOWN (budget exhausted)\n";
-        2)))
+    | Ok a, Ok b -> (
+      if verbose then begin
+        Format.printf "%s: %a@." file_a C.pp_stats a;
+        Format.printf "%s: %a@." file_b C.pp_stats b
+      end;
+      match M.build_probed a b with
+      | exception Invalid_argument msg ->
+        Printf.eprintf "incompatible interfaces: %s\n" msg;
+        2
+      | miter, probes ->
+        if incremental then
+          run_incremental ?config miter probes max_conflicts max_seconds
+            verbose file_a a file_b b
+        else run_oneshot ?config miter max_conflicts max_seconds file_a a file_b b))
 
 open Cmdliner
 
@@ -85,20 +148,32 @@ let strategy =
 let max_conflicts =
   Arg.(
     value & opt (some int) None
-    & info [ "max-conflicts" ] ~docv:"N" ~doc:"Abort after N conflicts.")
+    & info [ "max-conflicts" ] ~docv:"N"
+        ~doc:"Abort after N conflicts (per probe with --incremental).")
 
 let max_seconds =
   Arg.(
     value & opt (some float) None
-    & info [ "max-seconds" ] ~docv:"S" ~doc:"Abort after S CPU seconds.")
+    & info [ "max-seconds" ] ~docv:"S"
+        ~doc:"Abort after S CPU seconds (per probe with --incremental).")
 
-let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print netlist stats.")
+let incremental =
+  Arg.(
+    value & flag
+    & info [ "i"; "incremental" ]
+        ~doc:
+          "Probe each output separately under assumptions on one \
+           resident solver instead of solving the ORed miter once.")
+
+let verbose =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print netlist and per-probe stats.")
 
 let cmd =
   let doc = "SAT-based combinational equivalence checking of BLIF netlists" in
   Cmd.v
     (Cmd.info "berkmin-ec" ~doc)
-    Term.(const run $ file_a $ file_b $ strategy $ max_conflicts $ max_seconds
-          $ verbose)
+    Term.(
+      const run $ file_a $ file_b $ strategy $ max_conflicts $ max_seconds
+      $ incremental $ verbose)
 
 let () = exit (Cmd.eval' cmd)

@@ -34,7 +34,8 @@ let write_artifacts ~prefix ~seed ce =
     Dimacs.write_file mini m;
     Printf.printf "minimized counterexample written to %s\n" mini
 
-let run seed rounds max_vars max_mutations shrink json_out prefix =
+let run seed rounds max_vars max_mutations shrink incremental_queries json_out
+    prefix =
   let config =
     {
       Runner.default with
@@ -43,6 +44,7 @@ let run seed rounds max_vars max_mutations shrink json_out prefix =
       max_vars;
       max_mutations;
       shrink;
+      incremental_queries;
     }
   in
   let report = Runner.run ~log:print_endline config in
@@ -94,6 +96,20 @@ let shrink =
           "Delta-debug each counterexample down to a minimal formula \
            that still triggers the same oracle failure.")
 
+let incremental_queries =
+  Arg.(
+    value
+    & opt int Runner.default.Runner.incremental_queries
+    & info
+        [ "incremental-queries" ]
+        ~docv:"N"
+        ~doc:
+          "Random assumption-set queries per round cross-checked by the \
+           incremental oracle (resident solver vs fresh rebuild); 0 \
+           disables the lane.  The per-round query stream derives from \
+           the master seed either way, so toggling this never perturbs \
+           the other oracles.")
+
 let json_out =
   Arg.(
     value
@@ -116,7 +132,7 @@ let cmd =
   Cmd.v
     (Cmd.info "berkmin-fuzz" ~doc)
     Term.(
-      const run $ seed $ rounds $ max_vars $ max_mutations $ shrink $ json_out
-      $ prefix)
+      const run $ seed $ rounds $ max_vars $ max_mutations $ shrink
+      $ incremental_queries $ json_out $ prefix)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,149 @@
+(* Scripted driver for the solver daemon — the CI smoke harness.
+
+   Reads a JSONL script where each line is a protocol request object,
+   optionally tagged with a "client" integer.  Each distinct tag gets
+   its own socket connection (opened at the first request and held
+   until exit), so a script interleaving tags exercises the daemon's
+   multiplexing with genuinely concurrent clients while serverctl's
+   strict request/response lockstep keeps the transcript
+   deterministic.
+
+   Responses are printed one per line.  --golden normalizes them for
+   transcript diffing: volatile fields (latencies, search-effort
+   counters, models) are masked so the golden file pins the protocol
+   semantics — verdicts, cores, errors, session lifecycle — without
+   churning on every heuristic change.  Lines starting with '#' and
+   blank lines in the script are skipped. *)
+
+open Berkmin_types
+module Client = Berkmin_server.Client
+
+(* Fields whose values depend on wall clocks or search heuristics:
+   masked under --golden so transcripts survive solver evolution. *)
+let volatile =
+  [
+    "latency_ms"; "conflicts"; "decisions"; "propagations"; "restarts";
+    "arena_bytes"; "learnt_live"; "requests";
+  ]
+
+let rec normalize json =
+  match json with
+  | Json.Obj fields ->
+    Json.Obj
+      (List.filter_map
+         (fun (k, v) ->
+           if k = "latency_ms" then None
+           else if List.mem k volatile then Some (k, Json.String "_")
+           else
+             match k, v with
+             | "model", Json.List lits ->
+               Some ("model_vars", Json.Int (List.length lits))
+             | "core", Json.List lits ->
+               let ints =
+                 List.filter_map Json.to_int_opt lits
+                 |> List.sort compare
+                 |> List.map (fun n -> Json.Int n)
+               in
+               Some ("core", Json.List ints)
+             | _ -> Some (k, normalize v))
+         fields)
+  | Json.List items -> Json.List (List.map normalize items)
+  | _ -> json
+
+let read_script path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc lineno =
+        match input_line ic with
+        | exception End_of_file -> List.rev acc
+        | line ->
+          let trimmed = String.trim line in
+          if trimmed = "" || trimmed.[0] = '#' then go acc (lineno + 1)
+          else (
+            match Json.of_string trimmed with
+            | json -> go ((lineno, json) :: acc) (lineno + 1)
+            | exception Json.Parse_error msg ->
+              Printf.eprintf "%s:%d: %s\n" path lineno msg;
+              exit 2)
+      in
+      go [] 1)
+
+(* Splits the "client" tag off a request object. *)
+let client_of json =
+  match json with
+  | Json.Obj fields ->
+    let tag =
+      match List.assoc_opt "client" fields with
+      | Some j -> Option.value ~default:0 (Json.to_int_opt j)
+      | None -> 0
+    in
+    (tag, Json.Obj (List.filter (fun (k, _) -> k <> "client") fields))
+  | _ -> (0, json)
+
+let run socket script golden =
+  let requests = read_script script in
+  let conns : (int, Client.t) Hashtbl.t = Hashtbl.create 4 in
+  let conn tag =
+    match Hashtbl.find_opt conns tag with
+    | Some c -> c
+    | None ->
+      let c =
+        try Client.connect ~path:socket
+        with Unix.Unix_error (err, _, _) ->
+          Printf.eprintf "serverctl: cannot connect to %s: %s\n" socket
+            (Unix.error_message err);
+          exit 2
+      in
+      Hashtbl.replace conns tag c;
+      c
+  in
+  let failures = ref 0 in
+  List.iter
+    (fun (lineno, json) ->
+      let tag, request = client_of json in
+      match Client.rpc (conn tag) request with
+      | response ->
+        (match Json.member "ok" response with
+        | Some (Json.Bool true) -> ()
+        | _ -> incr failures);
+        let shown = if golden then normalize response else response in
+        print_string (Json.to_string shown);
+        print_newline ()
+      | exception Failure msg ->
+        Printf.eprintf "%s:%d: %s\n" script lineno msg;
+        exit 2)
+    requests;
+  Hashtbl.iter (fun _ c -> Client.close c) conns;
+  (* protocol errors are script-visible (the golden transcript records
+     them), so they only fail the run when unexpected — which the diff
+     against the golden file decides, not the exit code *)
+  ignore !failures;
+  0
+
+open Cmdliner
+
+let socket =
+  Arg.(
+    required & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Daemon socket to connect to.")
+
+let script =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"SCRIPT.jsonl")
+
+let golden =
+  Arg.(
+    value & flag
+    & info [ "golden" ]
+        ~doc:
+          "Normalize responses for transcript diffing: mask volatile \
+           counters and models, sort cores.")
+
+let cmd =
+  let doc = "drive a scripted multi-client session against berkmin-serverd" in
+  Cmd.v
+    (Cmd.info "berkmin-serverctl" ~doc)
+    Term.(const run $ socket $ script $ golden)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,86 @@
+(* Persistent solver daemon.
+
+   Keeps hot solver instances resident between requests so incremental
+   clients (equivalence checkers, refinement loops) reuse learnt
+   clauses and heuristic state across queries.
+
+   Usage:
+     berkmin-serverd --socket /tmp/berkmin.sock     # select-loop daemon
+     berkmin-serverd --stdio                        # one client on stdio
+
+   Speaks JSONL (one request object per line); see docs/SERVER.md. *)
+
+module Server = Berkmin_server.Server
+module Trace = Berkmin.Trace
+
+let run socket stdio trace_file strategy max_sessions =
+  match List.assoc_opt strategy Berkmin.Config.presets with
+  | None ->
+    Printf.eprintf
+      "berkmin-serverd: unknown strategy %S; available: %s\n"
+      strategy
+      (String.concat ", " (List.map fst Berkmin.Config.presets));
+    2
+  | Some config -> (
+    let server = Server.create ~config ~max_sessions () in
+    (match trace_file with
+    | Some path -> Trace.set_sink (Server.trace server) (Trace.open_jsonl path)
+    | None -> ());
+    let finish code =
+      Server.close server;
+      code
+    in
+    match socket, stdio with
+    | Some path, false ->
+      (match Server.serve_socket server ~path with
+      | () -> finish 0
+      | exception Unix.Unix_error (err, fn, arg) ->
+        Printf.eprintf "berkmin-serverd: %s(%s): %s\n" fn arg
+          (Unix.error_message err);
+        finish 2)
+    | None, _ ->
+      (* stdio is the default transport *)
+      Server.serve_channels server stdin stdout;
+      finish 0
+    | Some _, true ->
+      Printf.eprintf "berkmin-serverd: --socket and --stdio are exclusive\n";
+      finish 2)
+
+open Cmdliner
+
+let socket =
+  Arg.(
+    value & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Serve a Unix-domain socket at $(docv) (replacing a stale one).")
+
+let stdio =
+  Arg.(
+    value & flag
+    & info [ "stdio" ] ~doc:"Serve a single client on stdin/stdout (default).")
+
+let trace_file =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Write one JSONL server_request event per serviced request.")
+
+let strategy =
+  Arg.(
+    value & opt string "berkmin"
+    & info [ "s"; "strategy" ] ~docv:"NAME"
+        ~doc:"Solver preset seeding every session.")
+
+let max_sessions =
+  Arg.(
+    value & opt int 64
+    & info [ "max-sessions" ] ~docv:"N"
+        ~doc:"Refuse new sessions beyond $(docv) resident solvers.")
+
+let cmd =
+  let doc = "persistent BerkMin solver daemon (JSONL protocol)" in
+  Cmd.v
+    (Cmd.info "berkmin-serverd" ~doc)
+    Term.(const run $ socket $ stdio $ trace_file $ strategy $ max_sessions)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,6 +1,6 @@
 open Berkmin_types
 
-let build c1 c2 =
+let build_probed c1 c2 =
   if Circuit.num_inputs c1 <> Circuit.num_inputs c2 then
     invalid_arg "Miter.build: input arity mismatch";
   let names1 = List.map fst (Circuit.outputs c1) in
@@ -15,16 +15,18 @@ let build c1 c2 =
   in
   let t1 = Circuit.import m c1 ~input_map:shared in
   let t2 = Circuit.import m c2 ~input_map:shared in
-  let diffs =
+  let probes =
     List.map
       (fun name ->
         let o1 = t1.(Circuit.output_exn c1 name) in
         let o2 = t2.(Circuit.output_exn c2 name) in
-        Circuit.xor_ m o1 o2)
+        (name, Circuit.xor_ m o1 o2))
       names1
   in
-  Circuit.set_output m "miter" (Circuit.or_many m diffs);
-  m
+  Circuit.set_output m "miter" (Circuit.or_many m (List.map snd probes));
+  (m, probes)
+
+let build c1 c2 = fst (build_probed c1 c2)
 
 let to_cnf c1 c2 =
   let m = build c1 c2 in

@@ -13,6 +13,14 @@ val build : Circuit.t -> Circuit.t -> Circuit.t
     @raise Invalid_argument if input arities or output name sets
     differ. *)
 
+val build_probed : Circuit.t -> Circuit.t -> Circuit.t * (string * int) list
+(** Like {!build}, but also exposes the per-output XOR difference
+    nodes: [(name, node)] for each shared output name.  Forcing one
+    such node to 1 (e.g. assuming its Tseitin variable) asks "do the
+    circuits differ on {e this} output?" — the per-output probes of
+    the incremental equivalence-checking flow, where one resident
+    solver answers all of them against a single encoded miter. *)
+
 val to_cnf : Circuit.t -> Circuit.t -> Cnf.t
 (** CNF satisfiable iff the circuits are inequivalent. *)
 

@@ -1,7 +1,8 @@
 open Berkmin_types
 
 type t = {
-  index : int Vec.t array;  (* per literal: (implied_lit, cref) stride-2 pairs *)
+  mutable index : int Vec.t array;
+      (* per literal: (implied_lit, cref) stride-2 pairs *)
   mutable entries : int;
 }
 
@@ -10,6 +11,17 @@ let create ~num_lits =
     index = Array.init (max num_lits 1) (fun _ -> Vec.create ~capacity:4 ~dummy:0 ());
     entries = 0;
   }
+
+let grow t ~num_lits =
+  let cap = Array.length t.index in
+  if num_lits > cap then begin
+    let new_cap = max num_lits (2 * cap) in
+    let index =
+      Array.init new_cap (fun i ->
+          if i < cap then t.index.(i) else Vec.create ~capacity:4 ~dummy:0 ())
+    in
+    t.index <- index
+  end
 
 let add t ~cref a b =
   let va = t.index.(Lit.negate a) in

@@ -32,6 +32,11 @@ type t
 val create : num_lits:int -> t
 (** An empty index over literals [0 .. num_lits - 1]. *)
 
+val grow : t -> num_lits:int -> unit
+(** Widens the per-literal index to cover [0 .. num_lits - 1] (no-op
+    when already large enough).  Existing entries are untouched — the
+    incremental [new_var] hook. *)
+
 val add : t -> cref:int -> Lit.t -> Lit.t -> unit
 (** [add t ~cref a b] registers the stored clause [(a v b)] (cref is
     its arena address): [(b, cref)] under [negate a] and [(a, cref)]

@@ -33,21 +33,25 @@ let budget_conflicts n = { max_conflicts = Some n; max_seconds = None }
    per-literal arrays, with no arena reads and no allocation — before
    touching any long-clause watcher. *)
 
+(* Per-variable and per-literal arrays are mutable fields: incremental
+   solving ([new_var] between solves) replaces them with wider copies,
+   so nothing outside this record may retain a reference to one. *)
 type t = {
   cfg : Config.t;
   stats : Stats.t;
   tracer : Trace.t;
   rng : Rng.t;
-  nvars : int;
+  mutable nvars : int;
   mutable n_original : int;
   arena : Arena.t;
   original : Arena.cref Vec.t;
   learnt : Arena.cref Vec.t;  (* the chronological conflict-clause stack *)
-  watches : int Vec.t array;  (* per literal: flattened (blocker, cref) pairs *)
+  mutable watches : int Vec.t array;
+      (* per literal: flattened (blocker, cref) pairs *)
   binary : Binary.t;  (* implication index of all stored 2-clauses *)
-  assigns : Value.t array;
-  level : int array;
-  reason : Arena.cref array;  (* [Arena.cref_undef] = decision / level 0 *)
+  mutable assigns : Value.t array;
+  mutable level : int array;
+  mutable reason : Arena.cref array;  (* [Arena.cref_undef] = decision / level 0 *)
   trail : Lit.t Vec.t;
   trail_lim : int Vec.t;
   mutable qhead : int;  (* long-clause (watch list) propagation head *)
@@ -62,14 +66,17 @@ type t = {
   mutable assign_epoch : int;
   (* Bumped on every assignment change (enqueue or backtrack);
      versions the nb_two memo below. *)
-  nb_memo : int array;  (* per literal: memoized currently-binary degree *)
-  nb_memo_epoch : int array;  (* assign_epoch at which nb_memo was computed *)
-  var_act : float array;
-  lit_act : int array;  (* symmetrization counters, never decayed *)
-  vsids : float array;  (* Chaff-baseline literal scores, decayed *)
-  seen : bool array;
+  mutable nb_memo : int array;  (* per literal: memoized currently-binary degree *)
+  mutable nb_memo_epoch : int array;  (* assign_epoch at which nb_memo was computed *)
+  mutable var_act : float array;
+  mutable lit_act : int array;  (* symmetrization counters, never decayed *)
+  mutable vsids : float array;  (* Chaff-baseline literal scores, decayed *)
+  mutable seen : bool array;
   heap : Var_heap.t option;  (* strategy-3 variable order, if enabled *)
   mutable assumptions : Lit.t array;  (* active only inside solve_with_assumptions *)
+  mutable last_core : Lit.t list option;
+      (* failed-assumption core of the most recent [solve ~assumps] that
+         came back UNSAT; [None] after any other outcome *)
   mutable old_threshold : int;
   mutable restart_epoch : int;
   mutable conflicts_at_restart : int;
@@ -1066,6 +1073,7 @@ let create ?(config = Config.berkmin) cnf =
     seen = Array.make (max nvars 1) false;
     heap;
     assumptions = [||];
+    last_core = None;
     old_threshold = config.Config.old_activity_threshold;
     restart_epoch = 0;
     conflicts_at_restart = 0;
@@ -1322,7 +1330,7 @@ let to_plain = function
   | `Unknown -> Unknown
   | `Unsat_assuming _ -> assert false (* impossible without assumptions *)
 
-let solve ?(budget = no_budget) s =
+let solve_plain ?(budget = no_budget) s =
   match s.verdict with
   | Some (Sat _ | Unsat) -> Option.get s.verdict
   | Some Unknown | None ->
@@ -1380,6 +1388,149 @@ let solve_with_assumptions ?(budget = no_budget) s assumptions =
       | Some (Sat _ | Unknown) | None -> s.verdict <- None);
       answer
     end
+
+(* ------------------------------------------------------------------ *)
+(* Incremental interface (MiniSat shape): [new_var] and [add_clause]
+   between solves, [solve ~assumps] with failed-core extraction,
+   [solve_limited] under a per-call conflict budget.  All learnt
+   clauses, variable/literal activities and polarity counters persist
+   across calls — that retention is the whole point: related queries
+   amortize each other's search. *)
+
+(* Widen every per-variable and per-literal array to cover [n]
+   variables.  Replaced arrays are re-announced to the heap (its key
+   array is ours). *)
+let ensure_var_capacity s n =
+  let grow_arr a fill cap =
+    let b = Array.make cap fill in
+    Array.blit a 0 b 0 (Array.length a);
+    b
+  in
+  let vcap = Array.length s.assigns in
+  if n > vcap then begin
+    let cap = max n (2 * vcap) in
+    s.assigns <- grow_arr s.assigns Value.Unassigned cap;
+    s.level <- grow_arr s.level 0 cap;
+    s.reason <- grow_arr s.reason Arena.cref_undef cap;
+    s.seen <- grow_arr s.seen false cap;
+    s.var_act <- grow_arr s.var_act 0.0 cap
+  end;
+  let lcap = Array.length s.lit_act in
+  if 2 * n > lcap then begin
+    let cap = max (2 * n) (2 * lcap) in
+    s.lit_act <- grow_arr s.lit_act 0 cap;
+    s.vsids <- grow_arr s.vsids 0.0 cap;
+    s.nb_memo <- grow_arr s.nb_memo 0 cap;
+    s.nb_memo_epoch <- grow_arr s.nb_memo_epoch (-1) cap;
+    let watches =
+      Array.init cap (fun i ->
+          if i < Array.length s.watches then s.watches.(i)
+          else Vec.create ~capacity:8 ~dummy:0 ())
+    in
+    s.watches <- watches
+  end
+
+(* A definitive UNSAT is monotone under clause/variable addition and is
+   kept; any other cached verdict is stale once the formula changes. *)
+let invalidate_verdict s =
+  match s.verdict with
+  | Some Unsat -> ()
+  | Some (Sat _ | Unknown) | None -> s.verdict <- None
+
+let new_var s =
+  backtrack s 0;
+  invalidate_verdict s;
+  let v = s.nvars in
+  ensure_var_capacity s (v + 1);
+  s.nvars <- v + 1;
+  Binary.grow s.binary ~num_lits:(2 * s.nvars);
+  (match s.heap with
+  | Some h ->
+    Var_heap.grow h ~num_vars:s.nvars ~activity:s.var_act;
+    Var_heap.push h v
+  | None -> ());
+  v
+
+let add_clause s lits =
+  List.iter
+    (fun l ->
+      if l < 0 || Lit.var l >= s.nvars then
+        invalid_arg "Solver.add_clause: unknown variable")
+    lits;
+  match s.verdict with
+  | Some Unsat -> ()  (* permanently unsatisfiable; the clause is moot *)
+  | Some (Sat _ | Unknown) | None ->
+    s.verdict <- None;
+    if s.ok then begin
+      backtrack s 0;
+      let lits = List.sort_uniq Lit.compare lits in
+      (* Sorted packed literals put the two phases of a variable next
+         to each other, so a tautology shows as adjacent equal vars. *)
+      let rec tautology = function
+        | a :: (b :: _ as rest) -> Lit.var a = Lit.var b || tautology rest
+        | _ -> false
+      in
+      if not (tautology lits) then begin
+        s.n_original <- s.n_original + 1;
+        if not (List.exists (fun l -> lit_value s l = Value.True) lits) then begin
+          (* Unlike load time, the level-0 trail is already propagated
+             (BCP will never revisit it), so literals false at level 0
+             must be dropped now: a fresh watch on one would go stale
+             silently.  They are false forever, so this preserves the
+             clause's meaning. *)
+          let rem = List.filter (fun l -> lit_value s l <> Value.False) lits in
+          match rem with
+          | [] ->
+            log_add s [||];
+            s.ok <- false;
+            s.verdict <- Some Unsat
+          | [ l ] -> enqueue s l Arena.cref_undef
+          | [ a; b ] ->
+            let c = Arena.alloc s.arena ~learnt:false [| a; b |] in
+            Vec.push s.original c;
+            Binary.add s.binary ~cref:c a b;
+            s.stats.arena_bytes <- Arena.bytes s.arena;
+            Stats.note_live_clauses s.stats (s.n_original + Vec.length s.learnt)
+          | rem ->
+            let c = Arena.alloc s.arena ~learnt:false (Array.of_list rem) in
+            Vec.push s.original c;
+            attach s c;
+            s.stats.arena_bytes <- Arena.bytes s.arena;
+            Stats.note_live_clauses s.stats (s.n_original + Vec.length s.learnt)
+        end
+      end
+    end
+
+let solve ?budget ?(assumps = []) s =
+  match assumps with
+  | [] ->
+    s.last_core <- None;
+    solve_plain ?budget s
+  | assumps -> (
+    match solve_with_assumptions ?budget s assumps with
+    | A_sat m ->
+      s.last_core <- None;
+      Sat m
+    | A_unsat ->
+      s.last_core <- Some [];
+      Unsat
+    | A_unsat_assuming core ->
+      s.last_core <- Some core;
+      Unsat
+    | A_unknown ->
+      s.last_core <- None;
+      Unknown)
+
+let solve_limited ?(assumps = []) s ~conflicts =
+  if conflicts < 0 then invalid_arg "Solver.solve_limited: negative budget";
+  (* [budget.max_conflicts] is absolute (cumulative across the solver's
+     lifetime); incremental callers think per call, so convert. *)
+  let budget =
+    { max_conflicts = Some (s.stats.conflicts + conflicts); max_seconds = None }
+  in
+  solve ~budget ~assumps s
+
+let unsat_core s = s.last_core
 
 let check_model cnf m = Cnf.satisfied_by cnf m
 

@@ -30,11 +30,62 @@ val create : ?config:Config.t -> Cnf.t -> t
 (** Loads the formula (tautologies dropped, duplicate literals merged).
     Default configuration is {!Config.berkmin}. *)
 
-val solve : ?budget:budget -> t -> result
-(** Runs the search.  A second call returns the cached verdict unless
-    the first ended in [Unknown], in which case the search resumes with
-    the new budget (budgets are absolute, e.g. [max_conflicts 2000]
-    after a run that already spent 1500 grants 500 more). *)
+val solve : ?budget:budget -> ?assumps:Lit.t list -> t -> result
+(** Runs the search.  Without assumptions, a second call returns the
+    cached verdict unless the first ended in [Unknown], in which case
+    the search resumes with the new budget (budgets are absolute, e.g.
+    [max_conflicts 2000] after a run that already spent 1500 grants 500
+    more).
+
+    With [~assumps], the literals are tried in order as the first
+    decisions (pseudo-decisions below the real search).  [Unsat] then
+    means "unsatisfiable under these assumptions"; {!unsat_core}
+    retrieves the failed-assumption core.  The solver backtracks to the
+    root afterwards, so it can be reused with different assumptions;
+    learnt clauses, activities and polarity counters are all retained
+    across calls. *)
+
+(** {2 Incremental interface}
+
+    MiniSat-shaped incremental solving: grow the formula between
+    solves, query under assumptions, and bound individual calls.  The
+    clause arena, binary implication index, learnt-clause stack and
+    every activity/polarity counter survive across calls (restart-time
+    GC relocates — never drops — clauses still referenced as reasons),
+    so a sequence of related queries against one resident solver is far
+    cheaper than fresh solves. *)
+
+val new_var : t -> int
+(** Allocates a fresh variable (the next index) and returns it.  All
+    per-variable state is grown; the variable starts unassigned with
+    zero activity.  Callable at any time — any pending search state is
+    first backtracked to the root.  Invalidates a cached SAT verdict
+    (the model would be too short); a definitive UNSAT is kept. *)
+
+val add_clause : t -> Lit.t list -> unit
+(** Adds a clause over existing variables; callable between solves.
+    Tautologies are dropped, duplicate literals merged, and literals
+    already false at level 0 removed (they are false forever).  An
+    effectively empty clause makes the solver permanently UNSAT.
+    Invalidates a cached SAT/Unknown verdict.
+    @raise Invalid_argument if the clause mentions a variable not yet
+    allocated ([new_var] first). *)
+
+val solve_limited : ?assumps:Lit.t list -> t -> conflicts:int -> result
+(** [solve_limited s ~conflicts] runs {!solve} under a {e per-call}
+    conflict budget ([conflicts] more than already spent, unlike the
+    absolute [budget] of {!solve}); returns [Unknown] when the budget
+    is exhausted, leaving the solver reusable (learnt clauses from the
+    partial run are retained).
+    @raise Invalid_argument on a negative budget. *)
+
+val unsat_core : t -> Lit.t list option
+(** Failed-assumption core of the most recent [solve ~assumps] call
+    that returned [Unsat]: [Some core] with [core] a subset of the
+    assumptions whose conjunction already forces the conflict, or
+    [Some []] when the formula is unsatisfiable regardless of the
+    assumptions.  [None] after any other outcome (including plain
+    [solve]). *)
 
 type assumption_result =
   | A_sat of bool array

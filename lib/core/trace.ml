@@ -26,6 +26,14 @@ type event =
       seconds : float;
     }
   | Warn of { message : string }
+  | Server_request of {
+      session : string;
+      op : string;
+      status : string;
+      conflicts : int;
+      propagations : int;
+      latency_ms : float;
+    }
 
 type sink =
   | Null
@@ -121,6 +129,18 @@ let event_fields = function
   | Warn { message } ->
     Json.Obj
       [ "event", Json.String "warn"; "message", Json.String message ]
+  | Server_request { session; op; status; conflicts; propagations; latency_ms }
+    ->
+    Json.Obj
+      [
+        "event", Json.String "server_request";
+        "session", Json.String session;
+        "op", Json.String op;
+        "status", Json.String status;
+        "conflicts", Json.Int conflicts;
+        "propagations", Json.Int propagations;
+        "latency_ms", Json.Float latency_ms;
+      ]
 
 let event_to_json ?worker event =
   let fields =

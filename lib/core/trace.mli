@@ -46,6 +46,17 @@ type event =
   | Warn of { message : string }
       (** a broken-but-survivable invariant the solver degraded
           around instead of aborting *)
+  | Server_request of {
+      session : string;
+      op : string;
+      status : string;  (** response status, e.g. ["sat"], ["error"] *)
+      conflicts : int;  (** conflicts spent by this request alone *)
+      propagations : int;  (** propagations spent by this request alone *)
+      latency_ms : float;  (** request wall-clock latency *)
+    }
+      (** one serviced request of the persistent solver daemon
+          ({!Berkmin_server}); the per-request cost accounting the
+          server's trace stream is made of *)
 
 type sink =
   | Null

@@ -1,7 +1,7 @@
 type t = {
-  activity : float array;
-  heap : int array;  (* heap.(i) = variable at heap position i *)
-  pos : int array;  (* pos.(v) = heap position of v, or -1 *)
+  mutable activity : float array;
+  mutable heap : int array;  (* heap.(i) = variable at heap position i *)
+  mutable pos : int array;  (* pos.(v) = heap position of v, or -1 *)
   mutable size : int;
 }
 
@@ -85,3 +85,22 @@ let rebuild t =
   for i = (t.size / 2) - 1 downto 0 do
     sift_down t i
   done
+
+(* Incremental solving adds variables between solves.  The caller hands
+   over the (possibly re-allocated) activity array; internal storage is
+   widened with the new slots marked absent, so fresh variables enter
+   the heap only via an explicit [push]. *)
+let grow t ~num_vars ~activity =
+  if Array.length activity < num_vars then
+    invalid_arg "Var_heap.grow: activity array too short";
+  t.activity <- activity;
+  let cap = Array.length t.pos in
+  if num_vars > cap then begin
+    let new_cap = max num_vars (2 * cap) in
+    let heap = Array.make new_cap 0 in
+    Array.blit t.heap 0 heap 0 cap;
+    let pos = Array.make new_cap (-1) in
+    Array.blit t.pos 0 pos 0 cap;
+    t.heap <- heap;
+    t.pos <- pos
+  end

@@ -35,3 +35,11 @@ val notify_increase : t -> int -> unit
 
 val rebuild : t -> unit
 (** Re-heapifies everything — for non-monotone key changes. *)
+
+val grow : t -> num_vars:int -> activity:float array -> unit
+(** Widens internal storage to accommodate variables
+    [0 .. num_vars-1] and re-points the heap at [activity] (the
+    caller's possibly re-allocated key array, which must extend the
+    previous one so existing comparisons are unchanged).  Newly valid
+    variables are {e not} inserted — {!push} them explicitly.
+    @raise Invalid_argument if [activity] is shorter than [num_vars]. *)

@@ -1,0 +1,31 @@
+(** Differential oracle for the incremental interface.
+
+    One resident solver answers a seeded stream of random
+    assumption-set queries — with random clauses occasionally added
+    between queries through {!Berkmin.Solver.add_clause} — while a
+    fresh solver rebuilt from the accumulated formula answers the same
+    query from scratch.  Every decided verdict must match the fresh
+    solver's bit-for-bit; SAT models must satisfy the formula and
+    honour the assumptions on both lanes; failed-assumption cores must
+    be genuine subsets of the assumptions that a fresh solve still
+    refutes.
+
+    The query stream is a pure function of [seed], so a failing
+    [(formula, seed)] pair replays exactly — which is how the campaign
+    runner ({!Runner}) shrinks formulas while holding the failure. *)
+
+open Berkmin_types
+
+type failure = {
+  query : int;  (** 1-based index in the query stream *)
+  assumps : Lit.t list;  (** the assumption set under test *)
+  detail : string;
+}
+
+val check : ?queries:int -> seed:int -> Cnf.t -> failure list
+(** Runs [queries] (default 4) assumption-set queries; an empty list
+    means the resident and fresh lanes agreed throughout.  Queries the
+    per-query conflict budget decides on neither lane are skipped, so
+    the check never hangs on adversarial formulas. *)
+
+val failure_to_json : failure -> Json.t

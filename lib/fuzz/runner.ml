@@ -7,6 +7,7 @@ type config = {
   max_mutations : int;
   shrink : bool;
   solvers : Oracle.solver list option;
+  incremental_queries : int;
 }
 
 let default =
@@ -17,6 +18,7 @@ let default =
     max_mutations = 4;
     shrink = true;
     solvers = None;
+    incremental_queries = 4;
   }
 
 type counterexample = {
@@ -61,12 +63,32 @@ let run ?(log = fun _ -> ()) config =
     let cnf, kinds = Mutate.random rng ~n case.Generator.cnf in
     mutations_applied := !mutations_applied + List.length kinds;
     let res = Oracle.differential ~solvers cnf in
+    (* The incremental lane draws its seed every round — even when
+       disabled — so enabling it never perturbs earlier rounds of the
+       same campaign seed. *)
+    let inc_seed = Rng.int rng 0x3FFFFFFF in
+    let incremental_failures c =
+      if config.incremental_queries <= 0 then []
+      else
+        Incremental.check ~queries:config.incremental_queries ~seed:inc_seed c
+        |> List.map (fun (f : Incremental.failure) ->
+               {
+                 Oracle.culprit = "cdcl-incremental";
+                 oracle = "incremental";
+                 detail =
+                   Printf.sprintf "query %d under [%s]: %s" f.Incremental.query
+                     (String.concat " "
+                        (List.map Lit.to_string f.Incremental.assumps))
+                     f.Incremental.detail;
+               })
+    in
+    let failures = res.Oracle.failures @ incremental_failures cnf in
     (match res.Oracle.verdict with
     | Oracle.V_sat -> incr sat
     | Oracle.V_unsat -> incr unsat
     | Oracle.V_undecided -> incr undecided);
-    if res.Oracle.failures <> [] then begin
-      let witness = List.hd res.Oracle.failures in
+    if failures <> [] then begin
+      let witness = List.hd failures in
       log
         (Printf.sprintf "round %d: %s oracle failed for %s: %s" round
            witness.Oracle.oracle witness.Oracle.culprit witness.Oracle.detail);
@@ -75,7 +97,8 @@ let run ?(log = fun _ -> ()) config =
         else begin
           let keep c =
             List.exists (same_failure witness)
-              (Oracle.differential ~solvers c).Oracle.failures
+              ((Oracle.differential ~solvers c).Oracle.failures
+              @ incremental_failures c)
           in
           let m = Shrink.minimize ~keep cnf in
           log
@@ -89,7 +112,7 @@ let run ?(log = fun _ -> ()) config =
           round;
           base = case.Generator.name;
           mutations = List.map Mutate.name kinds;
-          failures = res.Oracle.failures;
+          failures;
           cnf;
           minimized;
         }
@@ -135,6 +158,7 @@ let report_to_json r =
       ("max_vars", Json.Int r.config.max_vars);
       ("max_mutations", Json.Int r.config.max_mutations);
       ("shrink", Json.Bool r.config.shrink);
+      ("incremental_queries", Json.Int r.config.incremental_queries);
       ("sat", Json.Int r.sat);
       ("unsat", Json.Int r.unsat);
       ("undecided", Json.Int r.undecided);

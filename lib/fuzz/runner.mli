@@ -19,11 +19,15 @@ type config = {
   solvers : Oracle.solver list option;
       (** [None] means {!Oracle.default_solvers}; tests inject broken
           oracles here *)
+  incremental_queries : int;
+      (** per-round random assumption-set queries cross-checked by the
+          {!Incremental} oracle (resident solver vs fresh rebuild);
+          [0] disables the lane *)
 }
 
 val default : config
 (** seed 0, 200 rounds, 30 vars, up to 4 mutations, shrinking on,
-    default solvers. *)
+    default solvers, 4 incremental queries per round. *)
 
 type counterexample = {
   round : int;  (** 1-based round that found it *)

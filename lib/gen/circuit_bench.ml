@@ -17,6 +17,8 @@ let adder ~width kind =
   C.set_output c "cout" cout;
   c
 
+let adder_circuits ~width = (adder ~width `Ripple, adder ~width `Carry_select)
+
 let adder_miter ~width =
   Instance.make
     (Printf.sprintf "add_miter_w%d" width)

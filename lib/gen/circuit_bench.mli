@@ -8,6 +8,13 @@ open Berkmin_types
 val adder_miter : width:int -> Instance.t
 (** Ripple-carry vs carry-select adder equivalence: UNSAT. *)
 
+val adder_circuits :
+  width:int -> Berkmin_circuit.Circuit.t * Berkmin_circuit.Circuit.t
+(** The (ripple-carry, carry-select) adder pair behind {!adder_miter},
+    as circuits rather than a finished CNF — the incremental
+    equivalence-checking workload miters them itself and probes the
+    result output by output. *)
+
 val adder_buggy_miter : width:int -> seed:int -> Instance.t
 (** Ripple-carry adder vs a fault-injected copy: SAT. *)
 

@@ -1,0 +1,133 @@
+open Berkmin_types
+
+type t = {
+  ic : in_channel;
+  oc : out_channel;
+  fd : Unix.file_descr option;  (* owned socket, when [connect]ed *)
+}
+
+exception Server_error of string
+
+let connect ~path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  {
+    ic = Unix.in_channel_of_descr fd;
+    oc = Unix.out_channel_of_descr fd;
+    fd = Some fd;
+  }
+
+let of_channels ic oc = { ic; oc; fd = None }
+
+let close t =
+  match t.fd with
+  | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+  | None -> ()
+
+let rpc t request =
+  output_string t.oc (Json.to_string request);
+  output_char t.oc '\n';
+  flush t.oc;
+  match input_line t.ic with
+  | line -> (
+    match Json.of_string line with
+    | json -> json
+    | exception Json.Parse_error msg ->
+      failwith ("Client.rpc: malformed response: " ^ msg))
+  | exception End_of_file -> failwith "Client.rpc: connection closed"
+
+let request ?session command =
+  Protocol.request_to_json { Protocol.id = None; session; command }
+
+let checked t ?session command =
+  let response = rpc t (request ?session command) in
+  match Json.member "ok" response with
+  | Some (Json.Bool true) -> response
+  | Some (Json.Bool false) ->
+    let msg =
+      match Json.member "error" response with
+      | Some (Json.String m) -> m
+      | Some _ | None -> "unspecified server error"
+    in
+    raise (Server_error msg)
+  | Some _ | None -> failwith "Client.rpc: response without \"ok\" field"
+
+type verdict =
+  | Sat of bool array
+  | Unsat of Lit.t list option
+  | Unknown
+
+let ping t = ignore (checked t Protocol.Ping)
+
+let open_session ?(vars = 0) t session =
+  ignore (checked t ~session (Protocol.Open { vars }))
+
+let new_vars t ~session ~count =
+  let response = checked t ~session (Protocol.New_var { count }) in
+  match Json.member "vars" response with
+  | Some (Json.List vars) ->
+    List.map
+      (fun j ->
+        match Json.to_int_opt j with
+        | Some n when n > 0 -> n - 1  (* wire is 1-based *)
+        | Some _ | None -> failwith "Client.new_vars: bad variable index")
+      vars
+  | Some _ | None -> failwith "Client.new_vars: response without \"vars\""
+
+let add_clause t ~session lits =
+  ignore (checked t ~session (Protocol.Add_clause { lits }))
+
+let add_clauses t ~session clauses =
+  ignore (checked t ~session (Protocol.Add_clauses { clauses }))
+
+let solve ?(assumps = []) ?max_conflicts ?max_ms t ~session =
+  let response =
+    checked t ~session (Protocol.Solve { assumps; max_conflicts; max_ms })
+  in
+  match Json.member "status" response with
+  | Some (Json.String "sat") -> (
+    match Json.member "model" response with
+    | Some (Json.List lits) ->
+      let model =
+        Array.make
+          (List.fold_left
+             (fun acc j ->
+               match Json.to_int_opt j with
+               | Some n -> max acc (abs n)
+               | None -> acc)
+             0 lits)
+          false
+      in
+      List.iter
+        (fun j ->
+          match Json.to_int_opt j with
+          | Some n when n <> 0 -> model.(abs n - 1) <- n > 0
+          | Some _ | None -> failwith "Client.solve: bad model literal")
+        lits;
+      Sat model
+    | Some _ | None -> failwith "Client.solve: SAT response without model")
+  | Some (Json.String "unsat") -> (
+    match Json.member "core" response with
+    | Some (Json.List lits) ->
+      Unsat
+        (Some
+           (List.map
+              (fun j ->
+                match Json.to_int_opt j with
+                | Some n when n <> 0 -> Lit.of_dimacs n
+                | Some _ | None -> failwith "Client.solve: bad core literal")
+              lits))
+    | Some _ -> failwith "Client.solve: malformed core"
+    | None -> Unsat None)
+  | Some (Json.String "unknown") -> Unknown
+  | Some _ | None -> failwith "Client.solve: response without status"
+
+let stats t ~session =
+  match checked t ~session Protocol.Stats with
+  | Json.Obj fields ->
+    List.filter (fun (k, _) -> k <> "ok" && k <> "id") fields
+  | _ -> failwith "Client.stats: non-object response"
+
+let close_session t ~session = ignore (checked t ~session Protocol.Close)
+
+let shutdown t = ignore (checked t Protocol.Shutdown)

@@ -1,0 +1,68 @@
+(** Blocking JSONL client for the solver daemon.
+
+    One request line out, one response line in — the client never
+    pipelines, so responses need no [id] correlation (though callers
+    issuing raw {!rpc} requests may still use one).  Raises
+    {!Server_error} on [{"ok": false}] responses and [Failure] on
+    transport or protocol breakage. *)
+
+open Berkmin_types
+
+type t
+
+exception Server_error of string
+(** The daemon answered [{"ok": false}]; the payload is its ["error"]
+    message. *)
+
+val connect : path:string -> t
+(** Connects to a daemon's Unix-domain socket. *)
+
+val of_channels : in_channel -> out_channel -> t
+(** Wraps an existing duplex pair (e.g. pipes to a [--stdio]
+    daemon). *)
+
+val close : t -> unit
+(** Closes the transport (the daemon keeps running; use {!shutdown}
+    to stop it). *)
+
+val rpc : t -> Json.t -> Json.t
+(** Sends one request object, returns the raw response object —
+    including error responses ([ok] is not inspected). *)
+
+(** {2 Typed wrappers}
+
+    Each sends one request and decodes the response, raising
+    {!Server_error} when the daemon refuses. *)
+
+type verdict =
+  | Sat of bool array  (** assignment indexed by 0-based variable *)
+  | Unsat of Lit.t list option
+      (** failed-assumption core when solved under assumptions *)
+  | Unknown  (** per-request budget exhausted *)
+
+val ping : t -> unit
+
+val open_session : ?vars:int -> t -> string -> unit
+
+val new_vars : t -> session:string -> count:int -> int list
+(** Allocates fresh variables; returns their 0-based indices. *)
+
+val add_clause : t -> session:string -> Lit.t list -> unit
+
+val add_clauses : t -> session:string -> Lit.t list list -> unit
+
+val solve :
+  ?assumps:Lit.t list ->
+  ?max_conflicts:int ->
+  ?max_ms:float ->
+  t ->
+  session:string ->
+  verdict
+
+val stats : t -> session:string -> (string * Json.t) list
+(** The resident solver's counters, as returned by the wire. *)
+
+val close_session : t -> session:string -> unit
+
+val shutdown : t -> unit
+(** Asks the daemon to stop (after acknowledging). *)

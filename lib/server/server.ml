@@ -1,0 +1,410 @@
+open Berkmin_types
+module Solver = Berkmin.Solver
+module Config = Berkmin.Config
+module Trace = Berkmin.Trace
+module Stats = Berkmin.Stats
+module Metrics = Berkmin.Metrics
+
+type session = {
+  solver : Solver.t;
+  mutable requests : int;  (* serviced against this session *)
+}
+
+type t = {
+  config : Config.t;
+  max_sessions : int;
+  sessions : (string, session) Hashtbl.t;
+  trace : Trace.t;
+  metrics : Metrics.t;
+  c_requests : Metrics.counter;
+  c_errors : Metrics.counter;
+  c_solves : Metrics.counter;
+  c_sat : Metrics.counter;
+  c_unsat : Metrics.counter;
+  c_unknown : Metrics.counter;
+  c_opened : Metrics.counter;
+  c_closed : Metrics.counter;
+  t_solve : Metrics.timer;
+}
+
+let create ?(config = Config.berkmin) ?(max_sessions = 64) () =
+  let metrics = Metrics.create () in
+  let sessions = Hashtbl.create 16 in
+  ignore
+    (Metrics.gauge metrics "server_sessions_live" (fun () ->
+         float_of_int (Hashtbl.length sessions)));
+  {
+    config;
+    max_sessions;
+    sessions;
+    trace = Trace.create ();
+    metrics;
+    c_requests = Metrics.counter metrics "server_requests";
+    c_errors = Metrics.counter metrics "server_errors";
+    c_solves = Metrics.counter metrics "server_solves";
+    c_sat = Metrics.counter metrics "server_sat";
+    c_unsat = Metrics.counter metrics "server_unsat";
+    c_unknown = Metrics.counter metrics "server_unknown";
+    c_opened = Metrics.counter metrics "server_sessions_opened";
+    c_closed = Metrics.counter metrics "server_sessions_closed";
+    t_solve = Metrics.timer metrics "server_solve_cpu";
+  }
+
+let num_sessions t = Hashtbl.length t.sessions
+
+let session_solver t name =
+  Option.map (fun s -> s.solver) (Hashtbl.find_opt t.sessions name)
+
+let metrics t = t.metrics
+let trace t = t.trace
+
+let close t =
+  Hashtbl.reset t.sessions;
+  Trace.close t.trace
+
+(* ------------------------------------------------------------------ *)
+(* Request servicing                                                   *)
+
+let model_to_json s m =
+  (* the assignment as signed DIMACS integers, one per variable *)
+  Json.List
+    (List.init (Solver.num_vars s) (fun v ->
+         Json.Int (if m.(v) then v + 1 else -(v + 1))))
+
+let core_to_json core =
+  Json.List (List.map (fun l -> Json.Int (Lit.to_dimacs l)) core)
+
+let stats_fields sess =
+  let s = sess.solver in
+  let st = Solver.stats s in
+  [
+    "vars", Json.Int (Solver.num_vars s);
+    "clauses", Json.Int (Solver.num_original_clauses s);
+    "learnt_live", Json.Int (Solver.num_learnt_live s);
+    "conflicts", Json.Int st.Stats.conflicts;
+    "decisions", Json.Int st.Stats.decisions;
+    "propagations", Json.Int st.Stats.propagations;
+    "restarts", Json.Int st.Stats.restarts;
+    "arena_bytes", Json.Int (Solver.arena_bytes s);
+    "requests", Json.Int sess.requests;
+  ]
+
+(* A solve's budget combines the session lifetime counter with the
+   per-request allowance: the solver's own [max_conflicts] is absolute
+   over the solver's whole life, so the request-relative cap is
+   rebased on the conflicts already spent. *)
+let budget_of solver max_conflicts max_ms =
+  {
+    Solver.max_conflicts =
+      Option.map
+        (fun n -> (Solver.stats solver).Stats.conflicts + n)
+        max_conflicts;
+    max_seconds = Option.map (fun ms -> ms /. 1000.) max_ms;
+  }
+
+type outcome = {
+  response : (string * Json.t) list;  (* payload on success *)
+  failure : string option;
+  status : string;  (* for the trace event *)
+}
+
+let okay ?(status = "ok") response = { response; failure = None; status }
+let fail msg = { response = []; failure = Some msg; status = "error" }
+
+let with_session t session f =
+  match session with
+  | None -> fail "missing field \"session\""
+  | Some name -> (
+    match Hashtbl.find_opt t.sessions name with
+    | None -> fail (Printf.sprintf "unknown session %S" name)
+    | Some sess ->
+      sess.requests <- sess.requests + 1;
+      f sess)
+
+let service t (req : Protocol.request) =
+  match req.command with
+  | Ping -> okay [ "pong", Json.Bool true ]
+  | Shutdown -> okay [ "stopping", Json.Bool true ]
+  | Open { vars } -> (
+    match req.session with
+    | None -> fail "missing field \"session\""
+    | Some name ->
+      if Hashtbl.mem t.sessions name then
+        fail (Printf.sprintf "session %S already exists" name)
+      else if Hashtbl.length t.sessions >= t.max_sessions then
+        fail
+          (Printf.sprintf "session limit reached (%d resident)"
+             t.max_sessions)
+      else begin
+        let solver =
+          Solver.create ~config:t.config (Cnf.create ~num_vars:vars ())
+        in
+        Hashtbl.replace t.sessions name { solver; requests = 1 };
+        Metrics.incr t.c_opened;
+        okay [ "session", Json.String name; "vars", Json.Int vars ]
+      end)
+  | New_var { count } ->
+    with_session t req.session (fun sess ->
+        let first = Solver.new_var sess.solver in
+        for _ = 2 to count do
+          ignore (Solver.new_var sess.solver)
+        done;
+        (* fresh variables in wire (1-based) numbering *)
+        let vars = List.init count (fun i -> Json.Int (first + i + 1)) in
+        okay
+          [
+            "vars", Json.List vars;
+            "num_vars", Json.Int (Solver.num_vars sess.solver);
+          ])
+  | Add_clause { lits } ->
+    with_session t req.session (fun sess ->
+        match Solver.add_clause sess.solver lits with
+        | () -> okay []
+        | exception Invalid_argument msg -> fail msg)
+  | Add_clauses { clauses } ->
+    with_session t req.session (fun sess ->
+        let rec go n = function
+          | [] -> okay [ "added", Json.Int n ]
+          | lits :: rest -> (
+            match Solver.add_clause sess.solver lits with
+            | () -> go (n + 1) rest
+            | exception Invalid_argument msg ->
+              fail (Printf.sprintf "clause %d: %s" (n + 1) msg))
+        in
+        go 0 clauses)
+  | Solve { assumps; max_conflicts; max_ms } ->
+    with_session t req.session (fun sess ->
+        Metrics.incr t.c_solves;
+        let budget = budget_of sess.solver max_conflicts max_ms in
+        match
+          Metrics.time t.t_solve (fun () ->
+              Solver.solve ~budget ~assumps sess.solver)
+        with
+        | Solver.Sat m ->
+          Metrics.incr t.c_sat;
+          okay ~status:"sat"
+            [
+              "status", Json.String "sat";
+              "model", model_to_json sess.solver m;
+            ]
+        | Solver.Unsat ->
+          Metrics.incr t.c_unsat;
+          let core =
+            match Solver.unsat_core sess.solver with
+            | Some core -> [ "core", core_to_json core ]
+            | None -> []
+          in
+          okay ~status:"unsat" (("status", Json.String "unsat") :: core)
+        | Solver.Unknown ->
+          Metrics.incr t.c_unknown;
+          okay ~status:"unknown" [ "status", Json.String "unknown" ]
+        | exception Invalid_argument msg -> fail msg)
+  | Stats -> with_session t req.session (fun sess -> okay (stats_fields sess))
+  | Close -> (
+    match req.session with
+    | None -> fail "missing field \"session\""
+    | Some name ->
+      if Hashtbl.mem t.sessions name then begin
+        Hashtbl.remove t.sessions name;
+        Metrics.incr t.c_closed;
+        okay [ "closed", Json.String name ]
+      end
+      else fail (Printf.sprintf "unknown session %S" name))
+
+let counters_of solver =
+  match solver with
+  | Some s ->
+    let st = Solver.stats s in
+    (st.Stats.conflicts, st.Stats.propagations)
+  | None -> (0, 0)
+
+let handle t json =
+  Metrics.incr t.c_requests;
+  let started = Unix.gettimeofday () in
+  let id = Json.member "id" json in
+  let parsed = Protocol.parse json in
+  let session_name =
+    match parsed with
+    | Ok { session = Some s; _ } -> s
+    | Ok { session = None; _ } | Error _ -> ""
+  in
+  let op =
+    match parsed with
+    | Ok req -> Protocol.op_name req.command
+    | Error _ -> "invalid"
+  in
+  (* pin the solver object so the deltas survive a [close] removing the
+     session from the registry mid-request *)
+  let solver = session_solver t session_name in
+  let before = counters_of solver in
+  let outcome =
+    match parsed with Ok req -> service t req | Error msg -> fail msg
+  in
+  let response =
+    match outcome.failure with
+    | None -> Protocol.ok ?id outcome.response
+    | Some msg ->
+      Metrics.incr t.c_errors;
+      Protocol.error ?id msg
+  in
+  if Trace.active t.trace then begin
+    let solver =
+      match solver with Some _ -> solver | None -> session_solver t session_name
+    in
+    let after = counters_of solver in
+    Trace.emit t.trace
+      (Trace.Server_request
+         {
+           session = session_name;
+           op;
+           status = outcome.status;
+           conflicts = fst after - fst before;
+           propagations = snd after - snd before;
+           latency_ms = 1000. *. (Unix.gettimeofday () -. started);
+         })
+  end;
+  let continue =
+    match parsed with
+    | Ok { command = Protocol.Shutdown; _ } -> `Shutdown
+    | Ok _ | Error _ -> `Continue
+  in
+  (response, continue)
+
+let handle_line t line =
+  match Json.of_string line with
+  | json ->
+    let response, continue = handle t json in
+    (Json.to_string response, continue)
+  | exception Json.Parse_error msg ->
+    Metrics.incr t.c_requests;
+    Metrics.incr t.c_errors;
+    if Trace.active t.trace then
+      Trace.emit t.trace
+        (Trace.Server_request
+           {
+             session = "";
+             op = "invalid";
+             status = "error";
+             conflicts = 0;
+             propagations = 0;
+             latency_ms = 0.;
+           });
+    (Json.to_string (Protocol.error ("malformed JSON: " ^ msg)), `Continue)
+
+(* ------------------------------------------------------------------ *)
+(* Transports                                                          *)
+
+let serve_channels t ic oc =
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | line when String.trim line = "" -> loop ()
+    | line -> (
+      let response, continue = handle_line t line in
+      output_string oc response;
+      output_char oc '\n';
+      flush oc;
+      match continue with `Continue -> loop () | `Shutdown -> ())
+  in
+  loop ()
+
+(* --- Unix-domain-socket select loop ------------------------------- *)
+
+type conn = {
+  fd : Unix.file_descr;
+  pending : Buffer.t;  (* bytes received, not yet a complete line *)
+}
+
+let rec select_retry rds timeout =
+  match Unix.select rds [] [] timeout with
+  | r -> r
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> select_retry rds timeout
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      match Unix.write fd b off (n - off) with
+      | written -> go (off + written)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+(* Splits off every complete line accumulated in [buf], leaving the
+   trailing partial line in place. *)
+let drain_lines buf =
+  let s = Buffer.contents buf in
+  match String.rindex_opt s '\n' with
+  | None -> []
+  | Some last ->
+    Buffer.clear buf;
+    Buffer.add_string buf
+      (String.sub s (last + 1) (String.length s - last - 1));
+    String.split_on_char '\n' (String.sub s 0 last)
+
+let serve_socket_until t ~path ~ready =
+  (match Unix.unlink path with
+  | () -> ()
+  | exception Unix.Unix_error _ -> ());
+  let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 8 in
+  let close_conn c =
+    Hashtbl.remove conns c.fd;
+    match Unix.close c.fd with
+    | () -> ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  let finish () =
+    Hashtbl.iter (fun _ c -> close_conn c) conns;
+    (match Unix.close srv with
+    | () -> ()
+    | exception Unix.Unix_error _ -> ());
+    match Unix.unlink path with
+    | () -> ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  Fun.protect ~finally:finish (fun () ->
+      Unix.bind srv (Unix.ADDR_UNIX path);
+      Unix.listen srv 16;
+      ready ();
+      let stop = ref false in
+      let chunk = Bytes.create 65536 in
+      while not !stop do
+        let rds = srv :: Hashtbl.fold (fun fd _ acc -> fd :: acc) conns [] in
+        let readable, _, _ = select_retry rds (-1.0) in
+        List.iter
+          (fun fd ->
+            if fd == srv then begin
+              match Unix.accept srv with
+              | client, _ ->
+                Hashtbl.replace conns client
+                  { fd = client; pending = Buffer.create 256 }
+              | exception Unix.Unix_error _ -> ()
+            end
+            else
+              match Hashtbl.find_opt conns fd with
+              | None -> ()
+              | Some c -> (
+                match Unix.read c.fd chunk 0 (Bytes.length chunk) with
+                | 0 -> close_conn c
+                | n ->
+                  Buffer.add_subbytes c.pending chunk 0 n;
+                  List.iter
+                    (fun line ->
+                      if (not !stop) && String.trim line <> "" then begin
+                        let response, continue = handle_line t line in
+                        (match write_all c.fd (response ^ "\n") with
+                        | () -> ()
+                        | exception Unix.Unix_error _ -> close_conn c);
+                        match continue with
+                        | `Shutdown -> stop := true
+                        | `Continue -> ()
+                      end)
+                    (drain_lines c.pending)
+                | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+                | exception Unix.Unix_error _ -> close_conn c))
+          readable
+      done)
+
+let serve_socket t ~path = serve_socket_until t ~path ~ready:(fun () -> ())
