@@ -170,13 +170,17 @@ let run_smoke () =
   (json, status)
 
 (* ------------------------------------------------------------------ *)
-(* Parallel mode: each instance is solved sequentially and then as a
-   process-parallel portfolio race; the report pairs the two wall
-   clocks into a speedup figure and keeps every worker's outcome.  The
-   suite mixes quick instances (where the portfolio's fork overhead
-   shows) with a multi-second pigeonhole on which the diversified
-   Chaff-like lane beats the sequential BerkMin configuration by
-   orders of magnitude — the case portfolio solving exists for.       *)
+(* Parallel mode: each instance is solved sequentially, then as a
+   process-parallel portfolio race with learnt-clause sharing on, then
+   again with sharing off; the report pairs the wall clocks into a
+   speedup figure, compares the two races' conflict counts, and keeps
+   every worker's outcome.  The suite mixes quick instances (where the
+   portfolio's fork overhead shows) with a multi-second pigeonhole on
+   which the diversified Chaff-like lane beats the sequential BerkMin
+   configuration by orders of magnitude — the case portfolio solving
+   exists for.  On the pigeonhole instances the suite additionally
+   gates on the sharing machinery being alive: with two or more
+   workers, every worker must both export and receive clause frames.  *)
 
 module Portfolio = Berkmin_portfolio.Portfolio
 
@@ -196,7 +200,9 @@ let run_parallel ~workers =
     { Berkmin.Solver.max_conflicts = None; max_seconds = Some 60.0 }
   in
   let base = Config.berkmin in
-  Printf.printf "parallel suite: %d workers (diversified portfolio)\n%!" workers;
+  Printf.printf
+    "parallel suite: %d workers (diversified portfolio, sharing on/off)\n%!"
+    workers;
   let rows =
     List.map
       (fun inst ->
@@ -206,23 +212,69 @@ let run_parallel ~workers =
         let config = Config.with_workers workers base in
         let par, race = Runner.run_instance_portfolio ~budget config inst in
         let par_wall = race.Portfolio.wall_seconds in
+        let off_config = Config.with_share_learnt false config in
+        let off, off_race =
+          Runner.run_instance_portfolio ~budget off_config inst
+        in
+        let off_wall = off_race.Portfolio.wall_seconds in
         let speedup = if par_wall > 0.0 then seq_wall /. par_wall else 0.0 in
         (* An abort contradicts nothing: a race that turns a
            sequential Unknown into a verdict is the portfolio working,
            not a mismatch. *)
-        let agree =
-          match seq.Runner.verdict, par.Runner.verdict with
+        let consistent a b =
+          match a, b with
           | Runner.V_aborted, _ | _, Runner.V_aborted -> true
           | a, b -> a = b
         in
+        let agree =
+          consistent seq.Runner.verdict par.Runner.verdict
+          && consistent seq.Runner.verdict off.Runner.verdict
+          && consistent par.Runner.verdict off.Runner.verdict
+        in
+        let exported_total, delivered_total =
+          List.fold_left
+            (fun (e, d) w ->
+              ( e + w.Portfolio.w_frames_exported,
+                d + w.Portfolio.w_frames_delivered ))
+            (0, 0) race.Portfolio.workers
+        in
+        (* Sharing-liveness gate: the pigeonhole instances run long
+           enough that every lane restarts, so a multi-worker race must
+           show each worker both exporting and receiving frames. *)
+        let is_hole =
+          String.length seq.Runner.instance_name >= 5
+          && String.sub seq.Runner.instance_name 0 5 = "hole_"
+        in
+        let share_alive =
+          workers < 2 || not is_hole
+          || List.for_all
+               (fun w ->
+                 w.Portfolio.w_frames_exported > 0
+                 && w.Portfolio.w_frames_delivered > 0)
+               race.Portfolio.workers
+        in
+        (* Winner conflicts, sharing on vs off: the effect the exchange
+           is supposed to buy.  Reported, not gated — a ratio of 1.0
+           (parity) is acceptable; verdict drift is not. *)
+        let conflict_ratio =
+          if off.Runner.conflicts > 0 then
+            float_of_int par.Runner.conflicts
+            /. float_of_int off.Runner.conflicts
+          else 0.0
+        in
         Printf.printf
-          "%-24s seq %-8s %8.3fs   portfolio %-8s %8.3fs   speedup %5.2fx%s\n%!"
+          "%-24s seq %-8s %8.3fs   share-on %-8s %8.3fs (%5.2fx)   share-off \
+           %-8s %8.3fs%s%s\n\
+           %!"
           seq.Runner.instance_name
           (Runner.verdict_to_string seq.Runner.verdict)
           seq_wall
           (Runner.verdict_to_string par.Runner.verdict)
           par_wall speedup
-          (if agree then "" else "   VERDICTS DISAGREE");
+          (Runner.verdict_to_string off.Runner.verdict)
+          off_wall
+          (if agree then "" else "   VERDICTS DISAGREE")
+          (if share_alive then "" else "   SHARING DEAD");
         let json =
           Json.Obj
             [
@@ -240,11 +292,26 @@ let run_parallel ~workers =
                     "conflicts", Json.Int seq.Runner.conflicts;
                   ] );
               "portfolio", Portfolio.outcome_to_json race;
+              "portfolio_share_off", Portfolio.outcome_to_json off_race;
               "speedup", Json.Float speedup;
+              ( "share",
+                Json.Obj
+                  [
+                    "frames_exported_total", Json.Int exported_total;
+                    "frames_delivered_total", Json.Int delivered_total;
+                    "conflicts_share_on", Json.Int par.Runner.conflicts;
+                    "conflicts_share_off", Json.Int off.Runner.conflicts;
+                    "conflict_ratio", Json.Float conflict_ratio;
+                    "alive", Json.Bool share_alive;
+                  ] );
               "agree", Json.Bool agree;
             ]
         in
-        (json, agree && seq.Runner.correct && par.Runner.correct, speedup))
+        let ok =
+          agree && share_alive && seq.Runner.correct && par.Runner.correct
+          && off.Runner.correct
+        in
+        (json, ok, speedup))
       (parallel_instances ())
   in
   let max_speedup =
@@ -253,7 +320,7 @@ let run_parallel ~workers =
   let all_ok = List.for_all (fun (_, ok, _) -> ok) rows in
   Printf.printf "parallel: %d instances, max speedup %.2fx%s\n" (List.length rows)
     max_speedup
-    (if all_ok then "" else ", VERDICT MISMATCH");
+    (if all_ok then "" else ", VERDICT MISMATCH OR DEAD SHARING");
   let json =
     Json.Obj
       [
@@ -296,6 +363,9 @@ let required_instance_keys =
     "blocker_hits";
     "top_cursor_steps";
     "nb_two_cache_hits";
+    "clauses_exported";
+    "clauses_imported";
+    "imports_used_in_conflict";
     "gc_runs";
     "gc_reclaimed_bytes";
   ]

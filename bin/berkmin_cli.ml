@@ -95,7 +95,7 @@ let run_portfolio ~config ~budget ~file ~stats_flag ~check ~quiet ~json_out cnf 
 
 let run file strategy max_conflicts max_seconds proof_file stats_flag check
     seed quiet json_out trace_file heartbeat profile workers diversify
-    worker_timeout =
+    worker_timeout share share_max_len share_max_glue =
   match find_config strategy with
   | None ->
     Printf.eprintf "unknown strategy %S; available: %s\n" strategy
@@ -129,8 +129,15 @@ let run file strategy max_conflicts max_seconds proof_file stats_flag check
          derivation, not a race (drop --proof or use --workers 1)\n";
       exit 2
     end;
+    if share_max_len < 1 || share_max_glue < 1 then begin
+      Printf.eprintf "--share-max-len and --share-max-glue must be >= 1\n";
+      exit 2
+    end;
     let config = Berkmin.Config.with_workers workers config in
     let config = Berkmin.Config.with_portfolio_diversify diversify config in
+    let config = Berkmin.Config.with_share_learnt share config in
+    let config = Berkmin.Config.with_share_max_len share_max_len config in
+    let config = Berkmin.Config.with_share_max_glue share_max_glue config in
     let config =
       match worker_timeout with
       | Some s -> Berkmin.Config.with_worker_wall_timeout s config
@@ -350,6 +357,35 @@ let worker_timeout =
            seconds (contrast --max-seconds, which budgets CPU time \
            inside each solver).")
 
+let share =
+  Arg.(
+    value & opt bool true
+    & info [ "share" ] ~docv:"BOOL"
+        ~doc:
+          "With --workers > 1: exchange learnt clauses between the \
+           portfolio workers (default).  Each worker exports clauses \
+           passing the --share-max-len / --share-max-glue filter; the \
+           parent rebroadcasts each distinct clause to the other \
+           workers, which adopt it at their next restart.  See \
+           docs/PARALLEL.md for the protocol.")
+
+let share_max_len =
+  Arg.(
+    value & opt int 8
+    & info [ "share-max-len" ] ~docv:"K"
+        ~doc:
+          "Export only learnt clauses of at most $(docv) literals \
+           (default 8).")
+
+let share_max_glue =
+  Arg.(
+    value & opt int 4
+    & info [ "share-max-glue" ] ~docv:"G"
+        ~doc:
+          "Export only learnt clauses whose learn-time glue (LBD: \
+           distinct decision levels among the clause's literals) is at \
+           most $(docv) (default 4).")
+
 let cmd =
   let doc = "BerkMin-style CDCL SAT solver" in
   Cmd.v
@@ -357,6 +393,7 @@ let cmd =
     Term.(
       const run $ file $ strategy $ max_conflicts $ max_seconds $ proof_file
       $ stats_flag $ check $ seed $ quiet $ json_out $ trace_file $ heartbeat
-      $ profile $ workers $ diversify $ worker_timeout)
+      $ profile $ workers $ diversify $ worker_timeout $ share $ share_max_len
+      $ share_max_glue)
 
 let () = exit (Cmd.eval' cmd)

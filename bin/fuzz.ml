@@ -34,17 +34,36 @@ let write_artifacts ~prefix ~seed ce =
     Dimacs.write_file mini m;
     Printf.printf "minimized counterexample written to %s\n" mini
 
-let run seed rounds max_vars max_mutations shrink incremental_queries json_out
-    prefix =
+let run seed rounds max_vars max_mutations shrink incremental_queries
+    portfolio_workers json_out prefix =
+  if portfolio_workers = 1 || portfolio_workers < 0 then begin
+    Printf.eprintf "--portfolio wants 0 (off) or a worker count >= 2\n";
+    exit 2
+  end;
+  let solvers =
+    (* With --portfolio N, a share-on and a share-off race join the
+       sequential CDCL and DPLL lanes, so any unsound clause import
+       surfaces as a verdict disagreement. *)
+    if portfolio_workers = 0 then None
+    else
+      Some
+        (Berkmin_fuzz.Oracle.default_solvers ()
+        @ [
+            Berkmin_fuzz.Oracle.portfolio ~workers:portfolio_workers
+              ~share:true ();
+            Berkmin_fuzz.Oracle.portfolio ~workers:portfolio_workers
+              ~share:false ();
+          ])
+  in
   let config =
     {
-      Runner.default with
       Runner.seed;
       rounds;
       max_vars;
       max_mutations;
       shrink;
       incremental_queries;
+      solvers;
     }
   in
   let report = Runner.run ~log:print_endline config in
@@ -110,6 +129,19 @@ let incremental_queries =
            the master seed either way, so toggling this never perturbs \
            the other oracles.")
 
+let portfolio_workers =
+  Arg.(
+    value & opt int 0
+    & info [ "portfolio" ] ~docv:"N"
+        ~doc:
+          "Add two portfolio lanes of $(docv) workers each — one with \
+           learnt-clause sharing, one without — to the solver pool, \
+           cross-checked against the sequential CDCL and DPLL lanes by \
+           the same oracles.  0 (the default) keeps the campaign \
+           sequential and bit-reproducible; with portfolio lanes the \
+           set of verdicts is still deterministic, but which worker \
+           wins each race is not.")
+
 let json_out =
   Arg.(
     value
@@ -133,6 +165,6 @@ let cmd =
     (Cmd.info "berkmin-fuzz" ~doc)
     Term.(
       const run $ seed $ rounds $ max_vars $ max_mutations $ shrink
-      $ incremental_queries $ json_out $ prefix)
+      $ incremental_queries $ portfolio_workers $ json_out $ prefix)
 
 let () = exit (Cmd.eval' cmd)

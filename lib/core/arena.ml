@@ -10,11 +10,13 @@ let cref_undef = -1
 let header_words = 2
 let lits_offset = header_words
 
-(* Header word layout: size lsl 3 | relocated(4) | deleted(2) | learnt(1). *)
+(* Header word layout:
+   size lsl 4 | imported(8) | relocated(4) | deleted(2) | learnt(1). *)
 let learnt_bit = 1
 let deleted_bit = 2
 let relocated_bit = 4
-let size_shift = 3
+let imported_bit = 8
+let size_shift = 4
 
 let create ?(capacity = 1024) () =
   { data = Array.make (max capacity 16) 0; size = 0; wasted = 0 }
@@ -32,12 +34,15 @@ let ensure a extra =
     a.data <- data
   end
 
-let alloc a ~learnt lits =
+let alloc ?(imported = false) a ~learnt lits =
   let n = Array.length lits in
   if n < 1 then invalid_arg "Arena.alloc: empty clause";
   ensure a (n + header_words);
   let c = a.size in
-  a.data.(c) <- (n lsl size_shift) lor (if learnt then learnt_bit else 0);
+  a.data.(c) <-
+    (n lsl size_shift)
+    lor (if learnt then learnt_bit else 0)
+    lor (if imported then imported_bit else 0);
   a.data.(c + 1) <- 0;
   for j = 0 to n - 1 do
     a.data.(c + lits_offset + j) <- lits.(j)
@@ -49,6 +54,7 @@ let clause_size a c = a.data.(c) lsr size_shift
 let clause_words a c = clause_size a c + header_words
 let is_learnt a c = a.data.(c) land learnt_bit <> 0
 let is_deleted a c = a.data.(c) land deleted_bit <> 0
+let is_imported a c = a.data.(c) land imported_bit <> 0
 let relocated a c = a.data.(c) land relocated_bit <> 0
 
 let activity a c = a.data.(c + 1)

@@ -4,7 +4,8 @@
     header words followed by the packed literals:
 
     {v
-      word 0   header:  size lsl 3  |  relocated(4) | deleted(2) | learnt(1)
+      word 0   header:  size lsl 4 | imported(8) | relocated(4)
+                                   | deleted(2)  | learnt(1)
       word 1   activity — or, after {!reloc}, the forwarding cref
       word 2+  literals (Lit.t, one per word)
     v}
@@ -43,9 +44,12 @@ val lits_offset : int
 val create : ?capacity:int -> unit -> t
 (** An empty arena. [capacity] (words, default 1024) is a hint only. *)
 
-val alloc : t -> learnt:bool -> Lit.t array -> cref
+val alloc : ?imported:bool -> t -> learnt:bool -> Lit.t array -> cref
 (** Appends a clause (size [>= 1]), growing the buffer by doubling.
-    Activity starts at 0. *)
+    Activity starts at 0.  [imported] marks clauses received from
+    another portfolio worker (default [false]); the flag survives GC
+    relocation, so conflict analysis can attribute conflicts to
+    imports cheaply. *)
 
 val clause_words : t -> cref -> int
 (** Total footprint of the clause in words (header + literals). *)
@@ -53,6 +57,10 @@ val clause_words : t -> cref -> int
 val clause_size : t -> cref -> int
 val is_learnt : t -> cref -> bool
 val is_deleted : t -> cref -> bool
+
+val is_imported : t -> cref -> bool
+(** True for clauses allocated with [~imported:true] — learnt clauses
+    received from another portfolio worker. *)
 
 val activity : t -> cref -> int
 val set_activity : t -> cref -> int -> unit

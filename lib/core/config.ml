@@ -60,6 +60,9 @@ type t = {
   workers : int;
   portfolio_diversify : bool;
   worker_wall_timeout : float option;
+  share_learnt : bool;
+  share_max_len : int;
+  share_max_glue : int;
 }
 
 (* Constants follow Section 8 of the paper: young clauses are kept when
@@ -96,6 +99,9 @@ let berkmin = {
   workers = 1;
   portfolio_diversify = true;
   worker_wall_timeout = None;
+  share_learnt = true;
+  share_max_len = 8;
+  share_max_glue = 4;
 }
 
 let less_sensitivity = { berkmin with activity_mode = Conflict_clause_only }
@@ -145,6 +151,15 @@ let with_workers n t =
 let with_debug_top_cursor t = { t with debug_top_cursor = true }
 let with_portfolio_diversify portfolio_diversify t = { t with portfolio_diversify }
 let with_worker_wall_timeout s t = { t with worker_wall_timeout = Some s }
+let with_share_learnt share_learnt t = { t with share_learnt }
+
+let with_share_max_len n t =
+  if n < 1 then invalid_arg "Config.with_share_max_len: need at least 1";
+  { t with share_max_len = n }
+
+let with_share_max_glue n t =
+  if n < 1 then invalid_arg "Config.with_share_max_glue: need at least 1";
+  { t with share_max_glue = n }
 
 let presets = [
   "berkmin", berkmin;
@@ -176,6 +191,9 @@ let name_of t =
           workers = t.workers;
           portfolio_diversify = t.portfolio_diversify;
           worker_wall_timeout = t.worker_wall_timeout;
+          share_learnt = t.share_learnt;
+          share_max_len = t.share_max_len;
+          share_max_glue = t.share_max_glue;
         }
         = t)
       presets

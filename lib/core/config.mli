@@ -132,6 +132,19 @@ type t = {
       (** kill any portfolio worker still running after this many wall
           seconds; [None] (default) leaves workers bounded only by the
           solve budget *)
+  share_learnt : bool;
+      (** when racing [workers > 1]: exchange learnt clauses between
+          workers (export through the glue/length filter below, import
+          at restart boundaries).  Default [true].  Irrelevant to a
+          sequential solve — {!Solver} itself never shares; the
+          portfolio driver wires the exchange. *)
+  share_max_len : int;
+      (** learnt clauses longer than this are never exported to other
+          portfolio workers (default 8) *)
+  share_max_glue : int;
+      (** learnt clauses whose glue — the number of distinct decision
+          levels among their literals at learn time (LBD) — exceeds
+          this are never exported (default 4) *)
 }
 
 val berkmin : t
@@ -187,6 +200,18 @@ val with_portfolio_diversify : bool -> t -> t
 
 val with_worker_wall_timeout : float -> t -> t
 (** Set the per-worker wall-clock timeout (seconds). *)
+
+val with_share_learnt : bool -> t -> t
+(** Enable or disable learnt-clause exchange between portfolio
+    workers. *)
+
+val with_share_max_len : int -> t -> t
+(** Set the export length cap for shared learnt clauses.
+    @raise Invalid_argument when below 1. *)
+
+val with_share_max_glue : int -> t -> t
+(** Set the export glue (LBD) cap for shared learnt clauses.
+    @raise Invalid_argument when below 1. *)
 
 val name_of : t -> string
 (** Best-effort human name: matches a preset or describes the fields.

@@ -84,6 +84,21 @@ type t = {
   mutable last_vsids_decay : int;
   mutable proof : (Drup.event -> unit) option;
   mutable on_decision : (int -> bool -> unit) option;
+  mutable on_learn : (glue:int -> Lit.t array -> unit) option;
+      (* fires once per learnt clause (units included) with its
+         learn-time glue; the portfolio export path lives behind it *)
+  mutable import_source : (unit -> (int * Lit.t array) list) option;
+      (* polled at every restart, at decision level 0: foreign learnt
+         clauses as (glue, lits), adopted via [import_clause] *)
+  import_seen : (string, unit) Hashtbl.t;
+      (* canonical keys of clauses already imported: double imports
+         (the same clause relayed again, or learnt by two workers)
+         must land at most once *)
+  learnt_glue : int Vec.t;
+      (* learn-time glue of each clause on the [learnt] stack, index
+         for index — kept in lockstep by learning, import and DB
+         reduction (GC preserves stack order, so relocation never
+         perturbs it) *)
   mutable verdict : result option;
   mutable ok : bool;  (* false once a top-level conflict is found *)
 }
@@ -99,6 +114,9 @@ let num_learnt_live s = Vec.length s.learnt
 let old_activity_threshold s = s.old_threshold
 let set_proof_logger s f = s.proof <- Some f
 let set_decision_hook s f = s.on_decision <- Some f
+let set_learn_hook s f = s.on_learn <- Some f
+let set_import_source s f = s.import_source <- Some f
+let glue_of_learnt s i = Vec.get s.learnt_glue i
 let value_of s v = s.assigns.(v)
 let arena_bytes s = Arena.bytes s.arena
 let arena_wasted_bytes s = Arena.wasted_bytes s.arena
@@ -373,6 +391,8 @@ let analyze s (confl : Arena.cref) =
   while !continue do
     let cref = !c in
     if Arena.is_learnt ar cref then Arena.bump_activity ar cref;
+    if Arena.is_imported ar cref then
+      s.stats.imports_used_in_conflict <- s.stats.imports_used_in_conflict + 1;
     (match s.cfg.activity_mode with
     | Config.Responsible_clauses ->
       Arena.iter_lits ar cref (fun q -> bump_var s (Lit.var q))
@@ -462,9 +482,23 @@ let analyze s (confl : Arena.cref) =
     lits.(1) <- lits.(!best);
     lits.(!best) <- tmp
   end;
-  (lits, !bt)
+  (* Glue (LBD): distinct decision levels among the learnt literals,
+     measured now — before backtracking invalidates the levels.  Low
+     glue marks clauses that link few search levels, the quality
+     signal the portfolio export filter keys on. *)
+  let glue =
+    let n = Array.length lits in
+    let levels = Array.init n (fun j -> s.level.(Lit.var lits.(j))) in
+    Array.sort compare levels;
+    let d = ref 1 in
+    for j = 1 to n - 1 do
+      if levels.(j) <> levels.(j - 1) then incr d
+    done;
+    !d
+  in
+  (lits, !bt, glue)
 
-let record_learnt s lits =
+let record_learnt s ~glue lits =
   s.stats.learnt_total <- s.stats.learnt_total + 1;
   s.stats.learnt_literals <- s.stats.learnt_literals + Array.length lits;
   log_add s lits;
@@ -476,6 +510,7 @@ let record_learnt s lits =
     let c = Arena.alloc s.arena ~learnt:true lits in
     s.stats.arena_bytes <- Arena.bytes s.arena;
     Vec.push s.learnt c;
+    Vec.push s.learnt_glue glue;
     (* The new clause tops the stack and is unsatisfied (its asserting
        literal is only enqueued below), so the top-clause cursor must
        restart from it. *)
@@ -486,7 +521,10 @@ let record_learnt s lits =
     if Array.length lits = 2 then Binary.add s.binary ~cref:c lits.(0) lits.(1)
     else attach s c;
     enqueue s lits.(0) c
-  end
+  end;
+  match s.on_learn with
+  | Some f -> f ~glue lits
+  | None -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Arena compaction.                                                   *)
@@ -655,7 +693,19 @@ let reduce_db s =
       s.learnt;
     if !removed > 0 then begin
       s.stats.removed_clauses <- s.stats.removed_clauses + !removed;
-      Vec.filter_in_place (fun c -> not (Arena.is_deleted s.arena c)) s.learnt;
+      (* Compact the learnt stack and its parallel glue table in
+         lockstep (order preserved, matching [Vec.filter_in_place]). *)
+      let j = ref 0 in
+      Vec.iteri
+        (fun i c ->
+          if not (Arena.is_deleted s.arena c) then begin
+            Vec.set s.learnt !j c;
+            Vec.set s.learnt_glue !j (Vec.get s.learnt_glue i);
+            incr j
+          end)
+        s.learnt;
+      Vec.shrink s.learnt !j;
+      Vec.shrink s.learnt_glue !j;
       (* Indices shifted: restart the top-clause cursor from the new
          stack top. *)
       s.top_cursor <- Vec.length s.learnt - 1;
@@ -1007,6 +1057,92 @@ let analyze_final s false_lit =
   !core
 
 (* ------------------------------------------------------------------ *)
+(* Learnt-clause import (portfolio exchange).                          *)
+
+(* Canonical dedup key: sorted literals, order- and duplicate-
+   insensitive, so the same clause relayed twice (or learnt
+   independently by two peers) lands at most once. *)
+let import_key lits =
+  let lits = List.sort_uniq Lit.compare (Array.to_list lits) in
+  String.concat "," (List.map string_of_int lits)
+
+(* Adopt a clause learnt by another solver.  The clause is a logical
+   consequence of the shared formula, so this is sound at any time; it
+   runs at decision level 0 (any pending search state is backtracked
+   first) and reuses the mid-life [add_clause] simplification: clauses
+   satisfied at level 0 are dropped, permanently-false literals
+   filtered, units enqueued as top-level facts (with proof emission,
+   like any other level-0 derivation), binaries routed to the
+   implication index.  Landed clauses are learnt- and imported-flagged
+   in the arena and pushed onto the learnt stack, so DB reduction,
+   GC and the top-clause heuristic treat them like native learnt
+   clauses; [Stats.clauses_imported] counts only clauses that actually
+   land (post-simplification, post-dedup). *)
+let import_clause s ~glue lits =
+  if s.ok && Array.length lits > 0 then begin
+    backtrack s 0;
+    let key = import_key lits in
+    if not (Hashtbl.mem s.import_seen key) then begin
+      Hashtbl.add s.import_seen key ();
+      let sorted = List.sort_uniq Lit.compare (Array.to_list lits) in
+      let rec tautology = function
+        | a :: (b :: _ as rest) -> Lit.var a = Lit.var b || tautology rest
+        | _ -> false
+      in
+      if
+        (not (tautology sorted))
+        && (not (List.exists (fun l -> Lit.var l >= s.nvars) sorted))
+        && not (List.exists (fun l -> lit_value s l = Value.True) sorted)
+      then begin
+        let rem = List.filter (fun l -> lit_value s l <> Value.False) sorted in
+        let landed =
+          match rem with
+          | [] ->
+            log_add s [||];
+            s.ok <- false;
+            s.verdict <- Some Unsat;
+            true
+          | [ l ] ->
+            log_add s [| l |];
+            enqueue s l Arena.cref_undef;
+            true
+          | rem ->
+            let arr = Array.of_list rem in
+            log_add s arr;
+            let c = Arena.alloc ~imported:true s.arena ~learnt:true arr in
+            s.stats.arena_bytes <- Arena.bytes s.arena;
+            Vec.push s.learnt c;
+            Vec.push s.learnt_glue glue;
+            s.top_cursor <- Vec.length s.learnt - 1;
+            if Vec.length s.learnt > s.stats.max_learnt_live then
+              s.stats.max_learnt_live <- Vec.length s.learnt;
+            Stats.note_live_clauses s.stats (s.n_original + Vec.length s.learnt);
+            if Array.length arr = 2 then
+              Binary.add s.binary ~cref:c arr.(0) arr.(1)
+            else attach s c;
+            true
+        in
+        if landed then begin
+          s.stats.clauses_imported <- s.stats.clauses_imported + 1;
+          if s.tracer.Trace.active then
+            Trace.emit s.tracer
+              (Trace.Share
+                 { direction = Trace.S_import; size = List.length rem; glue })
+        end
+      end
+    end
+  end
+
+(* Poll the import source (if any) and adopt everything it delivers.
+   Called at restart boundaries, where the solver is at level 0 and
+   the watch/binary structures are in their rebuild-friendly state. *)
+let drain_imports s =
+  match s.import_source with
+  | None -> ()
+  | Some f ->
+    List.iter (fun (glue, lits) -> if s.ok then import_clause s ~glue lits) (f ())
+
+(* ------------------------------------------------------------------ *)
 (* Restarts.                                                           *)
 
 let restart_due s =
@@ -1022,6 +1158,11 @@ let restart s =
   s.restart_epoch <- s.restart_epoch + 1;
   s.conflicts_at_restart <- s.stats.conflicts;
   backtrack s 0;
+  (* Foreign learnt clauses enter here, between the backtrack to the
+     root and DB reduction: level 0, so units become top-level facts
+     immediately, and the reduction that follows judges imports by the
+     same age/activity rules as native clauses. *)
+  drain_imports s;
   if s.tracer.Trace.active then
     Trace.emit s.tracer
       (Trace.Restart
@@ -1054,6 +1195,7 @@ let create ?(config = Config.berkmin) cnf =
     arena = Arena.create ~capacity:4096 ();
     original = Vec.create ~dummy:Arena.cref_undef ();
     learnt = Vec.create ~dummy:Arena.cref_undef ();
+    learnt_glue = Vec.create ~dummy:0 ();
     watches = Array.init nlits (fun _ -> Vec.create ~capacity:8 ~dummy:0 ());
     binary = Binary.create ~num_lits:nlits;
     assigns = Array.make (max nvars 1) Value.Unassigned;
@@ -1081,6 +1223,9 @@ let create ?(config = Config.berkmin) cnf =
     last_vsids_decay = 0;
     proof = None;
     on_decision = None;
+    on_learn = None;
+    import_source = None;
+    import_seen = Hashtbl.create 64;
     verdict = None;
     ok = true;
   } in
@@ -1281,7 +1426,7 @@ let search s budget =
            the learnt clause backjumps and may flip an assumption's
            value at a lower level, in which case the next [decide]
            reports the failed assumption. *)
-        let lits, bt =
+        let lits, bt, glue =
           if profile then begin
             let t0 = Sys.time () in
             let r = analyze s confl in
@@ -1302,7 +1447,7 @@ let search s budget =
           Trace.emit s.tracer (Trace.Backjump { from_level = dl; to_level = bt })
         end;
         backtrack s bt;
-        record_learnt s lits;
+        record_learnt s ~glue lits;
         maybe_decay s;
         if restart_due s then begin
           restart s;
@@ -1560,6 +1705,10 @@ let metrics s =
   int_gauge "blocker_hits" (fun () -> st.Stats.blocker_hits);
   int_gauge "top_cursor_steps" (fun () -> st.Stats.top_cursor_steps);
   int_gauge "nb_two_cache_hits" (fun () -> st.Stats.nb_two_cache_hits);
+  int_gauge "clauses_exported" (fun () -> st.Stats.clauses_exported);
+  int_gauge "clauses_imported" (fun () -> st.Stats.clauses_imported);
+  int_gauge "imports_used_in_conflict" (fun () ->
+      st.Stats.imports_used_in_conflict);
   int_gauge "binary_index_entries" (fun () -> Binary.num_entries s.binary);
   int_gauge "restarts" (fun () -> st.Stats.restarts);
   int_gauge "reductions" (fun () -> st.Stats.reductions);

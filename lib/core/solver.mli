@@ -149,6 +149,49 @@ val set_decision_hook : t -> (int -> bool -> unit) -> unit
 (** [hook var value] fires on every branching decision (used by the
     Figure-1 cone-mobility experiment). *)
 
+(** {2 Learnt-clause exchange}
+
+    Hooks the process-parallel portfolio ({!Berkmin_portfolio}) uses
+    to share learnt clauses between workers.  The solver itself knows
+    nothing about processes or pipes: it reports every learnt clause
+    with its learn-time glue through the learn hook, and adopts
+    foreign clauses delivered by the import source at restart
+    boundaries.  A solver with neither installed behaves exactly as
+    before. *)
+
+val set_learn_hook : t -> (glue:int -> Lit.t array -> unit) -> unit
+(** [hook ~glue lits] fires once per learnt clause — units included —
+    with its learn-time glue (LBD: the number of distinct decision
+    levels among the clause's literals at the moment of learning).
+    The hook runs inside the search loop; keep it cheap and never let
+    it raise. *)
+
+val set_import_source : t -> (unit -> (int * Lit.t array) list) -> unit
+(** Installs a pull source of foreign learnt clauses as
+    [(glue, lits)] pairs.  The solver polls it at every restart, at
+    decision level 0, and adopts each delivered clause via
+    {!import_clause}. *)
+
+val import_clause : t -> glue:int -> Lit.t array -> unit
+(** Adopts a clause learnt by another solver of the same formula.
+    Sound only for logical consequences of the formula (shared learnt
+    clauses are).  Runs at decision level 0 (backtracking first if
+    needed) with the mid-life [add_clause] simplification: satisfied
+    clauses dropped, permanently-false literals filtered, units
+    enqueued as proof-logged top-level facts, binaries routed to the
+    implication index, an effectively empty clause making the solver
+    UNSAT.  Stored clauses are learnt- and imported-flagged and join
+    the learnt stack (so reduction and GC manage them normally).
+    Duplicate imports (same literal set, any order) are dropped;
+    {!Stats.t.clauses_imported} counts only clauses that landed.
+    Unknown variables make the import a no-op. *)
+
+val glue_of_learnt : t -> int -> int
+(** Recorded learn-time glue of the [i]-th clause on the live learnt
+    stack (index as in {!num_learnt_live}; for tests and DB-reduction
+    experiments).
+    @raise Invalid_argument when out of bounds. *)
+
 val value_of : t -> int -> Value.t
 (** Current assignment of a variable (mainly for tests). *)
 

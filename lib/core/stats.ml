@@ -12,6 +12,9 @@ type t = {
   mutable blocker_hits : int;
   mutable top_cursor_steps : int;
   mutable nb_two_cache_hits : int;
+  mutable clauses_exported : int;
+  mutable clauses_imported : int;
+  mutable imports_used_in_conflict : int;
   mutable restarts : int;
   mutable reductions : int;
   mutable gc_runs : int;
@@ -44,6 +47,9 @@ let create () = {
   blocker_hits = 0;
   top_cursor_steps = 0;
   nb_two_cache_hits = 0;
+  clauses_exported = 0;
+  clauses_imported = 0;
+  imports_used_in_conflict = 0;
   restarts = 0;
   reductions = 0;
   gc_runs = 0;
@@ -74,6 +80,9 @@ let reset t =
   t.blocker_hits <- 0;
   t.top_cursor_steps <- 0;
   t.nb_two_cache_hits <- 0;
+  t.clauses_exported <- 0;
+  t.clauses_imported <- 0;
+  t.imports_used_in_conflict <- 0;
   t.restarts <- 0;
   t.reductions <- 0;
   t.gc_runs <- 0;
@@ -153,6 +162,9 @@ let to_json ?worker ?seconds t =
       "blocker_hits", Json.Int t.blocker_hits;
       "top_cursor_steps", Json.Int t.top_cursor_steps;
       "nb_two_cache_hits", Json.Int t.nb_two_cache_hits;
+      "clauses_exported", Json.Int t.clauses_exported;
+      "clauses_imported", Json.Int t.clauses_imported;
+      "imports_used_in_conflict", Json.Int t.imports_used_in_conflict;
       "restarts", Json.Int t.restarts;
       "reductions", Json.Int t.reductions;
       "gc_runs", Json.Int t.gc_runs;

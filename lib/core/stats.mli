@@ -31,6 +31,18 @@ type t = {
   mutable nb_two_cache_hits : int;
       (** [nb_two] neighbourhood counts answered from the per-epoch
           memo instead of rescanning the binary index *)
+  mutable clauses_exported : int;
+      (** learnt clauses this worker sent to the portfolio parent for
+          rebroadcast (passed the length/glue export filter and the
+          pipe write succeeded); always 0 in sequential runs *)
+  mutable clauses_imported : int;
+      (** learnt clauses received from other portfolio workers that
+          actually landed in this solver (post-simplification,
+          post-dedup); always 0 in sequential runs *)
+  mutable imports_used_in_conflict : int;
+      (** times an imported clause was an antecedent resolved by
+          conflict analysis — the direct measure of how much foreign
+          derivations steer this worker's search *)
   mutable restarts : int;
   mutable reductions : int;
   mutable gc_runs : int;  (** arena compactions performed *)

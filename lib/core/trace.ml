@@ -5,6 +5,10 @@ type decision_kind =
   | D_global
   | D_assumption
 
+type share_direction =
+  | S_export
+  | S_import
+
 type event =
   | Decide of { level : int; var : int; value : bool; kind : decision_kind }
   | Propagate of { level : int; lit : Lit.t }
@@ -25,6 +29,7 @@ type event =
       learnt_live : int;
       seconds : float;
     }
+  | Share of { direction : share_direction; size : int; glue : int }
   | Warn of { message : string }
   | Server_request of {
       session : string;
@@ -53,6 +58,10 @@ let kind_to_string = function
   | D_top_clause -> "top_clause"
   | D_global -> "global"
   | D_assumption -> "assumption"
+
+let direction_to_string = function
+  | S_export -> "export"
+  | S_import -> "import"
 
 let event_fields = function
   | Decide { level; var; value; kind } ->
@@ -125,6 +134,14 @@ let event_fields = function
         "propagations", Json.Int propagations;
         "learnt_live", Json.Int learnt_live;
         "seconds", Json.Float seconds;
+      ]
+  | Share { direction; size; glue } ->
+    Json.Obj
+      [
+        "event", Json.String "share";
+        "direction", Json.String (direction_to_string direction);
+        "size", Json.Int size;
+        "glue", Json.Int glue;
       ]
   | Warn { message } ->
     Json.Obj

@@ -20,6 +20,10 @@ type decision_kind =
   | D_global  (** global fallback / VSIDS decision *)
   | D_assumption  (** assumption literal tried as a decision *)
 
+type share_direction =
+  | S_export  (** this worker sent a learnt clause to the parent *)
+  | S_import  (** this worker adopted a clause learnt elsewhere *)
+
 type event =
   | Decide of { level : int; var : int; value : bool; kind : decision_kind }
   | Propagate of { level : int; lit : Lit.t }
@@ -43,6 +47,10 @@ type event =
       learnt_live : int;
       seconds : float;  (** CPU seconds since the solve started *)
     }
+  | Share of { direction : share_direction; size : int; glue : int }
+      (** one learnt clause crossing the portfolio exchange: exported
+          through the length/glue filter, or imported (after
+          simplification and dedup) at a restart boundary *)
   | Warn of { message : string }
       (** a broken-but-survivable invariant the solver degraded
           around instead of aborting *)

@@ -26,6 +26,34 @@ let cdcl ?(config = Berkmin.Config.berkmin)
         | Berkmin.Solver.Unknown -> A_unknown);
   }
 
+(* A whole portfolio race as one oracle solver.  Races are
+   timing-nondeterministic (which worker wins varies), but the oracles
+   only judge what must be invariant: the verdict, the model, and that
+   nothing crashes.  Pairing a share-on and a share-off lane in one
+   campaign makes the differential fuzzer a soundness check of the
+   clause exchange itself: an unsound import shows up as a verdict
+   disagreement against the sequential solvers. *)
+let portfolio ?(config = Berkmin.Config.berkmin) ?(workers = 2)
+    ?(share = true) ?(budget = Berkmin_harness.Runner.fuzz_budget) () =
+  let module Portfolio = Berkmin_portfolio.Portfolio in
+  let config =
+    config
+    |> Berkmin.Config.with_workers workers
+    |> Berkmin.Config.with_share_learnt share
+  in
+  {
+    name =
+      Printf.sprintf "portfolio%d:%s" workers
+        (if share then "share" else "noshare");
+    solve =
+      (fun cnf ->
+        let p = Portfolio.solve_config ~budget config cnf in
+        match p.Portfolio.result with
+        | Berkmin.Solver.Sat m -> A_sat m
+        | Berkmin.Solver.Unsat -> A_unsat None
+        | Berkmin.Solver.Unknown -> A_unknown);
+  }
+
 let dpll ?(max_nodes = 500_000) () =
   {
     name = "dpll";

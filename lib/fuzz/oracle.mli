@@ -35,6 +35,23 @@ val cdcl :
 val dpll : ?max_nodes:int -> unit -> solver
 (** The independent reference DPLL (default budget: 500k nodes). *)
 
+val portfolio :
+  ?config:Berkmin.Config.t ->
+  ?workers:int ->
+  ?share:bool ->
+  ?budget:Berkmin.Solver.budget ->
+  unit ->
+  solver
+(** A process-parallel portfolio race ({!Berkmin_portfolio.Portfolio})
+    as one oracle solver, named ["portfolio<N>:share"] or
+    ["portfolio<N>:noshare"].  Which worker wins is
+    timing-nondeterministic, but everything the oracles judge —
+    verdict, model validity, absence of crashes — must be invariant,
+    so racing a share-on lane against share-off and the sequential
+    solvers turns the fuzzer into a soundness check of the
+    learnt-clause exchange.  UNSAT answers carry no proof (DRUP
+    logging follows one solver's derivation, not a race). *)
+
 val default_solvers : unit -> solver list
 (** [[cdcl (); dpll ()]]. *)
 

@@ -20,6 +20,9 @@ type outcome = {
   blocker_hits : int;
   top_cursor_steps : int;
   nb_two_cache_hits : int;
+  clauses_exported : int;
+  clauses_imported : int;
+  imports_used_in_conflict : int;
   gc_runs : int;
   gc_reclaimed_bytes : int;
   learnt_total : int;
@@ -60,6 +63,9 @@ let outcome_to_json o =
       "blocker_hits", Json.Int o.blocker_hits;
       "top_cursor_steps", Json.Int o.top_cursor_steps;
       "nb_two_cache_hits", Json.Int o.nb_two_cache_hits;
+      "clauses_exported", Json.Int o.clauses_exported;
+      "clauses_imported", Json.Int o.clauses_imported;
+      "imports_used_in_conflict", Json.Int o.imports_used_in_conflict;
       "gc_runs", Json.Int o.gc_runs;
       "gc_reclaimed_bytes", Json.Int o.gc_reclaimed_bytes;
       "learnt_total", Json.Int o.learnt_total;
@@ -108,6 +114,9 @@ let run_instance ?(budget = default_budget) config inst =
     blocker_hits = st.Berkmin.Stats.blocker_hits;
     top_cursor_steps = st.Berkmin.Stats.top_cursor_steps;
     nb_two_cache_hits = st.Berkmin.Stats.nb_two_cache_hits;
+    clauses_exported = st.Berkmin.Stats.clauses_exported;
+    clauses_imported = st.Berkmin.Stats.clauses_imported;
+    imports_used_in_conflict = st.Berkmin.Stats.imports_used_in_conflict;
     gc_runs = st.Berkmin.Stats.gc_runs;
     gc_reclaimed_bytes = st.Berkmin.Stats.gc_reclaimed_bytes;
     learnt_total = st.Berkmin.Stats.learnt_total;
@@ -171,6 +180,9 @@ let run_instance_portfolio ?(budget = default_budget) config inst =
       blocker_hits = st.Berkmin.Stats.blocker_hits;
       top_cursor_steps = st.Berkmin.Stats.top_cursor_steps;
       nb_two_cache_hits = st.Berkmin.Stats.nb_two_cache_hits;
+      clauses_exported = st.Berkmin.Stats.clauses_exported;
+      clauses_imported = st.Berkmin.Stats.clauses_imported;
+      imports_used_in_conflict = st.Berkmin.Stats.imports_used_in_conflict;
       gc_runs = st.Berkmin.Stats.gc_runs;
       gc_reclaimed_bytes = st.Berkmin.Stats.gc_reclaimed_bytes;
       learnt_total = st.Berkmin.Stats.learnt_total;

@@ -24,6 +24,13 @@ type outcome = {
   blocker_hits : int;  (** visits short-circuited by a true blocker *)
   top_cursor_steps : int;  (** learnt-stack entries the decision cursor read *)
   nb_two_cache_hits : int;  (** memoized nb_two neighbourhood lookups *)
+  clauses_exported : int;
+      (** learnt clauses this solver exported to portfolio peers; 0 in
+          sequential runs *)
+  clauses_imported : int;  (** foreign learnt clauses adopted; 0 sequential *)
+  imports_used_in_conflict : int;
+      (** conflict analyses in which an imported clause was an
+          antecedent — how often sharing actually steered the search *)
   gc_runs : int;  (** arena compactions *)
   gc_reclaimed_bytes : int;  (** clause bytes physically reclaimed *)
   learnt_total : int;

@@ -7,7 +7,17 @@
    crashed worker cannot corrupt the parent.  The parent is a small
    select/waitpid event loop; all robustness logic (crash detection,
    timeouts, first-wins kills, model re-verification) lives here so
-   the solver itself stays oblivious to parallelism. *)
+   the solver itself stays oblivious to parallelism.
+
+   Since PR 7 the pipes carry more than the final verdict: workers
+   export learnt clauses passing the length/glue filter as {!Share}
+   frames on their up pipe, the parent rebroadcasts each distinct
+   clause to every other worker's down pipe, and workers drain the
+   imports at restart boundaries.  All writes that could stall the
+   race (exports under backpressure, rebroadcasts into a slow or dead
+   worker) are non-blocking and drop the frame instead of waiting —
+   sharing is best-effort by design; only the final reply frame is
+   written blocking. *)
 
 open Berkmin_types
 module Config = Berkmin.Config
@@ -34,6 +44,8 @@ type worker = {
   w_status : status;
   w_wall_seconds : float;
   w_stats : Stats.t option;
+  w_frames_exported : int;
+  w_frames_delivered : int;
 }
 
 type outcome = {
@@ -43,8 +55,9 @@ type outcome = {
   wall_seconds : float;
 }
 
-(* What a worker sends back over its pipe.  Marshalled within one
-   binary, so abstract types (Stats.t, the model array) are safe. *)
+(* What a worker sends back over its pipe, wrapped in a {!Share.Reply}
+   frame.  Marshalled within one binary, so abstract types (Stats.t,
+   the model array) are safe. *)
 type reply = {
   r_result : Solver.result;
   r_stats : Stats.t;
@@ -146,21 +159,105 @@ let merge_traces path indices =
 (* ------------------------------------------------------------------ *)
 (* The child.                                                          *)
 
-let run_child ~hook ~trace_path ~index spec cnf wr =
+let write_all fd b =
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+(* Export side: every learnt clause passing the length/glue filter is
+   framed and written non-blocking to the up pipe.  Clause frames are
+   below PIPE_BUF, so the write is atomic — EAGAIN (parent slow) or
+   EPIPE (parent gone) drops the whole frame and the search goes on:
+   sharing never stalls a worker. *)
+let install_export solver config up_wr =
+  Unix.set_nonblock up_wr;
+  let st = Solver.stats solver in
+  let tracer = Solver.trace solver in
+  Solver.set_learn_hook solver (fun ~glue lits ->
+      if
+        Share.passes ~max_len:config.Config.share_max_len
+          ~max_glue:config.Config.share_max_glue ~glue lits
+      then begin
+        let frame = Share.encode_clause ~glue lits in
+        match Unix.write up_wr frame 0 (Bytes.length frame) with
+        | _ ->
+          st.Stats.clauses_exported <- st.Stats.clauses_exported + 1;
+          if tracer.Trace.active then
+            Trace.emit tracer
+              (Trace.Share
+                 {
+                   direction = Trace.S_export;
+                   size = Array.length lits;
+                   glue;
+                 })
+        | exception Unix.Unix_error _ -> ()
+      end)
+
+(* Import side: at every restart the solver polls the down pipe,
+   non-blocking — whatever complete clause frames have accumulated are
+   adopted, a partial frame waits in the decoder for the next restart.
+   A malformed frame (impossible unless the parent is corrupt) stops
+   imports for good rather than killing the worker. *)
+let install_import solver down_rd =
+  Unix.set_nonblock down_rd;
+  let dec = Share.decoder () in
+  let buf = Bytes.create 65536 in
+  let poisoned = ref false in
+  Solver.set_import_source solver (fun () ->
+      if !poisoned then []
+      else begin
+        let eof = ref false in
+        (try
+           let n = ref (Unix.read down_rd buf 0 (Bytes.length buf)) in
+           while !n > 0 do
+             Share.feed dec buf !n;
+             n := Unix.read down_rd buf 0 (Bytes.length buf)
+           done;
+           eof := !n = 0
+         with
+        | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        -> ());
+        ignore !eof;
+        let imports = ref [] in
+        (try
+           let continue = ref true in
+           while !continue do
+             match Share.next dec with
+             | Some (Share.Clause { glue; lits }) ->
+               imports := (glue, lits) :: !imports
+             | Some (Share.Reply _) -> poisoned := true
+             | None -> continue := false
+           done
+         with Share.Malformed _ -> poisoned := true);
+        List.rev !imports
+      end)
+
+let run_child ~hook ~trace_path ~index spec cnf ~up_wr ~down_rd =
   let code =
     try
+      (* A worker may be writing an export frame in the window between
+         the parent closing its pipes and the SIGKILL landing; EPIPE
+         (handled) beats dying on SIGPIPE. *)
+      Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
       (match hook with Some h -> h index | None -> ());
       let config = { spec.sp_config with Config.workers = 1; trace_jsonl = trace_path } in
       let solver = Solver.create ~config cnf in
       Trace.set_worker (Solver.trace solver) index;
+      if config.Config.share_learnt then begin
+        install_export solver config up_wr;
+        install_import solver down_rd
+      end;
       let started = Unix.gettimeofday () in
       let result = Solver.solve ~budget:spec.sp_budget solver in
       let r_seconds = Unix.gettimeofday () -. started in
       Solver.close_trace solver;
       let reply = { r_result = result; r_stats = Solver.stats solver; r_seconds } in
-      let oc = Unix.out_channel_of_descr wr in
-      Marshal.to_channel oc reply [];
-      flush oc;
+      (* The reply frame exceeds PIPE_BUF: restore blocking mode and
+         write it whole, as this worker's last act. *)
+      (try Unix.clear_nonblock up_wr with Unix.Unix_error _ -> ());
+      write_all up_wr (Share.encode_reply (Marshal.to_bytes reply []));
       0
     with _ -> 3
   in
@@ -174,8 +271,12 @@ let run_child ~hook ~trace_path ~index spec cnf wr =
 type live = {
   l_index : int;
   l_pid : int;
-  l_rd : Unix.file_descr;
+  l_up : Unix.file_descr;  (* worker -> parent: clause frames, reply *)
+  l_down : Unix.file_descr;  (* parent -> worker: rebroadcast clauses *)
+  l_dec : Share.decoder;
   l_spec : spec;
+  mutable l_exported : int;  (* clause frames received from this worker *)
+  mutable l_delivered : int;  (* clause frames written into its down pipe *)
 }
 
 let rec waitpid_retry pid =
@@ -202,28 +303,54 @@ let fork_race ?wall_timeout ?worker_hook ?trace_jsonl specs cnf =
      is emitted twice. *)
   flush stdout;
   flush stderr;
+  (* Rebroadcast writes race against worker deaths; an EPIPE exception
+     (SIGPIPE ignored) is handled, a SIGPIPE would kill the parent. *)
+  let old_sigpipe =
+    try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+    with Invalid_argument _ | Sys_error _ -> None
+  in
+  let share =
+    List.exists (fun sp -> sp.sp_config.Config.share_learnt) specs
+  in
   let started = Unix.gettimeofday () in
-  let spawned_rds = ref [] in
+  let parent_ends = ref [] in
   let spawn l_index spec =
-    let rd, wr = Unix.pipe () in
+    let up_rd, up_wr = Unix.pipe () in
+    let down_rd, down_wr = Unix.pipe () in
     match Unix.fork () with
     | 0 ->
-      Unix.close rd;
-      (* Inherited read ends of earlier siblings: close them so the
-         only write end of each pipe dies with its owner. *)
+      Unix.close up_rd;
+      Unix.close down_wr;
+      (* Inherited parent-side ends of earlier siblings: close them so
+         each pipe end dies with its one owner. *)
       List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
-        !spawned_rds;
+        !parent_ends;
       let trace_path = Option.map (fun p -> worker_trace_path p l_index) trace_jsonl in
-      run_child ~hook:worker_hook ~trace_path ~index:l_index spec cnf wr
+      run_child ~hook:worker_hook ~trace_path ~index:l_index spec cnf ~up_wr
+        ~down_rd
     | pid ->
-      Unix.close wr;
-      spawned_rds := rd :: !spawned_rds;
-      { l_index; l_pid = pid; l_rd = rd; l_spec = spec }
+      Unix.close up_wr;
+      Unix.close down_rd;
+      (* Rebroadcasts must never stall the race loop behind a slow
+         worker: non-blocking, drop on EAGAIN. *)
+      Unix.set_nonblock down_wr;
+      parent_ends := up_rd :: down_wr :: !parent_ends;
+      {
+        l_index;
+        l_pid = pid;
+        l_up = up_rd;
+        l_down = down_wr;
+        l_dec = Share.decoder ();
+        l_spec = spec;
+        l_exported = 0;
+        l_delivered = 0;
+      }
   in
   let live = List.mapi spawn specs in
   let n = List.length specs in
   let records = Array.make n None in
   let elapsed () = Unix.gettimeofday () -. started in
+  let remaining = ref live in
   let finish w status stats =
     records.(w.l_index) <-
       Some
@@ -233,68 +360,120 @@ let fork_race ?wall_timeout ?worker_hook ?trace_jsonl specs cnf =
           w_status = status;
           w_wall_seconds = elapsed ();
           w_stats = stats;
+          w_frames_exported = w.l_exported;
+          w_frames_delivered = w.l_delivered;
         };
-    (try Unix.close w.l_rd with Unix.Unix_error _ -> ())
+    (try Unix.close w.l_up with Unix.Unix_error _ -> ());
+    (try Unix.close w.l_down with Unix.Unix_error _ -> ());
+    remaining := List.filter (fun o -> o.l_index <> w.l_index) !remaining
   in
-  let kill_remaining status remaining =
+  let kill_remaining status ws =
     List.iter
       (fun w ->
         kill_quietly w.l_pid;
         ignore (waitpid_retry w.l_pid);
         finish w status None)
-      remaining
+      ws
   in
   let deadline = Option.map (fun t -> started +. t) wall_timeout in
   let result = ref Solver.Unknown in
   let winner = ref None in
-  let rec race remaining =
-    match remaining with
+  (* Distinct clauses already rebroadcast: each canonical literal set
+     crosses the parent once, even when several workers learn it. *)
+  let seen = Hashtbl.create 256 in
+  let broadcast src frame =
+    List.iter
+      (fun o ->
+        if o.l_index <> src.l_index then
+          match Unix.write o.l_down frame 0 (Bytes.length frame) with
+          | _ -> o.l_delivered <- o.l_delivered + 1
+          | exception Unix.Unix_error _ ->
+            (* EAGAIN (worker not draining), EPIPE/EBADF (worker gone):
+               drop the frame for this worker only. *)
+            ())
+      !remaining
+  in
+  let handle_reply w (reply : reply) =
+    ignore (waitpid_retry w.l_pid);
+    match reply.r_result with
+    | (Solver.Sat _ | Solver.Unsat) when Option.is_some !winner ->
+      (* Another worker already won while this reply sat buffered. *)
+      finish w W_lost (Some reply.r_stats)
+    | Solver.Sat model when not (Cnf.satisfied_by cnf model) ->
+      (* A worker claiming SAT must prove it; a bogus model is a
+         crash, not a verdict. *)
+      finish w (W_crashed 0) (Some reply.r_stats)
+    | Solver.Sat _ | Solver.Unsat ->
+      result := reply.r_result;
+      winner := Some w.l_index;
+      finish w W_won (Some reply.r_stats);
+      kill_remaining W_lost !remaining
+    | Solver.Unknown -> finish w W_exhausted (Some reply.r_stats)
+  in
+  let abort_protocol w =
+    (* EOF without a reply, a malformed frame or an unreadable reply:
+       the child is dead or talking garbage. *)
+    kill_quietly w.l_pid;
+    finish w (crash_status (waitpid_retry w.l_pid)) None
+  in
+  let buf = Bytes.create 65536 in
+  let handle_readable w =
+    match Unix.read w.l_up buf 0 (Bytes.length buf) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | 0 -> finish w (crash_status (waitpid_retry w.l_pid)) None
+    | nread -> (
+      Share.feed w.l_dec buf nread;
+      try
+        let continue = ref true in
+        while !continue do
+          match Share.next w.l_dec with
+          | None -> continue := false
+          | Some (Share.Clause { glue; lits }) ->
+            w.l_exported <- w.l_exported + 1;
+            if share then begin
+              let k = Share.key lits in
+              if not (Hashtbl.mem seen k) then begin
+                Hashtbl.add seen k ();
+                broadcast w (Share.encode_clause ~glue lits)
+              end
+            end
+          | Some (Share.Reply payload) -> (
+            continue := false;
+            match (Marshal.from_bytes payload 0 : reply) with
+            | exception _ -> abort_protocol w
+            | reply -> handle_reply w reply)
+        done
+      with Share.Malformed _ -> abort_protocol w)
+  in
+  let rec race () =
+    match !remaining with
     | [] -> ()
-    | _ -> (
+    | ws ->
       let timeout =
         match deadline with
         | None -> -1.0
         | Some d -> Float.max 0.0 (d -. Unix.gettimeofday ())
       in
-      match select_retry (List.map (fun w -> w.l_rd) remaining) timeout with
+      (match select_retry (List.map (fun w -> w.l_up) ws) timeout with
       | [] ->
         (* Per-worker wall-clock timeout: everyone still running dies. *)
-        kill_remaining W_timed_out remaining
+        kill_remaining W_timed_out ws
       | readable ->
-        let finished, rest =
-          List.partition (fun w -> List.mem w.l_rd readable) remaining
-        in
-        let rest = ref rest in
         List.iter
           (fun w ->
-            let ic = Unix.in_channel_of_descr w.l_rd in
-            match (Marshal.from_channel ic : reply) with
-            | exception _ ->
-              (* EOF or a truncated reply: the child died mid-solve.
-                 Record how and race on with the survivors. *)
-              finish w (crash_status (waitpid_retry w.l_pid)) None
-            | reply -> (
-              ignore (waitpid_retry w.l_pid);
-              match reply.r_result with
-              | (Solver.Sat _ | Solver.Unsat) when Option.is_some !winner ->
-                (* Two workers delivered in the same select round; the
-                   first one processed already won. *)
-                finish w W_lost (Some reply.r_stats)
-              | Solver.Sat model when not (Cnf.satisfied_by cnf model) ->
-                (* A worker claiming SAT must prove it; a bogus model
-                   is a crash, not a verdict. *)
-                finish w (W_crashed 0) (Some reply.r_stats)
-              | Solver.Sat _ | Solver.Unsat ->
-                result := reply.r_result;
-                winner := Some w.l_index;
-                finish w W_won (Some reply.r_stats);
-                kill_remaining W_lost !rest;
-                rest := []
-              | Solver.Unknown -> finish w W_exhausted (Some reply.r_stats)))
-          finished;
-        race !rest)
+            (* A worker may have been finished by an earlier iteration
+               of this same round (a win kills the rest). *)
+            if
+              List.mem w.l_up readable
+              && List.exists (fun o -> o.l_index = w.l_index) !remaining
+            then handle_readable w)
+          ws);
+      race ()
   in
-  race live;
+  race ();
+  (match old_sigpipe with
+  | Some h -> Sys.set_signal Sys.sigpipe h
+  | None -> ());
   (match trace_jsonl with
   | Some path -> merge_traces path (List.init n Fun.id)
   | None -> ());
@@ -336,6 +515,8 @@ let sequential ?trace_jsonl spec cnf =
           w_status;
           w_wall_seconds = wall;
           w_stats = Some (Solver.stats solver);
+          w_frames_exported = 0;
+          w_frames_delivered = 0;
         };
       ];
     wall_seconds = wall;
@@ -390,6 +571,8 @@ let worker_to_json w =
       "seed", Json.Int w.w_config.Config.seed;
       "status", Json.String (status_to_string w.w_status);
       "wall_seconds", Json.Float w.w_wall_seconds;
+      "frames_exported", Json.Int w.w_frames_exported;
+      "frames_delivered", Json.Int w.w_frames_delivered;
       ( "stats",
         match w.w_stats with
         | Some st -> Stats.to_json ~worker:w.w_index st

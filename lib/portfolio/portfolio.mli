@@ -12,14 +12,22 @@
 
     Workers are plain [Unix.fork] children (no Domains, so the same
     code runs on OCaml 4.14 and 5.x): each solves in its own copy of
-    the formula and sends its verdict, statistics and wall time back
-    over a pipe as a marshalled reply.  The parent multiplexes the
-    pipes with [Unix.select], enforces an optional per-worker
-    wall-clock timeout, and degrades gracefully: a worker that
-    crashes, is killed by a signal, or exhausts its budget is recorded
-    as such and the race simply continues with the survivors.  Only
-    when no worker can produce a verdict does the aggregate result
-    fall back to [Unknown].
+    the formula and talks to the parent over a pair of pipes carrying
+    length-prefixed {!Share} frames.  While searching, a worker with
+    {!Berkmin.Config.t.share_learnt} on exports every learnt clause
+    that passes the length/glue filter up its pipe; the parent
+    rebroadcasts each distinct clause to every other worker, which
+    adopts the imports at its next restart (see [docs/PARALLEL.md]
+    for the wire protocol).  Sharing is best-effort: every export and
+    rebroadcast write is non-blocking and drops the frame rather than
+    stall anyone.  The worker's last act is a reply frame wrapping its
+    marshalled verdict, statistics and wall time.  The parent
+    multiplexes the pipes with [Unix.select], enforces an optional
+    per-worker wall-clock timeout, and degrades gracefully: a worker
+    that crashes, is killed by a signal, or exhausts its budget is
+    recorded as such and the race simply continues with the
+    survivors.  Only when no worker can produce a verdict does the
+    aggregate result fall back to [Unknown].
 
     With a single worker (and no fault-injection hook) no process is
     forked: the solve runs in this process, bit-for-bit identical to
@@ -63,6 +71,15 @@ type worker = {
   w_stats : Berkmin.Stats.t option;
       (** solver statistics, for workers that delivered a reply
           ([W_won]/[W_exhausted]); [None] for killed or crashed ones *)
+  w_frames_exported : int;
+      (** clause frames the parent received from this worker — counted
+          parent-side, so meaningful even for killed workers (unlike
+          the worker's own [Stats.t.clauses_exported], which only
+          survives in a delivered reply) *)
+  w_frames_delivered : int;
+      (** distinct clause frames the parent successfully wrote into
+          this worker's import pipe (drops under backpressure and
+          writes to dead workers are not counted) *)
 }
 
 type outcome = {
@@ -139,8 +156,9 @@ val result_to_string : Berkmin.Solver.result -> string
 
 val worker_to_json : worker -> Json.t
 (** One worker as JSON: index, strategy name, seed, status, wall
-    seconds and (when delivered) the full statistics object tagged
-    with the worker index. *)
+    seconds, the parent-observed [frames_exported]/[frames_delivered]
+    sharing counters, and (when delivered) the full statistics object
+    tagged with the worker index. *)
 
 val outcome_to_json : outcome -> Json.t
 (** The whole race: aggregate result, winner index (null when none),

@@ -1,0 +1,173 @@
+(* Wire codec for the portfolio's learnt-clause exchange.
+
+   Everything that crosses a worker pipe is a length-prefixed frame:
+
+     bytes 0..3   payload length N, big-endian unsigned
+     bytes 4..    N payload bytes, first byte = frame type
+
+   Clause payload ('C' = 0x43):
+
+     byte  0      'C'
+     byte  1      glue, clamped to 255
+     bytes 2..3   literal count k, big-endian
+     bytes 4..    k literals, 4 bytes each, big-endian, in the
+                  solver's internal encoding (2v / 2v+1)
+
+   so a k-literal clause frame occupies 4 + 4 + 4k bytes — 40 bytes at
+   the default export cap of 8 literals, far below PIPE_BUF (>= 512 by
+   POSIX, 4096 on Linux).  Frames that small are written atomically
+   even on a non-blocking pipe: a write either transfers the whole
+   frame or fails with EAGAIN, never a prefix, which is what lets the
+   exchange drop frames under backpressure instead of corrupting the
+   stream.
+
+   Reply payload ('R' = 0x52): the marshalled end-of-race reply,
+   opaque to this module.  Reply frames exceed PIPE_BUF; they are
+   written blocking, once, as the worker's last act.
+
+   The decoder is incremental: feed it arbitrary byte slices as they
+   arrive, pop complete frames.  A truncated frame simply waits for
+   more bytes; a structurally impossible one (unknown type byte,
+   clause length not matching the literal count, payload beyond the
+   sanity caps) raises {!Malformed} — the reader treats the peer as
+   crashed. *)
+
+open Berkmin_types
+
+type frame =
+  | Clause of { glue : int; lits : Lit.t array }
+  | Reply of Bytes.t
+
+exception Malformed of string
+
+let clause_type = Char.code 'C'
+let reply_type = Char.code 'R'
+
+(* Sanity caps: a clause frame is bounded so it stays under PIPE_BUF
+   (the atomicity requirement); a reply carries a marshalled Stats.t
+   and a model array, bounded generously. *)
+let max_clause_lits = 120
+let max_clause_payload = 4 + (4 * max_clause_lits)
+let max_reply_payload = 64 * 1024 * 1024
+
+let put_u32 b off v =
+  Bytes.set b off (Char.chr ((v lsr 24) land 0xff));
+  Bytes.set b (off + 1) (Char.chr ((v lsr 16) land 0xff));
+  Bytes.set b (off + 2) (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set b (off + 3) (Char.chr (v land 0xff))
+
+let get_u8 b off = Char.code (Bytes.get b off)
+
+let get_u16 b off = (get_u8 b off lsl 8) lor get_u8 b (off + 1)
+
+let get_u32 b off =
+  (get_u8 b off lsl 24)
+  lor (get_u8 b (off + 1) lsl 16)
+  lor (get_u8 b (off + 2) lsl 8)
+  lor get_u8 b (off + 3)
+
+let encode_clause ~glue lits =
+  let k = Array.length lits in
+  if k = 0 || k > max_clause_lits then
+    invalid_arg "Share.encode_clause: clause size out of range";
+  let payload = 4 + (4 * k) in
+  let b = Bytes.create (4 + payload) in
+  put_u32 b 0 payload;
+  Bytes.set b 4 (Char.chr clause_type);
+  Bytes.set b 5 (Char.chr (min glue 255));
+  Bytes.set b 6 (Char.chr ((k lsr 8) land 0xff));
+  Bytes.set b 7 (Char.chr (k land 0xff));
+  Array.iteri (fun j l -> put_u32 b (8 + (4 * j)) l) lits;
+  b
+
+let encode_reply payload =
+  let n = Bytes.length payload in
+  if n > max_reply_payload then invalid_arg "Share.encode_reply: too large";
+  let b = Bytes.create (4 + 1 + n) in
+  put_u32 b 0 (1 + n);
+  Bytes.set b 4 (Char.chr reply_type);
+  Bytes.blit payload 0 b 5 n;
+  b
+
+(* ------------------------------------------------------------------ *)
+(* Incremental decoder.                                                *)
+
+type decoder = {
+  mutable buf : Bytes.t;
+  mutable start : int;  (* first unconsumed byte *)
+  mutable len : int;  (* bytes buffered from [start] *)
+}
+
+let decoder () = { buf = Bytes.create 4096; start = 0; len = 0 }
+
+let buffered d = d.len
+
+let feed d src n =
+  if n > 0 then begin
+    let needed = d.len + n in
+    if d.start + needed > Bytes.length d.buf then begin
+      (* Compact to the front; grow if still short. *)
+      let cap = ref (max (Bytes.length d.buf) 16) in
+      while needed > !cap do
+        cap := 2 * !cap
+      done;
+      let nb = Bytes.create !cap in
+      Bytes.blit d.buf d.start nb 0 d.len;
+      d.buf <- nb;
+      d.start <- 0
+    end;
+    Bytes.blit src 0 d.buf (d.start + d.len) n;
+    d.len <- d.len + n
+  end
+
+let parse_payload b off n =
+  let ty = get_u8 b off in
+  if ty = clause_type then begin
+    if n < 4 then raise (Malformed "clause frame shorter than its header");
+    if n > max_clause_payload then raise (Malformed "oversized clause frame");
+    let glue = get_u8 b (off + 1) in
+    let k = get_u16 b (off + 2) in
+    if n <> 4 + (4 * k) then
+      raise (Malformed "clause frame length does not match literal count");
+    if k = 0 then raise (Malformed "empty clause frame");
+    Clause { glue; lits = Array.init k (fun j -> get_u32 b (off + 4 + (4 * j))) }
+  end
+  else if ty = reply_type then Reply (Bytes.sub b (off + 1) (n - 1))
+  else raise (Malformed (Printf.sprintf "unknown frame type byte %d" ty))
+
+(* Pop one complete frame, or [None] when the buffered bytes end
+   mid-frame (feed more and retry).  @raise Malformed as documented. *)
+let next d =
+  if d.len < 4 then None
+  else begin
+    let n = get_u32 d.buf d.start in
+    if n < 1 then raise (Malformed "empty frame payload");
+    if n > max_reply_payload then raise (Malformed "frame beyond sanity cap");
+    if d.len < 4 + n then None
+    else begin
+      let frame = parse_payload d.buf (d.start + 4) n in
+      d.start <- d.start + 4 + n;
+      d.len <- d.len - (4 + n);
+      if d.len = 0 then d.start <- 0;
+      Some frame
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Export filter and dedup key.                                        *)
+
+(* The quality gate of the exchange: only short, low-glue clauses
+   travel.  Length bounds the bandwidth; glue (distinct decision
+   levels at learn time) selects clauses that tie few levels together
+   — the ones empirically most reusable across differently-steered
+   searches. *)
+let passes ~max_len ~max_glue ~glue lits =
+  let k = Array.length lits in
+  k >= 1 && k <= max_len && k <= max_clause_lits && glue <= max_glue
+
+(* Canonical identity of a clause: sorted distinct literals.  Used by
+   the parent to broadcast each distinct clause once even when several
+   workers learn it. *)
+let key lits =
+  let l = List.sort_uniq Lit.compare (Array.to_list lits) in
+  String.concat "," (List.map string_of_int l)

@@ -1,0 +1,70 @@
+(** Wire codec for the portfolio's learnt-clause exchange.
+
+    Workers and parent speak length-prefixed frames over the race's
+    pipes:
+
+    {v
+      bytes 0..3   payload length N (big-endian unsigned)
+      bytes 4..    N payload bytes; payload byte 0 is the frame type
+    v}
+
+    Clause frames (type ['C']) carry one exported learnt clause —
+    glue byte, 2-byte big-endian literal count, then each literal as
+    4 big-endian bytes in the solver's internal encoding — and stay
+    below [PIPE_BUF], so a non-blocking pipe write transfers a whole
+    frame or nothing ([EAGAIN]): the exchange can drop frames under
+    backpressure without ever corrupting the stream.  Reply frames
+    (type ['R']) wrap the worker's marshalled end-of-race reply and
+    are written blocking, once.
+
+    See [docs/PARALLEL.md] for the byte-level walkthrough. *)
+
+open Berkmin_types
+
+type frame =
+  | Clause of { glue : int; lits : Lit.t array }
+      (** one shared learnt clause (glue clamped to 255 on encode) *)
+  | Reply of Bytes.t  (** the marshalled reply, opaque to the codec *)
+
+exception Malformed of string
+(** A structurally impossible frame: unknown type byte, length not
+    matching the literal count, payload beyond the sanity caps.  The
+    reader should treat the peer as crashed. *)
+
+val max_clause_lits : int
+(** Hard cap on literals per clause frame (keeps frames atomic on a
+    pipe); {!encode_clause} refuses longer clauses, the export filter
+    never passes them. *)
+
+val encode_clause : glue:int -> Lit.t array -> Bytes.t
+(** The complete frame (header + payload) for one clause.
+    @raise Invalid_argument on an empty or over-long clause. *)
+
+val encode_reply : Bytes.t -> Bytes.t
+(** Wraps an opaque (marshalled) reply into a reply frame. *)
+
+type decoder
+(** Incremental frame parser: feed byte slices as they arrive, pop
+    complete frames.  Partial frames wait for more input. *)
+
+val decoder : unit -> decoder
+
+val feed : decoder -> Bytes.t -> int -> unit
+(** [feed d src n] appends the first [n] bytes of [src]. *)
+
+val next : decoder -> frame option
+(** Pops the next complete frame, or [None] when the buffered bytes
+    end mid-frame.
+    @raise Malformed on a structurally invalid frame. *)
+
+val buffered : decoder -> int
+(** Bytes currently buffered (un-popped); for tests. *)
+
+val passes : max_len:int -> max_glue:int -> glue:int -> Lit.t array -> bool
+(** The export filter: true when the clause is non-empty, within both
+    the configured length cap and {!max_clause_lits}, and its glue is
+    within the cap. *)
+
+val key : Lit.t array -> string
+(** Canonical clause identity (sorted distinct literals): the dedup
+    key the parent uses to rebroadcast each distinct clause once. *)

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Doc drift audit: every long flag (--foo-bar) mentioned in README.md
+# or docs/*.md must be accepted by at least one of the project's
+# executables, per its --help.  Catches docs that keep describing
+# flags after a rename or removal.  Advisory in CI (continue-on-error)
+# but exits non-zero on drift so it can be run as a local gate too.
+#
+#   scripts/check_doc_flags.sh
+#
+# Flags that are legitimately documented but not ours (e.g. flags of
+# external tools quoted in prose) go in the ALLOW list below.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+EXES=(bin/berkmin_cli.exe bin/fuzz.exe bin/genbench.exe bin/ec.exe
+      bin/serverd.exe bin/serverctl.exe bench/main.exe)
+
+# Flags documented on purpose that no executable owns: generic
+# placeholders used in prose, plus external tools' flags quoted in
+# commands (dune's --auto-promote in the formatting recipe).
+ALLOW='^--(flag|help|version|auto-promote)$'
+
+dune build "${EXES[@]}" 2>/dev/null
+
+help_flags=$(
+  for exe in "${EXES[@]}"; do
+    dune exec "$exe" -- --help=plain 2>/dev/null || true
+  done | grep -oE '(^|[^-[:alnum:]])--[a-z][a-z0-9-]+' | grep -oE -- '--[a-z][a-z0-9-]+' | sort -u
+)
+
+doc_flags=$(
+  grep -hoE -- '--[a-z][a-z0-9-]+' README.md docs/*.md | sort -u
+)
+
+missing=0
+while IFS= read -r flag; do
+  [[ "$flag" =~ $ALLOW ]] && continue
+  if ! grep -qxF -- "$flag" <<<"$help_flags"; then
+    echo "documented but unknown to every --help: $flag" >&2
+    echo "  mentioned in:" >&2
+    grep -lF -- "$flag" README.md docs/*.md | sed 's/^/    /' >&2
+    missing=1
+  fi
+done <<<"$doc_flags"
+
+if [[ $missing -eq 0 ]]; then
+  count=$(wc -l <<<"$doc_flags")
+  echo "doc flag audit: all $count documented flags resolve against --help"
+else
+  exit 1
+fi
