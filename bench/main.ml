@@ -135,6 +135,119 @@ let smoke_instances () =
       Random_ksat.planted_instance ~num_vars:150 ~ratio:4.2 ~seed:12;
     ]
 
+(* Simplify differential: the same smoke instances once more with the
+   simplification pipeline on (lib/simplify, mode pre).  Gates:
+
+   - decided verdicts must match the plain pass (a run that aborts on
+     either side contradicts nothing);
+   - every SAT model — reconstructed through the elimination stack —
+     must satisfy the ORIGINAL formula;
+   - every UNSAT answer's DRUP proof must forward-check (the
+     simplifier logs each derived clause and deletion), checked up to
+     the same step cap the fuzzer uses;
+   - at least one structured instance must actually eliminate
+     variables, so the pipeline can never silently decay to a no-op. *)
+
+module Drup = Berkmin_proof.Drup
+
+let max_checked_proof_steps = 50_000
+
+let run_simplify_smoke plain_outcomes =
+  let config = Config.with_simplify Config.Simp_pre Config.berkmin in
+  let budget = Runner.quick_budget in
+  let rows =
+    List.map
+      (fun inst ->
+        let cnf = inst.Instance.cnf in
+        let solver = Berkmin.Solver.create ~config cnf in
+        let proof = Drup.create () in
+        Berkmin.Solver.set_proof_logger solver (Drup.record proof);
+        let result = Berkmin.Solver.solve ~budget solver in
+        let st = Berkmin.Solver.stats solver in
+        let verdict =
+          match result with
+          | Berkmin.Solver.Sat _ -> "SAT"
+          | Berkmin.Solver.Unsat -> "UNSAT"
+          | Berkmin.Solver.Unknown -> "aborted"
+        in
+        let model_ok =
+          match result with
+          | Berkmin.Solver.Sat m -> Cnf.satisfied_by cnf m
+          | Berkmin.Solver.Unsat | Berkmin.Solver.Unknown -> true
+        in
+        let proof_status, proof_ok =
+          match result with
+          | Berkmin.Solver.Unsat ->
+            if Drup.length proof > max_checked_proof_steps then ("skipped", true)
+            else (
+              match Drup.check cnf proof with
+              | Drup.Valid -> ("valid", true)
+              | Drup.Invalid { step; reason; _ } ->
+                (Printf.sprintf "invalid at step %d: %s" step reason, false))
+          | Berkmin.Solver.Sat _ | Berkmin.Solver.Unknown -> ("n/a", true)
+        in
+        let plain_verdict =
+          match
+            List.find_opt
+              (fun o -> o.Runner.instance_name = inst.Instance.name)
+              plain_outcomes
+          with
+          | Some o -> Runner.verdict_to_string o.Runner.verdict
+          | None -> "aborted"
+        in
+        let agree =
+          verdict = "aborted" || plain_verdict = "aborted"
+          || verdict = plain_verdict
+        in
+        let eliminated = st.Berkmin.Stats.eliminated_vars in
+        Printf.printf
+          "%-28s %-8s vs plain %-8s  elim %4d  subsumed %4d  proof %s%s%s\n%!"
+          inst.Instance.name verdict plain_verdict eliminated
+          st.Berkmin.Stats.subsumed proof_status
+          (if agree then "" else "  VERDICT DRIFT")
+          (if model_ok then "" else "  BAD MODEL");
+        let json =
+          Json.Obj
+            [
+              "instance", Json.String inst.Instance.name;
+              "verdict", Json.String verdict;
+              "plain_verdict", Json.String plain_verdict;
+              "agree", Json.Bool agree;
+              "model_ok", Json.Bool model_ok;
+              "proof", Json.String proof_status;
+              "simplify_runs", Json.Int st.Berkmin.Stats.simplify_runs;
+              "simplified_clauses",
+                Json.Int st.Berkmin.Stats.simplified_clauses;
+              "eliminated_vars", Json.Int eliminated;
+              "subsumed", Json.Int st.Berkmin.Stats.subsumed;
+              "strengthened", Json.Int st.Berkmin.Stats.strengthened;
+              "failed_literals", Json.Int st.Berkmin.Stats.failed_literals;
+            ]
+        in
+        (json, agree && model_ok && proof_ok, eliminated))
+      (smoke_instances ())
+  in
+  let sound = List.for_all (fun (_, ok, _) -> ok) rows in
+  let total_eliminated = List.fold_left (fun a (_, _, e) -> a + e) 0 rows in
+  let elimination_alive = List.exists (fun (_, _, e) -> e > 0) rows in
+  Printf.printf
+    "simplify smoke: %d instances, %d vars eliminated%s%s\n"
+    (List.length rows) total_eliminated
+    (if sound then "" else ", UNSOUND")
+    (if elimination_alive then "" else ", ELIMINATION DEAD");
+  let json =
+    Json.Obj
+      [
+        "mode",
+          Json.String (Config.simplify_mode_to_string Config.Simp_pre);
+        "instances", Json.List (List.map (fun (j, _, _) -> j) rows);
+        "total_eliminated_vars", Json.Int total_eliminated;
+        "elimination_alive", Json.Bool elimination_alive;
+        "sound", Json.Bool sound;
+      ]
+  in
+  (json, sound && elimination_alive)
+
 let run_smoke () =
   let budget = Runner.quick_budget in
   let outcomes =
@@ -155,6 +268,7 @@ let run_smoke () =
   let total = List.fold_left (fun a o -> a +. o.Runner.seconds) 0.0 outcomes in
   Printf.printf "smoke: %d instances, %.2fs total, %d aborted, %d wrong\n"
     (List.length outcomes) total (List.length aborted) (List.length wrong);
+  let simplify_json, simplify_ok = run_simplify_smoke outcomes in
   let json =
     Json.Obj
       [
@@ -164,9 +278,12 @@ let run_smoke () =
         "total_seconds", Json.Float total;
         "aborted", Json.Int (List.length aborted);
         "wrong", Json.Int (List.length wrong);
+        "simplify", simplify_json;
       ]
   in
-  let status = if aborted = [] && wrong = [] then 0 else 1 in
+  let status =
+    if aborted = [] && wrong = [] && simplify_ok then 0 else 1
+  in
   (json, status)
 
 (* ------------------------------------------------------------------ *)
@@ -368,6 +485,12 @@ let required_instance_keys =
     "imports_used_in_conflict";
     "gc_runs";
     "gc_reclaimed_bytes";
+    "simplify_runs";
+    "simplified_clauses";
+    "eliminated_vars";
+    "subsumed";
+    "strengthened";
+    "failed_literals";
   ]
 
 let schema_violations json =
@@ -477,7 +600,23 @@ let diff_perf_baseline path json =
           match
             Option.bind (List.assoc_opt name base) (List.assoc_opt key)
           with
-          | None -> ()
+          | None ->
+            (* A counter the run reports but the baseline predates is
+               "new", never a regression: gating on it would make every
+               counter addition break CI until the baseline is
+               regenerated.  It still gets a diff row so the artifact
+               shows what the baseline is missing. *)
+            rows :=
+              Json.Obj
+                [
+                  "instance", Json.String name;
+                  "counter", Json.String key;
+                  "baseline", Json.Null;
+                  "current", Json.Int v;
+                  "status", Json.String "new";
+                  "regressed", Json.Bool false;
+                ]
+              :: !rows
           | Some bv ->
             let ratio =
               if bv = 0 then if v = 0 then 1.0 else infinity

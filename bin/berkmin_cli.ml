@@ -95,7 +95,7 @@ let run_portfolio ~config ~budget ~file ~stats_flag ~check ~quiet ~json_out cnf 
 
 let run file strategy max_conflicts max_seconds proof_file stats_flag check
     seed quiet json_out trace_file heartbeat profile workers diversify
-    worker_timeout share share_max_len share_max_glue =
+    worker_timeout share share_max_len share_max_glue simplify simplify_growth =
   match find_config strategy with
   | None ->
     Printf.eprintf "unknown strategy %S; available: %s\n" strategy
@@ -143,6 +143,20 @@ let run file strategy max_conflicts max_seconds proof_file stats_flag check
       | Some s -> Berkmin.Config.with_worker_wall_timeout s config
       | None -> config
     in
+    let config =
+      match Berkmin.Config.simplify_mode_of_string simplify with
+      | Some mode -> Berkmin.Config.with_simplify mode config
+      | None ->
+        Printf.eprintf
+          "--simplify wants off, pre or inprocess (got %S)\n" simplify;
+        exit 2
+    in
+    if simplify_growth < 0 then begin
+      Printf.eprintf "--simplify-growth must be >= 0 (got %d)\n"
+        simplify_growth;
+      exit 2
+    end;
+    let config = Berkmin.Config.with_simplify_growth simplify_growth config in
     match Berkmin_dimacs.Dimacs.parse_file file with
     | exception Sys_error msg ->
       Printf.eprintf "cannot read %s: %s\n" file msg;
@@ -386,6 +400,28 @@ let share_max_glue =
            distinct decision levels among the clause's literals) is at \
            most $(docv) (default 4).")
 
+let simplify =
+  Arg.(
+    value & opt string "off"
+    & info [ "simplify" ] ~docv:"MODE"
+        ~doc:
+          "Clause-database simplification: $(b,off) (default), $(b,pre) \
+           (one pass — subsumption, self-subsuming resolution, bounded \
+           variable elimination, failed-literal probing — before \
+           search) or $(b,inprocess) (the same pipeline again at every \
+           restart).  Eliminated variables are reconstructed into the \
+           printed model; with --proof every rewrite is logged, so the \
+           DRUP certificate stays checkable.  See docs/SIMPLIFY.md.")
+
+let simplify_growth =
+  Arg.(
+    value & opt int 0
+    & info [ "simplify-growth" ] ~docv:"N"
+        ~doc:
+          "Bounded variable elimination may grow the clause count by at \
+           most $(docv) clauses per eliminated variable (default 0: \
+           eliminate only when the database shrinks or stays even).")
+
 let cmd =
   let doc = "BerkMin-style CDCL SAT solver" in
   Cmd.v
@@ -394,6 +430,6 @@ let cmd =
       const run $ file $ strategy $ max_conflicts $ max_seconds $ proof_file
       $ stats_flag $ check $ seed $ quiet $ json_out $ trace_file $ heartbeat
       $ profile $ workers $ diversify $ worker_timeout $ share $ share_max_len
-      $ share_max_glue)
+      $ share_max_glue $ simplify $ simplify_growth)
 
 let () = exit (Cmd.eval' cmd)

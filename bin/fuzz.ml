@@ -35,25 +35,42 @@ let write_artifacts ~prefix ~seed ce =
     Printf.printf "minimized counterexample written to %s\n" mini
 
 let run seed rounds max_vars max_mutations shrink incremental_queries
-    portfolio_workers json_out prefix =
+    portfolio_workers simplify json_out prefix =
   if portfolio_workers = 1 || portfolio_workers < 0 then begin
     Printf.eprintf "--portfolio wants 0 (off) or a worker count >= 2\n";
     exit 2
   end;
-  let solvers =
+  let simplify_lanes =
+    (* With --simplify (the default), a preprocessing and an
+       inprocessing lane join the pool as first-class oracle
+       participants: their verdicts, models and DRUP proofs are
+       cross-examined against the plain CDCL and DPLL lanes, so any
+       unsound rewrite in lib/simplify surfaces as a counterexample. *)
+    if not simplify then []
+    else
+      [
+        Berkmin_fuzz.Oracle.simplify_cdcl ~mode:Berkmin.Config.Simp_pre ();
+        Berkmin_fuzz.Oracle.simplify_cdcl ~mode:Berkmin.Config.Simp_inprocess
+          ();
+      ]
+  in
+  let portfolio_lanes =
     (* With --portfolio N, a share-on and a share-off race join the
        sequential CDCL and DPLL lanes, so any unsound clause import
        surfaces as a verdict disagreement. *)
-    if portfolio_workers = 0 then None
+    if portfolio_workers = 0 then []
     else
-      Some
-        (Berkmin_fuzz.Oracle.default_solvers ()
-        @ [
-            Berkmin_fuzz.Oracle.portfolio ~workers:portfolio_workers
-              ~share:true ();
-            Berkmin_fuzz.Oracle.portfolio ~workers:portfolio_workers
-              ~share:false ();
-          ])
+      [
+        Berkmin_fuzz.Oracle.portfolio ~workers:portfolio_workers ~share:true
+          ();
+        Berkmin_fuzz.Oracle.portfolio ~workers:portfolio_workers ~share:false
+          ();
+      ]
+  in
+  let solvers =
+    match simplify_lanes @ portfolio_lanes with
+    | [] -> None
+    | extra -> Some (Berkmin_fuzz.Oracle.default_solvers () @ extra)
   in
   let config =
     {
@@ -142,6 +159,21 @@ let portfolio_workers =
            set of verdicts is still deterministic, but which worker \
            wins each race is not.")
 
+let simplify =
+  Arg.(
+    value & opt bool true
+    & info [ "simplify" ] ~docv:"BOOL"
+        ~doc:
+          "Add two simplification lanes — the CDCL engine with the \
+           preprocessing pipeline (simplify=pre) and with inprocessing \
+           at restarts (simplify=inprocess) — to the solver pool as \
+           first-class oracle participants.  Their models and DRUP \
+           proofs are checked like any other lane's, so the campaign \
+           doubles as a soundness gate for lib/simplify.  Case \
+           generation derives from the master seed independently of \
+           the lane set, so toggling this never perturbs the other \
+           oracles.")
+
 let json_out =
   Arg.(
     value
@@ -165,6 +197,6 @@ let cmd =
     (Cmd.info "berkmin-fuzz" ~doc)
     Term.(
       const run $ seed $ rounds $ max_vars $ max_mutations $ shrink
-      $ incremental_queries $ portfolio_workers $ json_out $ prefix)
+      $ incremental_queries $ portfolio_workers $ simplify $ json_out $ prefix)
 
 let () = exit (Cmd.eval' cmd)

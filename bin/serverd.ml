@@ -13,7 +13,7 @@
 module Server = Berkmin_server.Server
 module Trace = Berkmin.Trace
 
-let run socket stdio trace_file strategy max_sessions =
+let run socket stdio trace_file strategy max_sessions simplify =
   match List.assoc_opt strategy Berkmin.Config.presets with
   | None ->
     Printf.eprintf
@@ -22,6 +22,15 @@ let run socket stdio trace_file strategy max_sessions =
       (String.concat ", " (List.map fst Berkmin.Config.presets));
     2
   | Some config -> (
+    let config =
+      match Berkmin.Config.simplify_mode_of_string simplify with
+      | Some mode -> Berkmin.Config.with_simplify mode config
+      | None ->
+        Printf.eprintf
+          "berkmin-serverd: --simplify wants off, pre or inprocess (got %S)\n"
+          simplify;
+        exit 2
+    in
     let server = Server.create ~config ~max_sessions () in
     (match trace_file with
     | Some path -> Trace.set_sink (Server.trace server) (Trace.open_jsonl path)
@@ -77,10 +86,24 @@ let max_sessions =
     & info [ "max-sessions" ] ~docv:"N"
         ~doc:"Refuse new sessions beyond $(docv) resident solvers.")
 
+let simplify =
+  Arg.(
+    value & opt string "off"
+    & info [ "simplify" ] ~docv:"MODE"
+        ~doc:
+          "Clause-database simplification for every session: $(b,off) \
+           (default), $(b,pre) or $(b,inprocess).  Assumption variables \
+           are frozen, but a later add_clause or solve touching a \
+           variable the simplifier already eliminated is rejected as an \
+           error reply, so incremental clients should keep the default \
+           unless their variable set is stable.  See docs/SIMPLIFY.md.")
+
 let cmd =
   let doc = "persistent BerkMin solver daemon (JSONL protocol)" in
   Cmd.v
     (Cmd.info "berkmin-serverd" ~doc)
-    Term.(const run $ socket $ stdio $ trace_file $ strategy $ max_sessions)
+    Term.(
+      const run $ socket $ stdio $ trace_file $ strategy $ max_sessions
+      $ simplify)
 
 let () = exit (Cmd.eval' cmd)

@@ -32,6 +32,10 @@ let add t ~cref a b =
   Vec.push vb cref;
   t.entries <- t.entries + 2
 
+let clear t =
+  Array.iter Vec.clear t.index;
+  t.entries <- 0
+
 let implications t p = t.index.(p)
 
 let num_entries t = t.entries

@@ -42,6 +42,10 @@ val add : t -> cref:int -> Lit.t -> Lit.t -> unit
     its arena address): [(b, cref)] under [negate a] and [(a, cref)]
     under [negate b]. *)
 
+val clear : t -> unit
+(** Drop every entry (capacity retained).  Used by the simplifier's
+    database rebuild, which re-adds every surviving 2-clause. *)
+
 val implications : t -> Lit.t -> int Vec.t
 (** [implications t p] is the packed implication vector consulted when
     [p] becomes true: stride-2 [(implied_lit, cref)] pairs, one per

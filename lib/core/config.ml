@@ -31,6 +31,11 @@ type restart_mode =
   | Luby of int
   | No_restarts
 
+type simplify_mode =
+  | Simp_off
+  | Simp_pre
+  | Simp_inprocess
+
 type t = {
   activity_mode : activity_mode;
   decision_mode : decision_mode;
@@ -63,6 +68,8 @@ type t = {
   share_learnt : bool;
   share_max_len : int;
   share_max_glue : int;
+  simplify : simplify_mode;
+  simplify_growth : int;
 }
 
 (* Constants follow Section 8 of the paper: young clauses are kept when
@@ -102,6 +109,8 @@ let berkmin = {
   share_learnt = true;
   share_max_len = 8;
   share_max_glue = 4;
+  simplify = Simp_off;
+  simplify_growth = 0;
 }
 
 let less_sensitivity = { berkmin with activity_mode = Conflict_clause_only }
@@ -161,6 +170,23 @@ let with_share_max_glue n t =
   if n < 1 then invalid_arg "Config.with_share_max_glue: need at least 1";
   { t with share_max_glue = n }
 
+let with_simplify simplify t = { t with simplify }
+
+let with_simplify_growth n t =
+  if n < 0 then invalid_arg "Config.with_simplify_growth: need >= 0";
+  { t with simplify_growth = n }
+
+let simplify_mode_to_string = function
+  | Simp_off -> "off"
+  | Simp_pre -> "pre"
+  | Simp_inprocess -> "inprocess"
+
+let simplify_mode_of_string = function
+  | "off" -> Some Simp_off
+  | "pre" -> Some Simp_pre
+  | "inprocess" -> Some Simp_inprocess
+  | _ -> None
+
 let presets = [
   "berkmin", berkmin;
   "less_sensitivity", less_sensitivity;
@@ -194,6 +220,8 @@ let name_of t =
           share_learnt = t.share_learnt;
           share_max_len = t.share_max_len;
           share_max_glue = t.share_max_glue;
+          simplify = t.simplify;
+          simplify_growth = t.simplify_growth;
         }
         = t)
       presets
@@ -229,6 +257,11 @@ let pp fmt t =
     | Luby n -> Printf.sprintf "luby(%d)" n
     | No_restarts -> "none"
   in
+  let simplify =
+    match t.simplify with
+    | Simp_off -> ""
+    | m -> Printf.sprintf " simplify=%s" (simplify_mode_to_string m)
+  in
   Format.fprintf fmt
-    "{%s: activity=%s decision=%s polarity=%s reduction=%s restarts=%s seed=%d}"
-    (name_of t) activity decision polarity reduction restarts t.seed
+    "{%s: activity=%s decision=%s polarity=%s reduction=%s restarts=%s seed=%d%s}"
+    (name_of t) activity decision polarity reduction restarts t.seed simplify

@@ -67,6 +67,17 @@ type restart_mode =
   | Luby of int  (** Luby sequence scaled by the unit *)
   | No_restarts
 
+(** When the clause-database simplifier (lib/simplify: subsumption,
+    self-subsuming resolution, bounded variable elimination,
+    failed-literal probing) runs.  A post-BerkMin extension, off in the
+    paper's configuration. *)
+type simplify_mode =
+  | Simp_off  (** never (the default; search is byte-identical) *)
+  | Simp_pre  (** once, before search starts *)
+  | Simp_inprocess
+      (** before search and again at every restart boundary, after DB
+          reduction/GC and before the portfolio import drain *)
+
 type t = {
   activity_mode : activity_mode;
   decision_mode : decision_mode;
@@ -145,6 +156,13 @@ type t = {
       (** learnt clauses whose glue — the number of distinct decision
           levels among their literals at learn time (LBD) — exceeds
           this are never exported (default 4) *)
+  simplify : simplify_mode;
+      (** when the clause-database simplifier runs ([Simp_off] by
+          default) *)
+  simplify_growth : int;
+      (** bounded variable elimination may add this many resolvents
+          beyond the clauses it removes (default 0: elimination must
+          never grow the database) *)
 }
 
 val berkmin : t
@@ -213,11 +231,24 @@ val with_share_max_glue : int -> t -> t
 (** Set the export glue (LBD) cap for shared learnt clauses.
     @raise Invalid_argument when below 1. *)
 
+val with_simplify : simplify_mode -> t -> t
+(** Choose when the clause-database simplifier runs. *)
+
+val with_simplify_growth : int -> t -> t
+(** Set the variable-elimination growth cap.
+    @raise Invalid_argument when negative. *)
+
+val simplify_mode_to_string : simplify_mode -> string
+(** ["off"], ["pre"] or ["inprocess"] — the CLI flag vocabulary. *)
+
+val simplify_mode_of_string : string -> simplify_mode option
+
 val name_of : t -> string
 (** Best-effort human name: matches a preset or describes the fields.
-    Observability and portfolio fields (trace, heartbeat, timers,
-    cursor debug, workers) are ignored by the match — they don't
-    change the search a single solver performs. *)
+    Observability, portfolio and simplifier fields (trace, heartbeat,
+    timers, cursor debug, workers, simplify) are ignored by the match —
+    they are orthogonal toggles layered on a preset, and a
+    simplify-enabled preset should still report its preset name. *)
 
 val presets : (string * t) list
 (** All named presets, for CLIs and the bench harness. *)

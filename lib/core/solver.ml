@@ -100,6 +100,15 @@ type t = {
          reduction (GC preserves stack order, so relocation never
          perturbs it) *)
   mutable verdict : result option;
+  mutable eliminated : bool array;
+      (* variables removed by bounded variable elimination: never
+         decided on, never re-assigned; their model values come from
+         the reconstruction stack below *)
+  mutable elim_stack : Berkmin_simplify.Engine.elim_entry list;
+      (* model-reconstruction entries, newest elimination first — the
+         replay order {!Berkmin_simplify.Recon.extend} expects *)
+  mutable simplify_pre_done : bool;
+      (* the pre-search simplification pass runs once per solver *)
   mutable ok : bool;  (* false once a top-level conflict is found *)
 }
 
@@ -148,6 +157,14 @@ let enqueue s l reason =
   (* Level-0 reasons are never consulted by conflict analysis and would
      pin clauses against deletion, so they are dropped. *)
   s.reason.(v) <- (if dl = 0 then Arena.cref_undef else reason);
+  (* With simplification active, every level-0 fact goes to the proof
+     as a unit clause the moment it is derived (RUP: its support is
+     still in the database here).  Simplification and reduction may
+     later delete that support; the logged unit keeps the fact alive
+     for the checker.  Duplicates (learnt/imported units log their own
+     Add) are harmless — the checker counts multiplicity. *)
+  if dl = 0 && s.proof <> None && s.cfg.Config.simplify <> Config.Simp_off then
+    log_add s [| l |];
   Vec.push s.trail l
 
 let unassign s l =
@@ -726,6 +743,168 @@ let reduce_db s =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Clause-database simplification (subsumption, self-subsuming
+   resolution, bounded variable elimination, failed-literal probing).
+   The combinatorics live in {!Berkmin_simplify.Engine}; this function
+   shuttles the arena out and back.                                    *)
+
+module Simp = Berkmin_simplify.Engine
+
+(* Run one simplification pass at decision level 0 and rebuild the
+   clause database from the outcome.
+
+   Proof discipline: the engine emits every derived clause before the
+   deletions it justifies, but its deletions may target clauses whose
+   level-0 units entered the trail before a proof logger was attached
+   (original unit clauses, say).  Re-asserting the whole level-0 trail
+   as unit Adds first — each is RUP against the still-intact database —
+   makes the units permanent for the checker, so no later deletion can
+   orphan them.  Duplicates are harmless: the checker counts
+   multiplicity. *)
+let simplify_now s =
+  assert (decision_level s = 0);
+  if s.ok then begin
+    let confl = propagate s in
+    if confl <> Arena.cref_undef then begin
+      s.stats.conflicts <- s.stats.conflicts + 1;
+      s.ok <- false
+    end
+    else begin
+      let ar = s.arena in
+      let n_orig = Vec.length s.original in
+      let n_learnt = Vec.length s.learnt in
+      let clauses_before = n_orig + n_learnt in
+      if s.proof <> None then
+        Vec.iter (fun l -> log_add s [| l |]) s.trail;
+      (* Learnt-clause metadata survives the round trip via the tag:
+         clause [n_orig + i] carries glue [meta_glue.(i)]. *)
+      let meta_glue = Array.make (max n_learnt 1) 0 in
+      let meta_imported = Array.make (max n_learnt 1) false in
+      let input = ref [] in
+      for i = n_learnt - 1 downto 0 do
+        let c = Vec.get s.learnt i in
+        meta_glue.(i) <- Vec.get s.learnt_glue i;
+        meta_imported.(i) <- Arena.is_imported ar c;
+        input :=
+          { Simp.lits = Arena.lits_array ar c;
+            tag = n_orig + i;
+            redundant = true }
+          :: !input
+      done;
+      for i = n_orig - 1 downto 0 do
+        input :=
+          { Simp.lits = Arena.lits_array ar (Vec.get s.original i);
+            tag = i;
+            redundant = false }
+          :: !input
+      done;
+      let frozen v = Array.exists (fun l -> Lit.var l = v) s.assumptions in
+      let roots = ref [] in
+      for i = Vec.length s.trail - 1 downto 0 do
+        roots := Vec.get s.trail i :: !roots
+      done;
+      let opts = { Simp.default_opts with bve_growth = s.cfg.simplify_growth } in
+      let out =
+        Simp.run ~opts ~nvars:s.nvars ~frozen ~roots:!roots
+          ~proof:(fun e -> log_proof s e)
+          !input
+      in
+      let st = out.Simp.st in
+      s.stats.simplify_runs <- s.stats.simplify_runs + 1;
+      s.stats.simplified_clauses <-
+        s.stats.simplified_clauses + st.Simp.simplified_clauses;
+      s.stats.eliminated_vars <-
+        s.stats.eliminated_vars + st.Simp.eliminated_vars;
+      s.stats.subsumed <- s.stats.subsumed + st.Simp.subsumed;
+      s.stats.strengthened <- s.stats.strengthened + st.Simp.strengthened;
+      s.stats.failed_literals <-
+        s.stats.failed_literals + st.Simp.failed_literals;
+      let changed =
+        st.Simp.simplified_clauses > 0
+        || st.Simp.strengthened > 0
+        || st.Simp.eliminated_vars > 0
+        || st.Simp.failed_literals > 0
+        || out.Simp.units <> []
+        || out.Simp.unsat
+      in
+      if changed then begin
+        (* Rebuild the database from the outcome: every old cref dies,
+           every survivor is re-allocated.  Level-0 reasons are all
+           [cref_undef] (see [enqueue]), so nothing outside the vecs
+           cleared here can hold a stale cref.  No extra deletion
+           events: the engine already logged exactly what it dropped,
+           and a re-allocated survivor has the same literals the
+           checker's database entry has. *)
+        Vec.iter (fun c -> Arena.free ar c) s.original;
+        Vec.iter (fun c -> Arena.free ar c) s.learnt;
+        Vec.clear s.original;
+        Vec.clear s.learnt;
+        Vec.clear s.learnt_glue;
+        Array.iter Vec.clear s.watches;
+        Binary.clear s.binary;
+        List.iter
+          (fun e -> s.eliminated.(e.Simp.var) <- true)
+          out.Simp.eliminated;
+        s.elim_stack <- out.Simp.eliminated @ s.elim_stack;
+        let add_back ~learnt ~imported ~glue lits =
+          let c = Arena.alloc ~imported ar ~learnt lits in
+          if learnt then begin
+            Vec.push s.learnt c;
+            Vec.push s.learnt_glue glue
+          end
+          else Vec.push s.original c;
+          if Array.length lits = 2 then
+            Binary.add s.binary ~cref:c lits.(0) lits.(1)
+        in
+        List.iter
+          (fun { Simp.lits; tag; redundant } ->
+            if redundant then
+              add_back ~learnt:true
+                ~imported:meta_imported.(tag - n_orig)
+                ~glue:meta_glue.(tag - n_orig) lits
+            else
+              (* [tag >= n_orig]: a learnt clause promoted to
+                 irredundant by subsumption; it joins the originals and
+                 leaves the reduction heuristics' reach. *)
+              add_back ~learnt:false ~imported:false ~glue:0 lits)
+          out.Simp.kept;
+        List.iter
+          (fun lits -> add_back ~learnt:false ~imported:false ~glue:0 lits)
+          out.Simp.resolvents;
+        List.iter
+          (fun l ->
+            match lit_value s l with
+            | Value.True -> ()
+            | Value.False -> s.ok <- false
+            | Value.Unassigned -> enqueue s l Arena.cref_undef)
+          out.Simp.units;
+        if out.Simp.unsat then s.ok <- false;
+        s.top_cursor <- Vec.length s.learnt - 1;
+        (* Compact away the freed clauses, then re-derive the watch
+           invariant (long clauses attach; clauses satisfied by the new
+           units stay unattached; single-survivor clauses enqueue). *)
+        gc s;
+        rebuild_watches s;
+        Stats.note_live_clauses s.stats (s.n_original + Vec.length s.learnt);
+        if Vec.length s.learnt > s.stats.max_learnt_live then
+          s.stats.max_learnt_live <- Vec.length s.learnt
+      end;
+      if s.tracer.Trace.active then
+        Trace.emit s.tracer
+          (Trace.Simplify
+             {
+               rounds = st.Simp.rounds;
+               subsumed = st.Simp.subsumed;
+               strengthened = st.Simp.strengthened;
+               eliminated_vars = st.Simp.eliminated_vars;
+               failed_literals = st.Simp.failed_literals;
+               clauses_before;
+               clauses_after = Vec.length s.original + Vec.length s.learnt;
+             })
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Decision making (Sections 5–7).                                     *)
 
 (* The current top clauses: the [top_window] unsatisfied learnt clauses
@@ -796,7 +975,8 @@ let most_active_free_var s =
       if Var_heap.is_empty h then None
       else begin
         let v = Var_heap.pop_max h in
-        if Value.is_assigned s.assigns.(v) then pop () else Some v
+        if Value.is_assigned s.assigns.(v) || s.eliminated.(v) then pop ()
+        else Some v
       end
     in
     pop ()
@@ -804,7 +984,10 @@ let most_active_free_var s =
     let best = ref (-1) in
     let best_act = ref neg_infinity in
     for v = 0 to s.nvars - 1 do
-      if (not (Value.is_assigned s.assigns.(v))) && s.var_act.(v) > !best_act
+      if
+        (not (Value.is_assigned s.assigns.(v)))
+        && (not s.eliminated.(v))
+        && s.var_act.(v) > !best_act
       then begin
         best := v;
         best_act := s.var_act.(v)
@@ -816,7 +999,10 @@ let best_vsids_literal s =
   let best = ref (-1) in
   let best_act = ref neg_infinity in
   for l = 0 to (2 * s.nvars) - 1 do
-    if (not (Value.is_assigned s.assigns.(Lit.var l))) && s.vsids.(l) > !best_act
+    if
+      (not (Value.is_assigned s.assigns.(Lit.var l)))
+      && (not s.eliminated.(Lit.var l))
+      && s.vsids.(l) > !best_act
     then begin
       best := l;
       best_act := s.vsids.(l)
@@ -1092,6 +1278,10 @@ let import_clause s ~glue lits =
       if
         (not (tautology sorted))
         && (not (List.exists (fun l -> Lit.var l >= s.nvars) sorted))
+        (* Foreign clauses over variables this worker eliminated are
+           dropped: re-introducing an eliminated variable would
+           invalidate the model-reconstruction stack. *)
+        && (not (List.exists (fun l -> s.eliminated.(Lit.var l)) sorted))
         && not (List.exists (fun l -> lit_value s l = Value.True) sorted)
       then begin
         let rem = List.filter (fun l -> lit_value s l <> Value.False) sorted in
@@ -1158,16 +1348,20 @@ let restart s =
   s.restart_epoch <- s.restart_epoch + 1;
   s.conflicts_at_restart <- s.stats.conflicts;
   backtrack s 0;
-  (* Foreign learnt clauses enter here, between the backtrack to the
-     root and DB reduction: level 0, so units become top-level facts
-     immediately, and the reduction that follows judges imports by the
-     same age/activity rules as native clauses. *)
-  drain_imports s;
   if s.tracer.Trace.active then
     Trace.emit s.tracer
       (Trace.Restart
          { restart_no = s.stats.restarts; conflict_no = s.stats.conflicts });
-  reduce_db s
+  reduce_db s;
+  (* Inprocessing slots in after reduction (and its GC) so it works on
+     the already-thinned database, and before the import drain so
+     foreign clauses are never silently rewritten by a pass they
+     arrived too late for. *)
+  if s.cfg.simplify = Config.Simp_inprocess && s.ok then simplify_now s;
+  (* Foreign learnt clauses enter last, at level 0: units become
+     top-level facts immediately, and the next reduction judges them
+     by the same age/activity rules as native clauses. *)
+  drain_imports s
 
 (* ------------------------------------------------------------------ *)
 (* Construction.                                                       *)
@@ -1227,6 +1421,9 @@ let create ?(config = Config.berkmin) cnf =
     import_source = None;
     import_seen = Hashtbl.create 64;
     verdict = None;
+    eliminated = Array.make (max nvars 1) false;
+    elim_stack = [];
+    simplify_pre_done = false;
     ok = true;
   } in
   Cnf.iter
@@ -1374,11 +1571,20 @@ let over_budget s budget started =
 let extract_model s =
   (* [assigns] is padded to length >= 1 even for empty formulas, so
      build the model from the true variable count. *)
-  Array.init s.nvars (fun v ->
-      match s.assigns.(v) with
-      | Value.True -> true
-      | Value.False -> false
-      | Value.Unassigned -> assert false)
+  let m =
+    Array.init s.nvars (fun v ->
+        match s.assigns.(v) with
+        | Value.True -> true
+        | Value.False -> false
+        | Value.Unassigned ->
+          (* Only variables removed by BVE may be unassigned in a
+             complete assignment; the reconstruction pass below picks
+             their value from the clauses they were resolved out of. *)
+          assert s.eliminated.(v);
+          false)
+  in
+  if s.elim_stack <> [] then Berkmin_simplify.Recon.extend s.elim_stack m;
+  m
 
 (* The main CDCL loop.  Returns an extended verdict so the assumption
    interface can distinguish conditional unsatisfiability. *)
@@ -1475,6 +1681,16 @@ let to_plain = function
   | `Unknown -> Unknown
   | `Unsat_assuming _ -> assert false (* impossible without assumptions *)
 
+(* The pre-search simplification pass: once per solver, in both [pre]
+   and [inprocess] modes, with [s.assumptions] already in place so
+   assumption variables are frozen. *)
+let maybe_presimplify s =
+  if s.cfg.simplify <> Config.Simp_off && not s.simplify_pre_done then begin
+    s.simplify_pre_done <- true;
+    backtrack s 0;
+    simplify_now s
+  end
+
 let solve_plain ?(budget = no_budget) s =
   match s.verdict with
   | Some (Sat _ | Unsat) -> Option.get s.verdict
@@ -1486,9 +1702,17 @@ let solve_plain ?(budget = no_budget) s =
     end
     else begin
       s.assumptions <- [||];
-      let r = to_plain (search s budget) in
-      s.verdict <- Some r;
-      r
+      maybe_presimplify s;
+      if not s.ok then begin
+        log_add s [||];
+        s.verdict <- Some Unsat;
+        Unsat
+      end
+      else begin
+        let r = to_plain (search s budget) in
+        s.verdict <- Some r;
+        r
+      end
     end
 
 type assumption_result =
@@ -1509,11 +1733,21 @@ let solve_with_assumptions ?(budget = no_budget) s assumptions =
       List.iter
         (fun l ->
           if Lit.var l >= s.nvars then
-            invalid_arg "solve_with_assumptions: unknown variable")
+            invalid_arg "solve_with_assumptions: unknown variable";
+          if s.eliminated.(Lit.var l) then
+            invalid_arg
+              "solve_with_assumptions: variable eliminated by simplification")
         assumptions;
       backtrack s 0;
       s.assumptions <- Array.of_list assumptions;
-      let result = search s budget in
+      maybe_presimplify s;
+      let result =
+        if s.ok then search s budget
+        else begin
+          log_add s [||];
+          `Unsat
+        end
+      in
       s.assumptions <- [||];
       let answer =
         match result with
@@ -1558,6 +1792,7 @@ let ensure_var_capacity s n =
     s.level <- grow_arr s.level 0 cap;
     s.reason <- grow_arr s.reason Arena.cref_undef cap;
     s.seen <- grow_arr s.seen false cap;
+    s.eliminated <- grow_arr s.eliminated false cap;
     s.var_act <- grow_arr s.var_act 0.0 cap
   end;
   let lcap = Array.length s.lit_act in
@@ -1600,7 +1835,9 @@ let add_clause s lits =
   List.iter
     (fun l ->
       if l < 0 || Lit.var l >= s.nvars then
-        invalid_arg "Solver.add_clause: unknown variable")
+        invalid_arg "Solver.add_clause: unknown variable";
+      if s.eliminated.(Lit.var l) then
+        invalid_arg "Solver.add_clause: variable eliminated by simplification")
     lits;
   match s.verdict with
   | Some Unsat -> ()  (* permanently unsatisfiable; the clause is moot *)
@@ -1677,6 +1914,20 @@ let solve_limited ?(assumps = []) s ~conflicts =
 
 let unsat_core s = s.last_core
 
+let simplify s =
+  invalidate_verdict s;
+  backtrack s 0;
+  simplify_now s;
+  if not s.ok then begin
+    log_add s [||];
+    s.verdict <- Some Unsat
+  end
+
+let num_eliminated_vars s =
+  let n = ref 0 in
+  Array.iter (fun e -> if e then incr n) s.eliminated;
+  !n
+
 let check_model cnf m = Cnf.satisfied_by cnf m
 
 let solve_cnf ?config ?budget cnf = solve ?budget (create ?config cnf)
@@ -1712,6 +1963,12 @@ let metrics s =
   int_gauge "binary_index_entries" (fun () -> Binary.num_entries s.binary);
   int_gauge "restarts" (fun () -> st.Stats.restarts);
   int_gauge "reductions" (fun () -> st.Stats.reductions);
+  int_gauge "simplify_runs" (fun () -> st.Stats.simplify_runs);
+  int_gauge "simplified_clauses" (fun () -> st.Stats.simplified_clauses);
+  int_gauge "eliminated_vars" (fun () -> st.Stats.eliminated_vars);
+  int_gauge "subsumed" (fun () -> st.Stats.subsumed);
+  int_gauge "strengthened" (fun () -> st.Stats.strengthened);
+  int_gauge "failed_literals" (fun () -> st.Stats.failed_literals);
   int_gauge "gc_runs" (fun () -> st.Stats.gc_runs);
   int_gauge "gc_reclaimed_bytes" (fun () -> st.Stats.gc_reclaimed_bytes);
   int_gauge "arena_bytes" (fun () -> Arena.bytes s.arena);

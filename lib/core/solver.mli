@@ -204,6 +204,22 @@ val compact : t -> unit
     clauses; the public hook exists for tests and memory-pressure
     callers. *)
 
+val simplify : t -> unit
+(** Forces one clause-database simplification pass (subsumption,
+    self-subsuming resolution, bounded variable elimination,
+    failed-literal probing — see {!Berkmin_simplify.Engine}) at
+    decision level 0, regardless of {!Config.t.simplify}.  Backtracks
+    to the root first and invalidates any cached non-UNSAT verdict.
+    Variables eliminated here stay eliminated: they reject later
+    {!add_clause}/assumption mentions and get their model values from
+    the reconstruction stack.  With a proof logger attached, every
+    rewrite is mirrored to the DRUP stream.  For tests and embedders;
+    the search calls this itself according to the configured mode. *)
+
+val num_eliminated_vars : t -> int
+(** Variables removed so far by bounded variable elimination (the
+    cumulative {!Stats.t.eliminated_vars} of this solver; O(nvars)). *)
+
 val arena_bytes : t -> int
 (** Current clause-arena footprint in bytes (headers + literals,
     live + not-yet-collected garbage). *)

@@ -17,6 +17,12 @@ type t = {
   mutable imports_used_in_conflict : int;
   mutable restarts : int;
   mutable reductions : int;
+  mutable simplify_runs : int;
+  mutable simplified_clauses : int;
+  mutable eliminated_vars : int;
+  mutable subsumed : int;
+  mutable strengthened : int;
+  mutable failed_literals : int;
   mutable gc_runs : int;
   mutable gc_reclaimed_bytes : int;
   mutable arena_bytes : int;
@@ -52,6 +58,12 @@ let create () = {
   imports_used_in_conflict = 0;
   restarts = 0;
   reductions = 0;
+  simplify_runs = 0;
+  simplified_clauses = 0;
+  eliminated_vars = 0;
+  subsumed = 0;
+  strengthened = 0;
+  failed_literals = 0;
   gc_runs = 0;
   gc_reclaimed_bytes = 0;
   arena_bytes = 0;
@@ -85,6 +97,12 @@ let reset t =
   t.imports_used_in_conflict <- 0;
   t.restarts <- 0;
   t.reductions <- 0;
+  t.simplify_runs <- 0;
+  t.simplified_clauses <- 0;
+  t.eliminated_vars <- 0;
+  t.subsumed <- 0;
+  t.strengthened <- 0;
+  t.failed_literals <- 0;
   t.gc_runs <- 0;
   t.gc_reclaimed_bytes <- 0;
   t.arena_bytes <- 0;
@@ -167,6 +185,12 @@ let to_json ?worker ?seconds t =
       "imports_used_in_conflict", Json.Int t.imports_used_in_conflict;
       "restarts", Json.Int t.restarts;
       "reductions", Json.Int t.reductions;
+      "simplify_runs", Json.Int t.simplify_runs;
+      "simplified_clauses", Json.Int t.simplified_clauses;
+      "eliminated_vars", Json.Int t.eliminated_vars;
+      "subsumed", Json.Int t.subsumed;
+      "strengthened", Json.Int t.strengthened;
+      "failed_literals", Json.Int t.failed_literals;
       "gc_runs", Json.Int t.gc_runs;
       "gc_reclaimed_bytes", Json.Int t.gc_reclaimed_bytes;
       "arena_bytes", Json.Int t.arena_bytes;
@@ -210,7 +234,13 @@ let pp fmt t =
     t.binary_conflicts t.propagations t.binary_propagations t.watcher_visits
     t.blocker_hits t.restarts t.reductions t.learnt_total
     (avg_learnt_length t) t.removed_clauses t.max_live_clauses t.arena_bytes
-    t.gc_runs t.gc_reclaimed_bytes
+    t.gc_runs t.gc_reclaimed_bytes;
+  if t.simplify_runs > 0 then
+    Format.fprintf fmt
+      "@\nsimplify       : %d runs (%d clauses removed, %d vars eliminated, \
+       %d subsumed, %d strengthened, %d failed lits)"
+      t.simplify_runs t.simplified_clauses t.eliminated_vars t.subsumed
+      t.strengthened t.failed_literals
 
 let pp_line fmt t =
   Format.fprintf fmt "dec=%d conf=%d prop=%d rst=%d learnt=%d"

@@ -45,6 +45,22 @@ type t = {
           derivations steer this worker's search *)
   mutable restarts : int;
   mutable reductions : int;
+  mutable simplify_runs : int;
+      (** clause-database simplification passes executed (pre-search
+          and inprocessing; see {!Config.simplify_mode}) *)
+  mutable simplified_clauses : int;
+      (** clauses deleted outright by simplification: subsumed,
+          satisfied at the root, or removed by variable elimination *)
+  mutable eliminated_vars : int;
+      (** variables removed by bounded variable elimination (their
+          models are repaired from the reconstruction stack) *)
+  mutable subsumed : int;  (** clauses deleted because a subset exists *)
+  mutable strengthened : int;
+      (** clauses shortened by self-subsuming resolution or root-level
+          false-literal stripping *)
+  mutable failed_literals : int;
+      (** literals refuted by probing the binary implication graph;
+          each yields a top-level unit *)
   mutable gc_runs : int;  (** arena compactions performed *)
   mutable gc_reclaimed_bytes : int;
       (** total bytes of deleted clauses physically reclaimed by GC *)

@@ -17,6 +17,15 @@ type event =
   | Backjump of { from_level : int; to_level : int }
   | Restart of { restart_no : int; conflict_no : int }
   | Reduce_db of { live_before : int; removed : int; threshold : int }
+  | Simplify of {
+      rounds : int;
+      subsumed : int;
+      strengthened : int;
+      eliminated_vars : int;
+      failed_literals : int;
+      clauses_before : int;
+      clauses_after : int;
+    }
   | Gc of {
       reclaimed_bytes : int;
       arena_bytes_before : int;
@@ -116,6 +125,27 @@ let event_fields = function
         "live_before", Json.Int live_before;
         "removed", Json.Int removed;
         "threshold", Json.Int threshold;
+      ]
+  | Simplify
+      {
+        rounds;
+        subsumed;
+        strengthened;
+        eliminated_vars;
+        failed_literals;
+        clauses_before;
+        clauses_after;
+      } ->
+    Json.Obj
+      [
+        "event", Json.String "simplify";
+        "rounds", Json.Int rounds;
+        "subsumed", Json.Int subsumed;
+        "strengthened", Json.Int strengthened;
+        "eliminated_vars", Json.Int eliminated_vars;
+        "failed_literals", Json.Int failed_literals;
+        "clauses_before", Json.Int clauses_before;
+        "clauses_after", Json.Int clauses_after;
       ]
   | Gc { reclaimed_bytes; arena_bytes_before; arena_bytes_after } ->
     Json.Obj

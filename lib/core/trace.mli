@@ -33,6 +33,18 @@ type event =
   | Backjump of { from_level : int; to_level : int }
   | Restart of { restart_no : int; conflict_no : int }
   | Reduce_db of { live_before : int; removed : int; threshold : int }
+  | Simplify of {
+      rounds : int;
+      subsumed : int;
+      strengthened : int;
+      eliminated_vars : int;
+      failed_literals : int;
+      clauses_before : int;
+      clauses_after : int;
+    }
+      (** one clause-database simplification pass (pre-search or at a
+          restart boundary): what it removed, shortened and eliminated,
+          and the live original+learnt clause count on either side *)
   | Gc of {
       reclaimed_bytes : int;
       arena_bytes_before : int;

@@ -26,6 +26,25 @@ let cdcl ?(config = Berkmin.Config.berkmin)
         | Berkmin.Solver.Unknown -> A_unknown);
   }
 
+(* Simplification lanes: the same CDCL engine with the preprocessing /
+   inprocessing pipeline switched on.  [Config.name_of] treats
+   simplification as an orthogonal toggle (preset names stay stable),
+   so the lane names are explicit.  Racing these against the plain
+   CDCL and DPLL lanes makes the differential fuzzer a soundness check
+   of every rewrite the simplifier performs: an unsound subsumption,
+   elimination or probe shows up as a verdict/model/proof failure. *)
+let simplify_cdcl ?(mode = Berkmin.Config.Simp_pre)
+    ?(config = Berkmin.Config.berkmin)
+    ?(budget = Berkmin_harness.Runner.fuzz_budget) () =
+  let config = Berkmin.Config.with_simplify mode config in
+  let base = cdcl ~config ~budget () in
+  {
+    base with
+    name =
+      Printf.sprintf "cdcl:simplify-%s"
+        (Berkmin.Config.simplify_mode_to_string mode);
+  }
+
 (* A whole portfolio race as one oracle solver.  Races are
    timing-nondeterministic (which worker wins varies), but the oracles
    only judge what must be invariant: the verdict, the model, and that

@@ -35,6 +35,20 @@ val cdcl :
 val dpll : ?max_nodes:int -> unit -> solver
 (** The independent reference DPLL (default budget: 500k nodes). *)
 
+val simplify_cdcl :
+  ?mode:Berkmin.Config.simplify_mode ->
+  ?config:Berkmin.Config.t ->
+  ?budget:Berkmin.Solver.budget ->
+  unit ->
+  solver
+(** The CDCL engine with clause-database simplification enabled
+    (default mode {!Berkmin.Config.Simp_pre}), DRUP logging included —
+    proofs cover every subsumption, strengthening, elimination and
+    probe.  Named ["cdcl:simplify-pre"] / ["cdcl:simplify-inprocess"]
+    explicitly, since {!Berkmin.Config.name_of} keeps preset names
+    stable across the simplify toggle.  Racing it against the plain
+    lanes turns the fuzzer into a soundness gate for the simplifier. *)
+
 val portfolio :
   ?config:Berkmin.Config.t ->
   ?workers:int ->

@@ -25,6 +25,12 @@ type outcome = {
   imports_used_in_conflict : int;
   gc_runs : int;
   gc_reclaimed_bytes : int;
+  simplify_runs : int;
+  simplified_clauses : int;
+  eliminated_vars : int;
+  subsumed : int;
+  strengthened : int;
+  failed_literals : int;
   learnt_total : int;
   max_live_clauses : int;
   initial_clauses : int;
@@ -68,6 +74,12 @@ let outcome_to_json o =
       "imports_used_in_conflict", Json.Int o.imports_used_in_conflict;
       "gc_runs", Json.Int o.gc_runs;
       "gc_reclaimed_bytes", Json.Int o.gc_reclaimed_bytes;
+      "simplify_runs", Json.Int o.simplify_runs;
+      "simplified_clauses", Json.Int o.simplified_clauses;
+      "eliminated_vars", Json.Int o.eliminated_vars;
+      "subsumed", Json.Int o.subsumed;
+      "strengthened", Json.Int o.strengthened;
+      "failed_literals", Json.Int o.failed_literals;
       "learnt_total", Json.Int o.learnt_total;
       "max_live_clauses", Json.Int o.max_live_clauses;
       "initial_clauses", Json.Int o.initial_clauses;
@@ -119,6 +131,12 @@ let run_instance ?(budget = default_budget) config inst =
     imports_used_in_conflict = st.Berkmin.Stats.imports_used_in_conflict;
     gc_runs = st.Berkmin.Stats.gc_runs;
     gc_reclaimed_bytes = st.Berkmin.Stats.gc_reclaimed_bytes;
+    simplify_runs = st.Berkmin.Stats.simplify_runs;
+    simplified_clauses = st.Berkmin.Stats.simplified_clauses;
+    eliminated_vars = st.Berkmin.Stats.eliminated_vars;
+    subsumed = st.Berkmin.Stats.subsumed;
+    strengthened = st.Berkmin.Stats.strengthened;
+    failed_literals = st.Berkmin.Stats.failed_literals;
     learnt_total = st.Berkmin.Stats.learnt_total;
     max_live_clauses = st.Berkmin.Stats.max_live_clauses;
     initial_clauses = Berkmin.Solver.num_original_clauses solver;
@@ -185,6 +203,12 @@ let run_instance_portfolio ?(budget = default_budget) config inst =
       imports_used_in_conflict = st.Berkmin.Stats.imports_used_in_conflict;
       gc_runs = st.Berkmin.Stats.gc_runs;
       gc_reclaimed_bytes = st.Berkmin.Stats.gc_reclaimed_bytes;
+      simplify_runs = st.Berkmin.Stats.simplify_runs;
+      simplified_clauses = st.Berkmin.Stats.simplified_clauses;
+      eliminated_vars = st.Berkmin.Stats.eliminated_vars;
+      subsumed = st.Berkmin.Stats.subsumed;
+      strengthened = st.Berkmin.Stats.strengthened;
+      failed_literals = st.Berkmin.Stats.failed_literals;
       learnt_total = st.Berkmin.Stats.learnt_total;
       max_live_clauses = st.Berkmin.Stats.max_live_clauses;
       initial_clauses = Cnf.num_clauses cnf;

@@ -33,6 +33,15 @@ type outcome = {
           antecedent — how often sharing actually steered the search *)
   gc_runs : int;  (** arena compactions *)
   gc_reclaimed_bytes : int;  (** clause bytes physically reclaimed *)
+  simplify_runs : int;  (** simplifier passes (lib/simplify) *)
+  simplified_clauses : int;
+      (** clauses removed by the simplifier: subsumed, satisfied, or
+          resolved away during variable elimination *)
+  eliminated_vars : int;  (** variables removed by bounded elimination *)
+  subsumed : int;  (** clauses dropped by backward subsumption *)
+  strengthened : int;
+      (** literals removed by self-subsuming resolution *)
+  failed_literals : int;  (** level-0 probes that failed (forced units) *)
   learnt_total : int;
   max_live_clauses : int;
   initial_clauses : int;

@@ -143,6 +143,13 @@ let is_rup cnf ~extra c =
   if Clause.is_tautology c then true
   else propagates_to_conflict ~num_vars clauses assumptions
 
+(* The checker's database is seeded with the original formula, so a
+   [Delete] may target an original clause as well as an added one —
+   clause simplification (subsumption, variable elimination) deletes
+   originals.  A deleted original genuinely leaves the database: later
+   RUP checks may not lean on it, which is exactly what makes
+   elimination proofs meaningful.  The original CNF is therefore never
+   consulted directly during RUP checks, only through the live table. *)
 let check cnf t =
   let table : (Clause.t, int) Hashtbl.t = Hashtbl.create 256 in
   let current () =
@@ -163,6 +170,10 @@ let check cnf t =
       Hashtbl.replace table c (n - 1);
       true
   in
+  Cnf.iter add cnf;
+  (* RUP checks run against the live table only; the empty CNF shell
+     below just carries the variable count. *)
+  let shell = Cnf.create ~num_vars:(Cnf.num_vars cnf) () in
   let derived_empty = ref false in
   let result = ref Valid in
   let step = ref 0 in
@@ -172,12 +183,17 @@ let check cnf t =
          incr step;
          match e with
          | Add c ->
-           if not (is_rup cnf ~extra:(current ()) c) then begin
+           if not (is_rup shell ~extra:(current ()) c) then begin
              result := Invalid { step = !step; clause = c; reason = "not RUP" };
              raise Exit
            end;
-           if Clause.is_empty c then derived_empty := true;
-           add c
+           add c;
+           (* The first empty clause completes the refutation; like
+              standard DRUP checkers, everything after it is ignored. *)
+           if Clause.is_empty c then begin
+             derived_empty := true;
+             raise Exit
+           end
          | Delete c ->
            if not (remove c) then begin
              result :=

@@ -51,10 +51,13 @@ val check_result_to_string : check_result -> string
 
 val check : Cnf.t -> t -> check_result
 (** [check cnf proof] verifies that every [Add] is a RUP consequence of
-    the original formula plus previously added (and not yet deleted)
-    clauses, and that the trace derives the empty clause.  Deleting an
-    unknown clause is an error; adding is checked before the clause is
-    installed. *)
+    the live clause database — the original formula plus previously
+    added clauses, minus everything deleted so far — and that the trace
+    derives the empty clause.  [Delete] may target an original clause
+    (clause simplification does this); a deleted original genuinely
+    leaves the database and no longer supports later RUP steps.
+    Deleting a clause that is in neither the formula nor the added set
+    is an error; adding is checked before the clause is installed. *)
 
 val is_rup : Cnf.t -> extra:Clause.t list -> Clause.t -> bool
 (** [is_rup cnf ~extra c] checks the single reverse-unit-propagation

@@ -1,0 +1,33 @@
+(* Model reconstruction after bounded variable elimination.
+
+   The elimination stack records, newest first, each eliminated
+   variable together with the irredundant clauses that mentioned it.
+   Because every resolvent of those clauses stayed in (or was re-added
+   to) the database, a model of the simplified formula satisfies all
+   resolvents — which guarantees that at least one phase of the
+   eliminated variable satisfies every removed clause.  Replaying the
+   stack newest-first therefore repairs the model one variable at a
+   time: try true, fall back to false when some removed clause is
+   still unsatisfied. *)
+
+open Berkmin_types
+
+let clause_satisfied model lits =
+  Array.exists
+    (fun l ->
+      let v = Lit.var l in
+      v < Array.length model && model.(v) = Lit.is_pos l)
+    lits
+
+let extend stack model =
+  List.iter
+    (fun { Engine.var; clauses } ->
+      model.(var) <- true;
+      if not (List.for_all (clause_satisfied model) clauses) then
+        model.(var) <- false)
+    stack
+
+let check stack model =
+  List.for_all
+    (fun { Engine.clauses; _ } -> List.for_all (clause_satisfied model) clauses)
+    stack

@@ -1,0 +1,15 @@
+(** Model reconstruction for bounded variable elimination.
+
+    SAT models of the simplified formula are repaired by replaying the
+    elimination stack newest-first: each eliminated variable is set to
+    the phase satisfying every clause removed with it.  Soundness
+    argument in docs/SIMPLIFY.md. *)
+
+val extend : Engine.elim_entry list -> bool array -> unit
+(** [extend stack model] assigns every eliminated variable in [model],
+    in place.  [stack] must be newest elimination first (as produced by
+    {!Engine.run} and as accumulated by the solver). *)
+
+val check : Engine.elim_entry list -> bool array -> bool
+(** [check stack model]: does [model] satisfy every clause recorded on
+    the stack?  Diagnostic aid for tests. *)

@@ -1,9 +1,16 @@
 #!/usr/bin/env bash
-# Doc drift audit: every long flag (--foo-bar) mentioned in README.md
-# or docs/*.md must be accepted by at least one of the project's
-# executables, per its --help.  Catches docs that keep describing
-# flags after a rename or removal.  Advisory in CI (continue-on-error)
-# but exits non-zero on drift so it can be run as a local gate too.
+# Doc drift audit, blocking in CI, two directions:
+#
+#   docs -> help: every long flag (--foo-bar) mentioned in README.md
+#   or docs/*.md must be accepted by at least one of the project's
+#   executables, per its --help.  Catches docs that keep describing
+#   flags after a rename or removal.
+#
+#   help -> docs: every flag berkmin-serverd advertises in its own
+#   --help must appear somewhere in the docs.  The daemon's surface is
+#   small and operator-facing, so an undocumented daemon flag is doc
+#   debt, not noise (the larger executables are exempt: bench/fuzz
+#   grow internal knobs faster than prose should track).
 #
 #   scripts/check_doc_flags.sh
 #
@@ -44,9 +51,27 @@ while IFS= read -r flag; do
   fi
 done <<<"$doc_flags"
 
-if [[ $missing -eq 0 ]]; then
+# Reverse direction: the daemon's advertised flags must be documented.
+serverd_flags=$(
+  dune exec bin/serverd.exe -- --help=plain 2>/dev/null \
+    | grep -oE '(^|[^-[:alnum:]])--[a-z][a-z0-9-]+' \
+    | grep -oE -- '--[a-z][a-z0-9-]+' | sort -u
+)
+
+undocumented=0
+while IFS= read -r flag; do
+  [[ "$flag" =~ $ALLOW ]] && continue
+  if ! grep -qxF -- "$flag" <<<"$doc_flags"; then
+    echo "berkmin-serverd --help advertises $flag but no doc mentions it" >&2
+    undocumented=1
+  fi
+done <<<"$serverd_flags"
+
+if [[ $missing -eq 0 && $undocumented -eq 0 ]]; then
   count=$(wc -l <<<"$doc_flags")
-  echo "doc flag audit: all $count documented flags resolve against --help"
+  serverd_count=$(wc -l <<<"$serverd_flags")
+  echo "doc flag audit: all $count documented flags resolve against --help;" \
+       "all $serverd_count serverd flags documented"
 else
   exit 1
 fi

@@ -94,6 +94,29 @@ let prop_preprocess_preserves_verdict =
         | Solver.Unsat -> not direct
         | Solver.Unknown -> QCheck.Test.fail_report "unexpected Unknown"))
 
+let prop_simplify_preserves_verdict =
+  (* The in-solver simplifier (subsumption, self-subsuming resolution,
+     bounded variable elimination, failed-literal probing) must never
+     change a verdict, and after elimination the reconstructed model
+     must still satisfy the ORIGINAL formula — [solver_verdict] checks
+     exactly that. *)
+  QCheck.Test.make ~name:"simplify (pre and inprocess) preserves every verdict"
+    ~count:200 random_cnf_gen
+    (fun params ->
+      let cnf = build params in
+      let plain = solver_verdict cnf in
+      let pre =
+        solver_verdict
+          ~config:(Config.with_simplify Config.Simp_pre Config.berkmin)
+          cnf
+      in
+      let inproc =
+        solver_verdict
+          ~config:(Config.with_simplify Config.Simp_inprocess Config.berkmin)
+          cnf
+      in
+      plain = pre && plain = inproc)
+
 let prop_budget_never_lies =
   (* With a tiny budget the solver may abort, but a definite verdict
      must still be correct. *)
@@ -284,6 +307,7 @@ let () =
       ( "robustness",
         [
           qtest prop_preprocess_preserves_verdict;
+          qtest prop_simplify_preserves_verdict;
           qtest prop_budget_never_lies;
           qtest prop_deterministic;
           qtest prop_cursor_matches_naive;
