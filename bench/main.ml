@@ -287,6 +287,221 @@ let run_smoke () =
   (json, status)
 
 (* ------------------------------------------------------------------ *)
+(* Strategy-ablation suite (the committed BENCH_9.json): every
+   search-quality strategy of docs/STRATEGIES.md toggled alone against
+   the plain BerkMin baseline, plus the all-on "modern" combination,
+   over the smoke instances.  The budget is conflict-only, so every
+   row — verdict, conflicts, watcher_visits, liveness counters — is a
+   pure function of the (instance, configuration) pair and the
+   committed artifact regenerates bit-identically.  Gates:
+
+   - verdicts must be identical across every strategy row of each
+     instance: the strategies are heuristics, licensed to move work
+     counters but never answers;
+   - each strategy's liveness counter must be nonzero on at least one
+     instance (minimized_literals for ccmin, saved_phase_hits for
+     phase saving, restart_seq_index for Luby, glue_reduction_kept +
+     glue_reduction_dropped for glue-driven reduction; the "modern"
+     row must show all four), so a knob can never silently decay to a
+     no-op while its ablation rows keep printing. *)
+
+let ablation_conflicts = 50_000
+
+let ablation_budget =
+  { Berkmin.Solver.max_conflicts = Some ablation_conflicts; max_seconds = None }
+
+let ablation_rows =
+  [
+    "baseline", Config.berkmin;
+    "ccmin-basic", Config.with_ccmin Config.Ccmin_basic Config.berkmin;
+    "ccmin-deep", Config.with_ccmin Config.Ccmin_deep Config.berkmin;
+    "phase-saving", Config.with_phase_saving true Config.berkmin;
+    "luby", Config.with_restart_mode (Config.Luby 64) Config.berkmin;
+    ( "glue-reduce",
+      Config.with_reduction_mode (Config.Glue_lbd 3) Config.berkmin );
+    "modern", Config.modern;
+  ]
+
+(* Liveness-counter lookup by the field name used in the JSON rows.
+   "glue_reduction" aggregates kept + dropped: either proves the
+   glue-driven reduction actually classified clauses. *)
+let field_value field st =
+  match field with
+  | "minimized_literals" -> st.Berkmin.Stats.minimized_literals
+  | "saved_phase_hits" -> st.Berkmin.Stats.saved_phase_hits
+  | "restart_seq_index" -> st.Berkmin.Stats.restart_seq_index
+  | "glue_reduction" ->
+    st.Berkmin.Stats.glue_reduction_kept
+    + st.Berkmin.Stats.glue_reduction_dropped
+  | _ -> 0
+
+let ablation_liveness label rows =
+  let alive field =
+    (field, List.exists (fun (_, _, st) -> field_value field st > 0) rows)
+  in
+  match label with
+  | "ccmin-basic" | "ccmin-deep" -> [ alive "minimized_literals" ]
+  | "phase-saving" -> [ alive "saved_phase_hits" ]
+  | "luby" -> [ alive "restart_seq_index" ]
+  | "glue-reduce" -> [ alive "glue_reduction" ]
+  | "modern" ->
+    [
+      alive "minimized_literals";
+      alive "saved_phase_hits";
+      alive "restart_seq_index";
+      alive "glue_reduction";
+    ]
+  | _ -> []
+
+let run_ablation () =
+  let instances = smoke_instances () in
+  Printf.printf
+    "strategy ablation: %d strategies x %d instances (budget %d conflicts, \
+     no wall clock)\n\
+     %!"
+    (List.length ablation_rows)
+    (List.length instances) ablation_conflicts;
+  let groups =
+    List.map
+      (fun (label, config) ->
+        Printf.printf "-- %s\n%!" label;
+        let rows =
+          List.map
+            (fun inst ->
+              let solver =
+                Berkmin.Solver.create ~config inst.Instance.cnf
+              in
+              let result =
+                Berkmin.Solver.solve ~budget:ablation_budget solver
+              in
+              let st = Berkmin.Solver.stats solver in
+              let verdict =
+                match result with
+                | Berkmin.Solver.Sat _ -> "SAT"
+                | Berkmin.Solver.Unsat -> "UNSAT"
+                | Berkmin.Solver.Unknown -> "aborted"
+              in
+              Printf.printf
+                "   %-28s %-8s %8d conflicts %10d visits  ccmin %5d  phase \
+                 %6d  restarts %3d  glue %d/%d\n\
+                 %!"
+                inst.Instance.name verdict st.Berkmin.Stats.conflicts
+                st.Berkmin.Stats.watcher_visits
+                st.Berkmin.Stats.minimized_literals
+                st.Berkmin.Stats.saved_phase_hits
+                st.Berkmin.Stats.restart_seq_index
+                st.Berkmin.Stats.glue_reduction_kept
+                st.Berkmin.Stats.glue_reduction_dropped;
+              (inst.Instance.name, verdict, st))
+            instances
+        in
+        (label, config, rows, ablation_liveness label rows))
+      ablation_rows
+  in
+  (* Verdict gate: every strategy must answer every instance
+     identically. *)
+  let verdict_drift =
+    List.filter_map
+      (fun inst ->
+        let name = inst.Instance.name in
+        let verdicts =
+          List.map
+            (fun (label, _, rows, _) ->
+              let _, v, _ =
+                List.find (fun (n, _, _) -> n = name) rows
+              in
+              (label, v))
+            groups
+        in
+        match verdicts with
+        | [] -> None
+        | (_, first) :: _ ->
+          if List.for_all (fun (_, v) -> v = first) verdicts then None
+          else
+            Some
+              (Printf.sprintf "%s: %s" name
+                 (String.concat ", "
+                    (List.map (fun (l, v) -> l ^ "=" ^ v) verdicts))))
+      instances
+  in
+  let liveness_dead =
+    List.concat_map
+      (fun (label, _, _, checks) ->
+        List.filter_map
+          (fun (field, alive) ->
+            if alive then None else Some (label ^ ": " ^ field ^ " never fired"))
+          checks)
+      groups
+  in
+  Printf.printf "ablation verdicts: %s\n"
+    (if verdict_drift = [] then "identical across all strategies"
+     else "DRIFT");
+  List.iter (fun l -> Printf.printf "  %s\n" l) verdict_drift;
+  Printf.printf "ablation liveness: %s\n"
+    (if liveness_dead = [] then "every strategy counter fired" else "DEAD");
+  List.iter (fun l -> Printf.printf "  %s\n" l) liveness_dead;
+  let json =
+    Json.Obj
+      [
+        "suite", Json.String "ablation";
+        "budget_conflicts", Json.Int ablation_conflicts;
+        ( "strategies",
+          Json.List
+            (List.map
+               (fun (label, config, rows, checks) ->
+                 Json.Obj
+                   [
+                     "strategy", Json.String label;
+                     ( "config",
+                       Json.String (Format.asprintf "%a" Config.pp config) );
+                     ( "instances",
+                       Json.List
+                         (List.map
+                            (fun (name, verdict, st) ->
+                              Json.Obj
+                                [
+                                  "instance", Json.String name;
+                                  "verdict", Json.String verdict;
+                                  ( "conflicts",
+                                    Json.Int st.Berkmin.Stats.conflicts );
+                                  ( "watcher_visits",
+                                    Json.Int st.Berkmin.Stats.watcher_visits );
+                                  ( "propagations",
+                                    Json.Int st.Berkmin.Stats.propagations );
+                                  ( "minimized_literals",
+                                    Json.Int
+                                      st.Berkmin.Stats.minimized_literals );
+                                  ( "saved_phase_hits",
+                                    Json.Int st.Berkmin.Stats.saved_phase_hits
+                                  );
+                                  ( "restart_seq_index",
+                                    Json.Int
+                                      st.Berkmin.Stats.restart_seq_index );
+                                  ( "glue_reduction_kept",
+                                    Json.Int
+                                      st.Berkmin.Stats.glue_reduction_kept );
+                                  ( "glue_reduction_dropped",
+                                    Json.Int
+                                      st.Berkmin.Stats.glue_reduction_dropped
+                                  );
+                                ])
+                            rows) );
+                     ( "liveness",
+                       Json.Obj
+                         (List.map (fun (f, b) -> (f, Json.Bool b)) checks) );
+                   ])
+               groups) );
+        "verdicts_identical", Json.Bool (verdict_drift = []);
+        ( "verdict_drift",
+          Json.List (List.map (fun l -> Json.String l) verdict_drift) );
+        "liveness_ok", Json.Bool (liveness_dead = []);
+        ( "liveness_dead",
+          Json.List (List.map (fun l -> Json.String l) liveness_dead) );
+      ]
+  in
+  (json, if verdict_drift = [] && liveness_dead = [] then 0 else 1)
+
+(* ------------------------------------------------------------------ *)
 (* Parallel mode: each instance is solved sequentially, then as a
    process-parallel portfolio race with learnt-clause sharing on, then
    again with sharing off; the report pairs the wall clocks into a
@@ -567,24 +782,49 @@ let perf_tolerance = 0.10
    grows by more than this absolute slack. *)
 let perf_abs_slack = 500
 
+(* Rows are keyed by instance name — except in an ablation summary,
+   where the same instance (and the same counter name) appears once
+   per strategy group.  Those rows are keyed "strategy/instance", so a
+   counter from one strategy can never shadow another strategy's row:
+   flat-merging by instance name alone would silently diff whichever
+   strategy's row happened to be listed last against every baseline
+   row of that instance. *)
 let counter_map json =
-  match Json.member "instances" json with
-  | Some (Json.List items) ->
+  let counters_of item =
     List.filter_map
-      (fun item ->
-        match Json.member "instance" item with
-        | Some (Json.String name) ->
-          Some
-            ( name,
-              List.filter_map
-                (fun key ->
-                  match Json.member key item with
-                  | Some (Json.Int v) -> Some (key, v)
-                  | _ -> None)
-                perf_counters )
+      (fun key ->
+        match Json.member key item with
+        | Some (Json.Int v) -> Some (key, v)
         | _ -> None)
-      items
-  | _ -> []
+      perf_counters
+  in
+  let named prefix item =
+    match Json.member "instance" item with
+    | Some (Json.String name) -> Some (prefix ^ name, counters_of item)
+    | _ -> None
+  in
+  let flat =
+    match Json.member "instances" json with
+    | Some (Json.List items) -> List.filter_map (named "") items
+    | _ -> []
+  in
+  let grouped =
+    match Json.member "strategies" json with
+    | Some (Json.List groups) ->
+      List.concat_map
+        (fun g ->
+          let prefix =
+            match Json.member "strategy" g with
+            | Some (Json.String s) -> s ^ "/"
+            | _ -> ""
+          in
+          match Json.member "instances" g with
+          | Some (Json.List items) -> List.filter_map (named prefix) items
+          | _ -> [])
+        groups
+    | _ -> []
+  in
+  flat @ grouped
 
 (* Returns the per-counter diff rows (for the JSON artifact) and
    whether every counter stayed within tolerance. *)
@@ -757,11 +997,23 @@ let experiments_json () =
           (List.map (fun (n, j) -> (n, j)) (Experiments.collected_json ())) );
     ]
 
-let run quick bechamel extensions only list_names smoke workers json_out
-    baseline perf_baseline ec_incremental =
+let run quick bechamel extensions only list_names smoke ablation workers
+    json_out baseline perf_baseline ec_incremental =
   if list_names then begin
     List.iter print_endline Experiments.names;
     0
+  end
+  else if ablation then begin
+    let json, status = run_ablation () in
+    let json, perf_ok =
+      match perf_baseline with
+      | None -> (json, true)
+      | Some path ->
+        let diff, ok = diff_perf_baseline path json in
+        (add_member "perf_baseline" diff json, ok)
+    in
+    Option.iter (fun path -> write_json path json) json_out;
+    if perf_ok then status else 1
   end
   else if ec_incremental then begin
     let json, status = run_ec_incremental ~width:16 in
@@ -863,6 +1115,22 @@ let smoke =
            budgets) instead of the paper tables; exits non-zero if any \
            run aborts or contradicts its expectation.")
 
+let ablation =
+  Arg.(
+    value & flag
+    & info [ "ablation" ]
+        ~doc:
+          "Run the strategy-ablation suite: the smoke instances solved \
+           under the plain BerkMin baseline, each search-quality \
+           strategy (ccmin basic/deep, phase saving, Luby restarts, \
+           glue-driven reduction) switched on alone, and the all-on \
+           $(b,modern) preset, under conflict-only budgets so the rows \
+           are deterministic.  Exits non-zero if any strategy changes a \
+           verdict or any strategy's liveness counter never fires; the \
+           table lands in the --json summary (the committed \
+           BENCH_9.json).  With --perf-baseline, rows are compared \
+           under \"strategy/instance\" keys.")
+
 let workers =
   Arg.(
     value & opt int 1
@@ -927,6 +1195,7 @@ let cmd =
     (Cmd.info "berkmin-bench" ~doc)
     Term.(
       const run $ quick $ bechamel $ extensions $ only $ list_names $ smoke
-      $ workers $ json_out $ baseline $ perf_baseline $ ec_incremental)
+      $ ablation $ workers $ json_out $ baseline $ perf_baseline
+      $ ec_incremental)
 
 let () = exit (Cmd.eval' cmd)

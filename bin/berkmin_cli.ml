@@ -95,7 +95,8 @@ let run_portfolio ~config ~budget ~file ~stats_flag ~check ~quiet ~json_out cnf 
 
 let run file strategy max_conflicts max_seconds proof_file stats_flag check
     seed quiet json_out trace_file heartbeat profile workers diversify
-    worker_timeout share share_max_len share_max_glue simplify simplify_growth =
+    worker_timeout share share_max_len share_max_glue simplify simplify_growth
+    ccmin phase_saving restarts reduce =
   match find_config strategy with
   | None ->
     Printf.eprintf "unknown strategy %S; available: %s\n" strategy
@@ -157,6 +158,44 @@ let run file strategy max_conflicts max_seconds proof_file stats_flag check
       exit 2
     end;
     let config = Berkmin.Config.with_simplify_growth simplify_growth config in
+    let config =
+      match ccmin with
+      | None -> config
+      | Some s -> (
+        match Berkmin.Config.ccmin_mode_of_string s with
+        | Some mode -> Berkmin.Config.with_ccmin mode config
+        | None ->
+          Printf.eprintf "--ccmin wants off, basic or deep (got %S)\n" s;
+          exit 2)
+    in
+    let config =
+      match phase_saving with
+      | None -> config
+      | Some b -> Berkmin.Config.with_phase_saving b config
+    in
+    let config =
+      match restarts with
+      | None -> config
+      | Some s -> (
+        match Berkmin.Config.restart_mode_of_string s with
+        | Some mode -> Berkmin.Config.with_restart_mode mode config
+        | None ->
+          Printf.eprintf
+            "--restarts wants fixed:N, luby:N or none (got %S)\n" s;
+          exit 2)
+    in
+    let config =
+      match reduce with
+      | None -> config
+      | Some s -> (
+        match Berkmin.Config.reduction_mode_of_string s with
+        | Some mode -> Berkmin.Config.with_reduction_mode mode config
+        | None ->
+          Printf.eprintf
+            "--reduce wants berkmin, length:N, glue:N or keep-all (got %S)\n"
+            s;
+          exit 2)
+    in
     match Berkmin_dimacs.Dimacs.parse_file file with
     | exception Sys_error msg ->
       Printf.eprintf "cannot read %s: %s\n" file msg;
@@ -422,6 +461,50 @@ let simplify_growth =
            most $(docv) clauses per eliminated variable (default 0: \
            eliminate only when the database shrinks or stays even).")
 
+let ccmin =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "ccmin" ] ~docv:"MODE"
+        ~doc:
+          "Conflict-clause minimization: $(b,off), $(b,basic) \
+           (self-subsumption against the reason of each learnt literal) \
+           or $(b,deep) (recursive reason-chain redundancy).  Overrides \
+           the strategy preset.  See docs/STRATEGIES.md.")
+
+let phase_saving =
+  Arg.(
+    value
+    & opt (some bool) None
+    & info [ "phase-saving" ] ~docv:"BOOL"
+        ~doc:
+          "Remember each variable's last assigned polarity and reuse it \
+           on later decisions, overriding the configured polarity \
+           heuristic for previously-assigned variables.  Overrides the \
+           strategy preset.")
+
+let restarts =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "restarts" ] ~docv:"MODE"
+        ~doc:
+          "Restart schedule: $(b,fixed:N) (every $(b,N) conflicts, the \
+           paper's scheme), $(b,luby:N) (Luby sequence with unit \
+           $(b,N)) or $(b,none).  Overrides the strategy preset.")
+
+let reduce =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "reduce" ] ~docv:"MODE"
+        ~doc:
+          "Learnt-database reduction: $(b,berkmin) (the paper's \
+           aging/activity scheme), $(b,length:N), $(b,glue:N) (keep \
+           clauses with learn-time glue at most $(b,N), plus the \
+           youngest band) or $(b,keep-all).  Overrides the strategy \
+           preset.")
+
 let cmd =
   let doc = "BerkMin-style CDCL SAT solver" in
   Cmd.v
@@ -430,6 +513,7 @@ let cmd =
       const run $ file $ strategy $ max_conflicts $ max_seconds $ proof_file
       $ stats_flag $ check $ seed $ quiet $ json_out $ trace_file $ heartbeat
       $ profile $ workers $ diversify $ worker_timeout $ share $ share_max_len
-      $ share_max_glue $ simplify $ simplify_growth)
+      $ share_max_glue $ simplify $ simplify_growth $ ccmin $ phase_saving
+      $ restarts $ reduce)
 
 let () = exit (Cmd.eval' cmd)

@@ -35,7 +35,7 @@ let write_artifacts ~prefix ~seed ce =
     Printf.printf "minimized counterexample written to %s\n" mini
 
 let run seed rounds max_vars max_mutations shrink incremental_queries
-    portfolio_workers simplify json_out prefix =
+    portfolio_workers simplify strategies json_out prefix =
   if portfolio_workers = 1 || portfolio_workers < 0 then begin
     Printf.eprintf "--portfolio wants 0 (off) or a worker count >= 2\n";
     exit 2
@@ -54,6 +54,14 @@ let run seed rounds max_vars max_mutations shrink incremental_queries
           ();
       ]
   in
+  let strategy_lanes =
+    (* With --strategies (the default), the search-quality lanes —
+       ccmin-deep, phase-saving, luby, glue-reduce, each alone, plus
+       the all-on "modern" combination — join the pool as first-class
+       oracle participants, so a strategy that perturbs verdicts,
+       models or proofs surfaces as a counterexample. *)
+    if not strategies then [] else Berkmin_fuzz.Oracle.strategy_solvers ()
+  in
   let portfolio_lanes =
     (* With --portfolio N, a share-on and a share-off race join the
        sequential CDCL and DPLL lanes, so any unsound clause import
@@ -68,7 +76,7 @@ let run seed rounds max_vars max_mutations shrink incremental_queries
       ]
   in
   let solvers =
-    match simplify_lanes @ portfolio_lanes with
+    match simplify_lanes @ strategy_lanes @ portfolio_lanes with
     | [] -> None
     | extra -> Some (Berkmin_fuzz.Oracle.default_solvers () @ extra)
   in
@@ -174,6 +182,21 @@ let simplify =
            the lane set, so toggling this never perturbs the other \
            oracles.")
 
+let strategies =
+  Arg.(
+    value & opt bool true
+    & info [ "strategies" ] ~docv:"BOOL"
+        ~doc:
+          "Add the search-quality strategy lanes — conflict-clause \
+           minimization (ccmin=deep), phase saving, Luby restarts and \
+           glue-driven database reduction, each switched on alone, plus \
+           the all-on $(b,modern) combination — to the solver pool as \
+           first-class oracle participants.  Their verdicts, models and \
+           DRUP proofs are cross-checked against the plain CDCL and \
+           DPLL lanes, so the campaign doubles as a differential \
+           ablation gate for docs/STRATEGIES.md.  Case generation \
+           derives from the master seed independently of the lane set.")
+
 let json_out =
   Arg.(
     value
@@ -197,6 +220,7 @@ let cmd =
     (Cmd.info "berkmin-fuzz" ~doc)
     Term.(
       const run $ seed $ rounds $ max_vars $ max_mutations $ shrink
-      $ incremental_queries $ portfolio_workers $ simplify $ json_out $ prefix)
+      $ incremental_queries $ portfolio_workers $ simplify $ strategies
+      $ json_out $ prefix)
 
 let () = exit (Cmd.eval' cmd)

@@ -13,7 +13,8 @@
 module Server = Berkmin_server.Server
 module Trace = Berkmin.Trace
 
-let run socket stdio trace_file strategy max_sessions simplify =
+let run socket stdio trace_file strategy max_sessions simplify ccmin
+    phase_saving restarts reduce =
   match List.assoc_opt strategy Berkmin.Config.presets with
   | None ->
     Printf.eprintf
@@ -30,6 +31,48 @@ let run socket stdio trace_file strategy max_sessions simplify =
           "berkmin-serverd: --simplify wants off, pre or inprocess (got %S)\n"
           simplify;
         exit 2
+    in
+    let config =
+      match ccmin with
+      | None -> config
+      | Some s -> (
+        match Berkmin.Config.ccmin_mode_of_string s with
+        | Some mode -> Berkmin.Config.with_ccmin mode config
+        | None ->
+          Printf.eprintf
+            "berkmin-serverd: --ccmin wants off, basic or deep (got %S)\n" s;
+          exit 2)
+    in
+    let config =
+      match phase_saving with
+      | None -> config
+      | Some b -> Berkmin.Config.with_phase_saving b config
+    in
+    let config =
+      match restarts with
+      | None -> config
+      | Some s -> (
+        match Berkmin.Config.restart_mode_of_string s with
+        | Some mode -> Berkmin.Config.with_restart_mode mode config
+        | None ->
+          Printf.eprintf
+            "berkmin-serverd: --restarts wants fixed:N, luby:N or none \
+             (got %S)\n"
+            s;
+          exit 2)
+    in
+    let config =
+      match reduce with
+      | None -> config
+      | Some s -> (
+        match Berkmin.Config.reduction_mode_of_string s with
+        | Some mode -> Berkmin.Config.with_reduction_mode mode config
+        | None ->
+          Printf.eprintf
+            "berkmin-serverd: --reduce wants berkmin, length:N, glue:N or \
+             keep-all (got %S)\n"
+            s;
+          exit 2)
     in
     let server = Server.create ~config ~max_sessions () in
     (match trace_file with
@@ -98,12 +141,50 @@ let simplify =
            error reply, so incremental clients should keep the default \
            unless their variable set is stable.  See docs/SIMPLIFY.md.")
 
+let ccmin =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "ccmin" ] ~docv:"MODE"
+        ~doc:
+          "Conflict-clause minimization for every session: $(b,off), \
+           $(b,basic) or $(b,deep).  Overrides the strategy preset.  \
+           See docs/STRATEGIES.md.")
+
+let phase_saving =
+  Arg.(
+    value
+    & opt (some bool) None
+    & info [ "phase-saving" ] ~docv:"BOOL"
+        ~doc:
+          "Reuse each variable's last assigned polarity on later \
+           decisions, for every session.  Overrides the strategy preset.")
+
+let restarts =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "restarts" ] ~docv:"MODE"
+        ~doc:
+          "Restart schedule for every session: $(b,fixed:N), $(b,luby:N) \
+           or $(b,none).  Overrides the strategy preset.")
+
+let reduce =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "reduce" ] ~docv:"MODE"
+        ~doc:
+          "Learnt-database reduction for every session: $(b,berkmin), \
+           $(b,length:N), $(b,glue:N) or $(b,keep-all).  Overrides the \
+           strategy preset.")
+
 let cmd =
   let doc = "persistent BerkMin solver daemon (JSONL protocol)" in
   Cmd.v
     (Cmd.info "berkmin-serverd" ~doc)
     Term.(
       const run $ socket $ stdio $ trace_file $ strategy $ max_sessions
-      $ simplify)
+      $ simplify $ ccmin $ phase_saving $ restarts $ reduce)
 
 let () = exit (Cmd.eval' cmd)

@@ -24,12 +24,18 @@ type global_polarity_mode =
 type reduction_mode =
   | Berkmin_age_activity
   | Length_limit of int
+  | Glue_lbd of int
   | Keep_all
 
 type restart_mode =
   | Fixed of int
   | Luby of int
   | No_restarts
+
+type ccmin_mode =
+  | Ccmin_off
+  | Ccmin_basic
+  | Ccmin_deep
 
 type simplify_mode =
   | Simp_off
@@ -56,7 +62,8 @@ type t = {
   nb_two_threshold : int;
   top_window : int;
   debug_top_cursor : bool;
-  minimize_learnt : bool;
+  ccmin_mode : ccmin_mode;
+  phase_saving : bool;
   use_var_heap : bool;
   seed : int;
   trace_jsonl : string option;
@@ -97,7 +104,8 @@ let berkmin = {
   nb_two_threshold = 100;
   top_window = 1;
   debug_top_cursor = false;
-  minimize_learnt = false;
+  ccmin_mode = Ccmin_off;
+  phase_saving = false;
   use_var_heap = false;
   seed = 1;
   trace_jsonl = None;
@@ -148,6 +156,18 @@ let limmat_like = {
   reduction_mode = Length_limit 60;
 }
 
+(* The modern search-quality pack: every post-2002 strategy switched on
+   at once on top of the paper's heuristics — deep conflict-clause
+   minimization, phase saving, Luby restarts and glue(LBD)-driven
+   database reduction (see docs/STRATEGIES.md). *)
+let modern = {
+  berkmin with
+  ccmin_mode = Ccmin_deep;
+  phase_saving = true;
+  restart_mode = Luby 64;
+  reduction_mode = Glue_lbd 3;
+}
+
 let with_seed seed t = { t with seed }
 let with_trace_jsonl path t = { t with trace_jsonl = Some path }
 let with_heartbeat interval t = { t with heartbeat_interval = interval }
@@ -176,6 +196,11 @@ let with_simplify_growth n t =
   if n < 0 then invalid_arg "Config.with_simplify_growth: need >= 0";
   { t with simplify_growth = n }
 
+let with_ccmin ccmin_mode t = { t with ccmin_mode }
+let with_phase_saving phase_saving t = { t with phase_saving }
+let with_restart_mode restart_mode t = { t with restart_mode }
+let with_reduction_mode reduction_mode t = { t with reduction_mode }
+
 let simplify_mode_to_string = function
   | Simp_off -> "off"
   | Simp_pre -> "pre"
@@ -186,6 +211,70 @@ let simplify_mode_of_string = function
   | "pre" -> Some Simp_pre
   | "inprocess" -> Some Simp_inprocess
   | _ -> None
+
+let ccmin_mode_to_string = function
+  | Ccmin_off -> "off"
+  | Ccmin_basic -> "basic"
+  | Ccmin_deep -> "deep"
+
+let ccmin_mode_of_string = function
+  | "off" -> Some Ccmin_off
+  | "basic" -> Some Ccmin_basic
+  | "deep" -> Some Ccmin_deep
+  | _ -> None
+
+(* The CLI vocabulary for the parameterized modes is "name" or
+   "name:N"; the bare name gets the conventional unit (the paper's 550
+   for fixed restarts, MiniSat's 64 for Luby, glue<=3 for LBD
+   reduction). *)
+let positive_suffix s prefix =
+  let pl = String.length prefix in
+  if
+    String.length s > pl + 1
+    && String.sub s 0 pl = prefix
+    && s.[pl] = ':'
+  then
+    match int_of_string_opt (String.sub s (pl + 1) (String.length s - pl - 1)) with
+    | Some n when n > 0 -> Some n
+    | _ -> None
+  else None
+
+let restart_mode_to_string = function
+  | Fixed n -> Printf.sprintf "fixed:%d" n
+  | Luby n -> Printf.sprintf "luby:%d" n
+  | No_restarts -> "none"
+
+let restart_mode_of_string s =
+  match s with
+  | "none" -> Some No_restarts
+  | "fixed" -> Some (Fixed 550)
+  | "luby" -> Some (Luby 64)
+  | s -> (
+    match positive_suffix s "fixed" with
+    | Some n -> Some (Fixed n)
+    | None -> (
+      match positive_suffix s "luby" with
+      | Some n -> Some (Luby n)
+      | None -> None))
+
+let reduction_mode_to_string = function
+  | Berkmin_age_activity -> "berkmin"
+  | Length_limit n -> Printf.sprintf "length:%d" n
+  | Glue_lbd n -> Printf.sprintf "glue:%d" n
+  | Keep_all -> "keep-all"
+
+let reduction_mode_of_string s =
+  match s with
+  | "berkmin" -> Some Berkmin_age_activity
+  | "keep-all" -> Some Keep_all
+  | "glue" -> Some (Glue_lbd 3)
+  | s -> (
+    match positive_suffix s "length" with
+    | Some n -> Some (Length_limit n)
+    | None -> (
+      match positive_suffix s "glue" with
+      | Some n -> Some (Glue_lbd n)
+      | None -> None))
 
 let presets = [
   "berkmin", berkmin;
@@ -199,6 +288,7 @@ let presets = [
   "limited_keeping", limited_keeping;
   "chaff", chaff;
   "limmat_like", limmat_like;
+  "modern", modern;
 ]
 
 (* Observability and portfolio settings don't change the search a
@@ -250,6 +340,7 @@ let pp fmt t =
   let reduction = match t.reduction_mode with
     | Berkmin_age_activity -> "berkmin"
     | Length_limit n -> Printf.sprintf "length<=%d" n
+    | Glue_lbd n -> Printf.sprintf "glue<=%d" n
     | Keep_all -> "keep-all"
   in
   let restarts = match t.restart_mode with
@@ -262,6 +353,13 @@ let pp fmt t =
     | Simp_off -> ""
     | m -> Printf.sprintf " simplify=%s" (simplify_mode_to_string m)
   in
+  let ccmin =
+    match t.ccmin_mode with
+    | Ccmin_off -> ""
+    | m -> Printf.sprintf " ccmin=%s" (ccmin_mode_to_string m)
+  in
+  let phases = if t.phase_saving then " phase-saving" else "" in
   Format.fprintf fmt
-    "{%s: activity=%s decision=%s polarity=%s reduction=%s restarts=%s seed=%d%s}"
+    "{%s: activity=%s decision=%s polarity=%s reduction=%s restarts=%s seed=%d%s%s%s}"
     (name_of t) activity decision polarity reduction restarts t.seed simplify
+    ccmin phases

@@ -60,12 +60,32 @@ type reduction_mode =
   | Length_limit of int
       (** GRASP-like ("Limited_keeping"): remove learnt clauses longer
           than the limit, regardless of age and activity. *)
+  | Glue_lbd of int
+      (** Glucose-style (post-2002 extension): judge learnt clauses by
+          their learn-time glue (LBD).  Clauses with glue at most the
+          limit are kept unconditionally; the rest survive a reduction
+          only while inside the young band ([young_fraction]). *)
   | Keep_all
 
 type restart_mode =
   | Fixed of int  (** restart every [n] conflicts *)
   | Luby of int  (** Luby sequence scaled by the unit *)
   | No_restarts
+
+(** Conflict-clause minimization at learn time (post-2002 extension,
+    MiniSat lineage; off in the paper's configuration).  DRUP-sound:
+    the minimized clause is derived by further resolutions against
+    reason clauses, so it is still implied and forward-checks. *)
+type ccmin_mode =
+  | Ccmin_off
+  | Ccmin_basic
+      (** drop a learnt literal when its reason clause is subsumed by
+          the rest of the learnt clause plus top-level facts *)
+  | Ccmin_deep
+      (** recursive reason-side redundancy: follow implication chains
+          through reasons, removing a literal whenever every path back
+          to the decisions stays inside the clause (strictly removes at
+          least as much as [Ccmin_basic]) *)
 
 (** When the clause-database simplifier (lib/simplify: subsumption,
     self-subsuming resolution, bounded variable elimination,
@@ -108,10 +128,14 @@ type t = {
           the naive full stack scan and fail loudly on any mismatch;
           off by default (the check re-reads the whole learnt stack
           per decision, exactly the cost the cursor removes) *)
-  minimize_learnt : bool;
-      (** post-2002 extension: drop learnt-clause literals whose
-          reasons are subsumed by the rest of the clause (MiniSat-style
-          basic minimization); off in the paper's configuration *)
+  ccmin_mode : ccmin_mode;
+      (** conflict-clause minimization at learn time ([Ccmin_off] in
+          the paper's configuration); see {!ccmin_mode} *)
+  phase_saving : bool;
+      (** post-2002 extension: remember each variable's last assigned
+          polarity and branch on it first, overriding the configured
+          polarity heuristic for variables that have been assigned
+          before; off in the paper's configuration *)
   use_var_heap : bool;
       (** BerkMin561 "strategy 3" (Remark 1): find the most active
           free variable with an indexed heap instead of a linear scan —
@@ -193,6 +217,12 @@ val limmat_like : t
 (** Stand-in for limmat in Table 10: a plain CDCL with fixed polarity
     and Luby restarts (documented substitution; see DESIGN.md). *)
 
+val modern : t
+(** The modern search-quality pack: BerkMin's heuristics plus every
+    post-2002 strategy at once — deep conflict-clause minimization,
+    phase saving, Luby restarts (unit 64) and glue(LBD)-driven database
+    reduction (glue <= 3 kept).  See docs/STRATEGIES.md. *)
+
 val with_seed : int -> t -> t
 
 val with_trace_jsonl : string -> t -> t
@@ -238,10 +268,41 @@ val with_simplify_growth : int -> t -> t
 (** Set the variable-elimination growth cap.
     @raise Invalid_argument when negative. *)
 
+val with_ccmin : ccmin_mode -> t -> t
+(** Choose the conflict-clause minimization mode. *)
+
+val with_phase_saving : bool -> t -> t
+(** Enable or disable phase saving. *)
+
+val with_restart_mode : restart_mode -> t -> t
+(** Choose the restart strategy. *)
+
+val with_reduction_mode : reduction_mode -> t -> t
+(** Choose the learnt-clause database reduction strategy. *)
+
 val simplify_mode_to_string : simplify_mode -> string
 (** ["off"], ["pre"] or ["inprocess"] — the CLI flag vocabulary. *)
 
 val simplify_mode_of_string : string -> simplify_mode option
+
+val ccmin_mode_to_string : ccmin_mode -> string
+(** ["off"], ["basic"] or ["deep"] — the CLI flag vocabulary. *)
+
+val ccmin_mode_of_string : string -> ccmin_mode option
+
+val restart_mode_to_string : restart_mode -> string
+(** ["fixed:N"], ["luby:N"] or ["none"]. *)
+
+val restart_mode_of_string : string -> restart_mode option
+(** Accepts ["fixed:N"], ["luby:N"], ["none"], and the bare ["fixed"]
+    (550, the paper's cadence) and ["luby"] (unit 64). *)
+
+val reduction_mode_to_string : reduction_mode -> string
+(** ["berkmin"], ["length:N"], ["glue:N"] or ["keep-all"]. *)
+
+val reduction_mode_of_string : string -> reduction_mode option
+(** Accepts ["berkmin"], ["length:N"], ["glue:N"] (bare ["glue"] means
+    glue <= 3) and ["keep-all"]. *)
 
 val name_of : t -> string
 (** Best-effort human name: matches a preset or describes the fields.

@@ -71,6 +71,9 @@ type t = {
   mutable var_act : float array;
   mutable lit_act : int array;  (* symmetrization counters, never decayed *)
   mutable vsids : float array;  (* Chaff-baseline literal scores, decayed *)
+  mutable saved_phase : Value.t array;
+      (* last value each variable was assigned, recorded only when
+         [Config.phase_saving] is on; [Unassigned] = never assigned *)
   mutable seen : bool array;
   heap : Var_heap.t option;  (* strategy-3 variable order, if enabled *)
   mutable assumptions : Lit.t array;  (* active only inside solve_with_assumptions *)
@@ -87,6 +90,10 @@ type t = {
   mutable on_learn : (glue:int -> Lit.t array -> unit) option;
       (* fires once per learnt clause (units included) with its
          learn-time glue; the portfolio export path lives behind it *)
+  mutable on_minimize : (before:Lit.t array -> after:Lit.t array -> unit) option;
+      (* fires once per conflict with the 1-UIP clause before and
+         after ccmin (asserting literal first in both; identical when
+         minimization is off); the ccmin invariant tests live behind it *)
   mutable import_source : (unit -> (int * Lit.t array) list) option;
       (* polled at every restart, at decision level 0: foreign learnt
          clauses as (glue, lits), adopted via [import_clause] *)
@@ -124,6 +131,7 @@ let old_activity_threshold s = s.old_threshold
 let set_proof_logger s f = s.proof <- Some f
 let set_decision_hook s f = s.on_decision <- Some f
 let set_learn_hook s f = s.on_learn <- Some f
+let set_minimize_hook s f = s.on_minimize <- Some f
 let set_import_source s f = s.import_source <- Some f
 let glue_of_learnt s i = Vec.get s.learnt_glue i
 let value_of s v = s.assigns.(v)
@@ -152,6 +160,9 @@ let enqueue s l reason =
   assert (not (Value.is_assigned s.assigns.(v)));
   s.assign_epoch <- s.assign_epoch + 1;
   s.assigns.(v) <- (if Lit.is_pos l then Value.True else Value.False);
+  (* Phase saving records at assignment time: the value cannot change
+     while assigned, so this equals the classic save-on-backtrack. *)
+  if s.cfg.Config.phase_saving then s.saved_phase.(v) <- s.assigns.(v);
   let dl = decision_level s in
   s.level.(v) <- dl;
   (* Level-0 reasons are never consulted by conflict analysis and would
@@ -445,29 +456,55 @@ let analyze s (confl : Arena.cref) =
     end
   done;
   let asserting = Lit.negate !p in
-  (* Optional MiniSat-style basic minimization (a post-2002 extension,
-     off in the paper's configuration): a learnt literal is redundant
-     when its reason clause is subsumed by the rest of the learnt
-     clause plus top-level facts.  The [seen] marks — still set for
-     exactly the non-asserting learnt variables — encode membership. *)
+  (* Optional conflict-clause minimization (a post-2002 extension, off
+     in the paper's configuration): a learnt literal is redundant when
+     its reason clause is subsumed by the rest of the learnt clause
+     plus top-level facts.  The [seen] marks — still set for exactly
+     the non-asserting learnt variables — encode membership.  The deep
+     mode (MiniSat's litRedundant) additionally follows implication
+     chains through reasons: a reason literal outside the clause is
+     harmless when it is itself recursively redundant.  Reasons point
+     strictly backward along the trail, so the recursion is on a DAG
+     and per-conflict memoization is sound.  Either way the survivor
+     clause is reachable by further resolutions against reason clauses,
+     hence still implied and DRUP-sound. *)
   let kept =
-    if not s.cfg.minimize_learnt then !learnt
-    else begin
-      let redundant q =
-        let r = s.reason.(Lit.var q) in
+    match s.cfg.ccmin_mode with
+    | Config.Ccmin_off -> !learnt
+    | (Config.Ccmin_basic | Config.Ccmin_deep) as mode ->
+      let deep = mode = Config.Ccmin_deep in
+      let memo : (int, bool) Hashtbl.t = Hashtbl.create 16 in
+      let rec redundant q =
+        let v = Lit.var q in
+        let r = s.reason.(v) in
         r <> Arena.cref_undef
         && Arena.for_all_lits ar r (fun p ->
-               Lit.var p = Lit.var q
-               || s.seen.(Lit.var p)
-               || s.level.(Lit.var p) = 0)
+               let u = Lit.var p in
+               u = v
+               || s.seen.(u)
+               || s.level.(u) = 0
+               || (deep && memo_redundant p))
+      and memo_redundant p =
+        let u = Lit.var p in
+        match Hashtbl.find_opt memo u with
+        | Some b -> b
+        | None ->
+          let b = redundant p in
+          Hashtbl.add memo u b;
+          b
       in
       let kept = List.filter (fun q -> not (redundant q)) !learnt in
       s.stats.minimized_literals <-
         s.stats.minimized_literals
         + (List.length !learnt - List.length kept);
       kept
-    end
   in
+  (match s.on_minimize with
+  | Some f ->
+    f
+      ~before:(Array.of_list (asserting :: !learnt))
+      ~after:(Array.of_list (asserting :: kept))
+  | None -> ());
   let lits = Array.of_list (asserting :: kept) in
   (* Reset the [seen] marks of the surviving literals. *)
   List.iter (fun q -> s.seen.(Lit.var q) <- false) !learnt;
@@ -624,6 +661,32 @@ let reduction_keeps s =
         if satisfied_at_level0 s c then keep.(i) <- false
         else if Arena.clause_size ar c > limit then keep.(i) <- false)
       s.learnt
+  | Config.Glue_lbd limit ->
+    (* Glucose-style: the learn-time glue (LBD) recorded in
+       [learnt_glue] is the quality signal.  Glue clauses (glue at or
+       below the limit) are kept unconditionally; the rest survive
+       only while young, judged by the same age band as the paper's
+       scheme. *)
+    let n = Vec.length s.learnt in
+    let young_band = s.cfg.young_fraction *. float_of_int n in
+    Vec.iteri
+      (fun i c ->
+        if i = n - 1 then keep.(i) <- true
+          (* the topmost clause is never removed: anti-looping *)
+        else if satisfied_at_level0 s c then keep.(i) <- false
+        else if Vec.get s.learnt_glue i <= limit then begin
+          keep.(i) <- true;
+          s.stats.glue_reduction_kept <- s.stats.glue_reduction_kept + 1
+        end
+        else begin
+          let distance = n - 1 - i in
+          let young = float_of_int distance < young_band in
+          keep.(i) <- young;
+          if not young then
+            s.stats.glue_reduction_dropped <-
+              s.stats.glue_reduction_dropped + 1
+        end)
+      s.learnt
   | Config.Berkmin_age_activity ->
     let young_band = s.cfg.young_fraction *. float_of_int n in
     Vec.iteri
@@ -698,6 +761,8 @@ let reduce_db s =
     let t0 = if s.cfg.profile_timers then Sys.time () else 0.0 in
     s.stats.reductions <- s.stats.reductions + 1;
     let live_before = Vec.length s.learnt in
+    let glue_kept0 = s.stats.glue_reduction_kept in
+    let glue_dropped0 = s.stats.glue_reduction_dropped in
     let keep = reduction_keeps s in
     let removed = ref 0 in
     Vec.iteri
@@ -735,7 +800,13 @@ let reduce_db s =
     if s.tracer.Trace.active then
       Trace.emit s.tracer
         (Trace.Reduce_db
-           { live_before; removed = !removed; threshold = s.old_threshold });
+           {
+             live_before;
+             removed = !removed;
+             threshold = s.old_threshold;
+             glue_kept = s.stats.glue_reduction_kept - glue_kept0;
+             glue_dropped = s.stats.glue_reduction_dropped - glue_dropped0;
+           });
     if s.cfg.reduction_mode = Config.Berkmin_age_activity then
       s.old_threshold <- s.old_threshold + s.cfg.old_threshold_increment;
     if s.cfg.profile_timers then
@@ -1204,6 +1275,18 @@ let decide s =
     match pick_branch s with
     | None -> `All_assigned
     | Some (v, value, kind) ->
+      (* Phase saving: a variable that has been assigned before gets
+         its remembered polarity, overriding the configured heuristic
+         (which still picks the variable). *)
+      let value =
+        if s.cfg.phase_saving then (
+          match s.saved_phase.(v) with
+          | Value.Unassigned -> value
+          | remembered ->
+            s.stats.saved_phase_hits <- s.stats.saved_phase_hits + 1;
+            remembered = Value.True)
+        else value
+      in
       s.stats.decisions <- s.stats.decisions + 1;
       (match s.on_decision with
       | Some hook -> hook v value
@@ -1346,12 +1429,20 @@ let restart_due s =
 let restart s =
   s.stats.restarts <- s.stats.restarts + 1;
   s.restart_epoch <- s.restart_epoch + 1;
+  (* The restart-sequence index: for Luby, the position whose term now
+     sets the interval until the next restart; for fixed cadence it
+     coincides with the restart count. *)
+  s.stats.restart_seq_index <- s.restart_epoch;
   s.conflicts_at_restart <- s.stats.conflicts;
   backtrack s 0;
   if s.tracer.Trace.active then
     Trace.emit s.tracer
       (Trace.Restart
-         { restart_no = s.stats.restarts; conflict_no = s.stats.conflicts });
+         {
+           restart_no = s.stats.restarts;
+           conflict_no = s.stats.conflicts;
+           seq_index = s.restart_epoch;
+         });
   reduce_db s;
   (* Inprocessing slots in after reduction (and its GC) so it works on
      the already-thinned database, and before the import drain so
@@ -1406,6 +1497,7 @@ let create ?(config = Config.berkmin) cnf =
     var_act;
     lit_act = Array.make nlits 0;
     vsids = Array.make nlits 0.0;
+    saved_phase = Array.make (max nvars 1) Value.Unassigned;
     seen = Array.make (max nvars 1) false;
     heap;
     assumptions = [||];
@@ -1417,6 +1509,7 @@ let create ?(config = Config.berkmin) cnf =
     last_vsids_decay = 0;
     proof = None;
     on_decision = None;
+    on_minimize = None;
     on_learn = None;
     import_source = None;
     import_seen = Hashtbl.create 64;
@@ -1793,6 +1886,7 @@ let ensure_var_capacity s n =
     s.reason <- grow_arr s.reason Arena.cref_undef cap;
     s.seen <- grow_arr s.seen false cap;
     s.eliminated <- grow_arr s.eliminated false cap;
+    s.saved_phase <- grow_arr s.saved_phase Value.Unassigned cap;
     s.var_act <- grow_arr s.var_act 0.0 cap
   end;
   let lcap = Array.length s.lit_act in
@@ -1975,6 +2069,12 @@ let metrics s =
   int_gauge "arena_wasted_bytes" (fun () -> Arena.wasted_bytes s.arena);
   int_gauge "learnt_total" (fun () -> st.Stats.learnt_total);
   int_gauge "learnt_literals" (fun () -> st.Stats.learnt_literals);
+  int_gauge "minimized_literals" (fun () -> st.Stats.minimized_literals);
+  int_gauge "saved_phase_hits" (fun () -> st.Stats.saved_phase_hits);
+  int_gauge "restart_seq_index" (fun () -> st.Stats.restart_seq_index);
+  int_gauge "glue_reduction_kept" (fun () -> st.Stats.glue_reduction_kept);
+  int_gauge "glue_reduction_dropped" (fun () ->
+      st.Stats.glue_reduction_dropped);
   int_gauge "removed_clauses" (fun () -> st.Stats.removed_clauses);
   int_gauge "max_live_clauses" (fun () -> st.Stats.max_live_clauses);
   int_gauge "learnt_live" (fun () -> Vec.length s.learnt);

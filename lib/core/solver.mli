@@ -149,6 +149,16 @@ val set_decision_hook : t -> (int -> bool -> unit) -> unit
 (** [hook var value] fires on every branching decision (used by the
     Figure-1 cone-mobility experiment). *)
 
+val set_minimize_hook :
+  t -> (before:Lit.t array -> after:Lit.t array -> unit) -> unit
+(** [hook ~before ~after] fires once per conflict with the 1-UIP
+    clause before and after conflict-clause minimization
+    ({!Config.ccmin_mode}), asserting literal first in both arrays
+    (identical contents when minimization is off).  The ccmin
+    invariant tests — [after] a subset of [before], asserting literal
+    preserved — live behind this hook.  Runs inside the search loop;
+    keep it cheap and never let it raise. *)
+
 (** {2 Learnt-clause exchange}
 
     Hooks the process-parallel portfolio ({!Berkmin_portfolio}) uses

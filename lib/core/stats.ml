@@ -29,6 +29,10 @@ type t = {
   mutable learnt_total : int;
   mutable learnt_literals : int;
   mutable minimized_literals : int;
+  mutable saved_phase_hits : int;
+  mutable restart_seq_index : int;
+  mutable glue_reduction_kept : int;
+  mutable glue_reduction_dropped : int;
   mutable removed_clauses : int;
   mutable max_live_clauses : int;
   mutable max_learnt_live : int;
@@ -70,6 +74,10 @@ let create () = {
   learnt_total = 0;
   learnt_literals = 0;
   minimized_literals = 0;
+  saved_phase_hits = 0;
+  restart_seq_index = 0;
+  glue_reduction_kept = 0;
+  glue_reduction_dropped = 0;
   removed_clauses = 0;
   max_live_clauses = 0;
   max_learnt_live = 0;
@@ -109,6 +117,10 @@ let reset t =
   t.learnt_total <- 0;
   t.learnt_literals <- 0;
   t.minimized_literals <- 0;
+  t.saved_phase_hits <- 0;
+  t.restart_seq_index <- 0;
+  t.glue_reduction_kept <- 0;
+  t.glue_reduction_dropped <- 0;
   t.removed_clauses <- 0;
   t.max_live_clauses <- 0;
   t.max_learnt_live <- 0;
@@ -197,6 +209,10 @@ let to_json ?worker ?seconds t =
       "learnt_total", Json.Int t.learnt_total;
       "learnt_literals", Json.Int t.learnt_literals;
       "minimized_literals", Json.Int t.minimized_literals;
+      "saved_phase_hits", Json.Int t.saved_phase_hits;
+      "restart_seq_index", Json.Int t.restart_seq_index;
+      "glue_reduction_kept", Json.Int t.glue_reduction_kept;
+      "glue_reduction_dropped", Json.Int t.glue_reduction_dropped;
       "removed_clauses", Json.Int t.removed_clauses;
       "max_live_clauses", Json.Int t.max_live_clauses;
       "max_learnt_live", Json.Int t.max_learnt_live;
@@ -240,7 +256,19 @@ let pp fmt t =
       "@\nsimplify       : %d runs (%d clauses removed, %d vars eliminated, \
        %d subsumed, %d strengthened, %d failed lits)"
       t.simplify_runs t.simplified_clauses t.eliminated_vars t.subsumed
-      t.strengthened t.failed_literals
+      t.strengthened t.failed_literals;
+  (* restart_seq_index also ticks under the paper's fixed cadence
+     (where it equals the restart count, printed above), so it does
+     not gate this line on its own. *)
+  if
+    t.minimized_literals > 0 || t.saved_phase_hits > 0
+    || t.glue_reduction_kept + t.glue_reduction_dropped > 0
+  then
+    Format.fprintf fmt
+      "@\nstrategies     : %d lits minimized, %d saved-phase hits, \
+       glue kept/dropped %d/%d"
+      t.minimized_literals t.saved_phase_hits t.glue_reduction_kept
+      t.glue_reduction_dropped
 
 let pp_line fmt t =
   Format.fprintf fmt "dec=%d conf=%d prop=%d rst=%d learnt=%d"

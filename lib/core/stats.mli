@@ -70,7 +70,21 @@ type t = {
   mutable learnt_total : int;  (** learnt clauses ever created (incl. units) *)
   mutable learnt_literals : int;
   mutable minimized_literals : int;
-      (** literals removed by optional learnt-clause minimization *)
+      (** literals removed by optional learnt-clause minimization
+          ({!Config.ccmin_mode}) *)
+  mutable saved_phase_hits : int;
+      (** decisions whose branch value came from the variable's saved
+          phase ({!Config.t.phase_saving}); always 0 when off *)
+  mutable restart_seq_index : int;
+      (** index into the restart sequence after the most recent
+          restart (for [Luby n], the position whose term sets the
+          current interval); 0 before the first restart *)
+  mutable glue_reduction_kept : int;
+      (** clauses kept unconditionally by a [Glue_lbd] reduction
+          because their learn-time glue was at or below the limit *)
+  mutable glue_reduction_dropped : int;
+      (** clauses dropped by a [Glue_lbd] reduction (glue above the
+          limit and outside the young band) *)
   mutable removed_clauses : int;
   mutable max_live_clauses : int;
       (** peak simultaneous clause count, original + live learnt *)

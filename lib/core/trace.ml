@@ -15,8 +15,14 @@ type event =
   | Conflict of { level : int; conflict_no : int }
   | Learn of { size : int; asserting : Lit.t; backjump_level : int }
   | Backjump of { from_level : int; to_level : int }
-  | Restart of { restart_no : int; conflict_no : int }
-  | Reduce_db of { live_before : int; removed : int; threshold : int }
+  | Restart of { restart_no : int; conflict_no : int; seq_index : int }
+  | Reduce_db of {
+      live_before : int;
+      removed : int;
+      threshold : int;
+      glue_kept : int;
+      glue_dropped : int;
+    }
   | Simplify of {
       rounds : int;
       subsumed : int;
@@ -111,20 +117,23 @@ let event_fields = function
         "from_level", Json.Int from_level;
         "to_level", Json.Int to_level;
       ]
-  | Restart { restart_no; conflict_no } ->
+  | Restart { restart_no; conflict_no; seq_index } ->
     Json.Obj
       [
         "event", Json.String "restart";
         "restart_no", Json.Int restart_no;
         "conflict_no", Json.Int conflict_no;
+        "seq_index", Json.Int seq_index;
       ]
-  | Reduce_db { live_before; removed; threshold } ->
+  | Reduce_db { live_before; removed; threshold; glue_kept; glue_dropped } ->
     Json.Obj
       [
         "event", Json.String "reduce_db";
         "live_before", Json.Int live_before;
         "removed", Json.Int removed;
         "threshold", Json.Int threshold;
+        "glue_kept", Json.Int glue_kept;
+        "glue_dropped", Json.Int glue_dropped;
       ]
   | Simplify
       {

@@ -31,8 +31,20 @@ type event =
   | Conflict of { level : int; conflict_no : int }
   | Learn of { size : int; asserting : Lit.t; backjump_level : int }
   | Backjump of { from_level : int; to_level : int }
-  | Restart of { restart_no : int; conflict_no : int }
-  | Reduce_db of { live_before : int; removed : int; threshold : int }
+  | Restart of { restart_no : int; conflict_no : int; seq_index : int }
+      (** [seq_index] is the position in the restart sequence after
+          this restart (for Luby, the index whose term now sets the
+          interval; for fixed cadence, simply the restart count) *)
+  | Reduce_db of {
+      live_before : int;
+      removed : int;
+      threshold : int;
+      glue_kept : int;
+      glue_dropped : int;
+    }
+      (** [glue_kept]/[glue_dropped] count the clauses a [Glue_lbd]
+          reduction kept unconditionally (glue at or below the limit)
+          vs dropped; both 0 under the other reduction modes *)
   | Simplify of {
       rounds : int;
       subsumed : int;

@@ -73,6 +73,46 @@ let portfolio ?(config = Berkmin.Config.berkmin) ?(workers = 2)
         | Berkmin.Solver.Unknown -> A_unknown);
   }
 
+(* Search-quality strategy lanes: the CDCL engine with one modern
+   heuristic switched on at a time, plus the all-on combination.  Like
+   the simplify lanes, [Config.name_of] reports a modified preset as
+   "custom", so each lane names itself explicitly.  Racing them against
+   the plain CDCL and DPLL lanes makes the fuzzer a soundness gate for
+   the strategies: ccmin dropping a needed literal, phase saving or a
+   Luby schedule steering into an unsound state, or glue-driven
+   reduction deleting a locked clause all surface as verdict, model or
+   proof failures. *)
+let strategy_cdcl ?(config = Berkmin.Config.berkmin)
+    ?(budget = Berkmin_harness.Runner.fuzz_budget) ~name tweak () =
+  let base = cdcl ~config:(tweak config) ~budget () in
+  { base with name = "cdcl:" ^ name }
+
+let strategy_solvers ?config ?budget () =
+  [
+    strategy_cdcl ?config ?budget ~name:"ccmin-deep"
+      (Berkmin.Config.with_ccmin Berkmin.Config.Ccmin_deep)
+      ();
+    strategy_cdcl ?config ?budget ~name:"phase-saving"
+      (Berkmin.Config.with_phase_saving true)
+      ();
+    strategy_cdcl ?config ?budget ~name:"luby"
+      (Berkmin.Config.with_restart_mode (Berkmin.Config.Luby 64))
+      ();
+    strategy_cdcl ?config ?budget ~name:"glue-reduce"
+      (Berkmin.Config.with_reduction_mode (Berkmin.Config.Glue_lbd 3))
+      ();
+    strategy_cdcl ?config ?budget ~name:"modern"
+      (fun base ->
+        {
+          base with
+          Berkmin.Config.ccmin_mode = Berkmin.Config.Ccmin_deep;
+          phase_saving = true;
+          restart_mode = Berkmin.Config.Luby 64;
+          reduction_mode = Berkmin.Config.Glue_lbd 3;
+        })
+      ();
+  ]
+
 let dpll ?(max_nodes = 500_000) () =
   {
     name = "dpll";

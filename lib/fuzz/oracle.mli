@@ -49,6 +49,31 @@ val simplify_cdcl :
     stable across the simplify toggle.  Racing it against the plain
     lanes turns the fuzzer into a soundness gate for the simplifier. *)
 
+val strategy_cdcl :
+  ?config:Berkmin.Config.t ->
+  ?budget:Berkmin.Solver.budget ->
+  name:string ->
+  (Berkmin.Config.t -> Berkmin.Config.t) ->
+  unit ->
+  solver
+(** The CDCL engine with [tweak] applied to the base configuration,
+    named ["cdcl:" ^ name] explicitly (as with {!simplify_cdcl},
+    {!Berkmin.Config.name_of} would report a tweaked preset as
+    ["custom"]).  DRUP logging included. *)
+
+val strategy_solvers :
+  ?config:Berkmin.Config.t ->
+  ?budget:Berkmin.Solver.budget ->
+  unit ->
+  solver list
+(** The search-quality strategy lanes: ["cdcl:ccmin-deep"],
+    ["cdcl:phase-saving"], ["cdcl:luby"], ["cdcl:glue-reduce"] (each
+    one modern heuristic switched on alone) and ["cdcl:modern"] (all
+    four at once).  Racing them against the plain CDCL and DPLL lanes
+    turns the fuzzer into a soundness gate for every strategy: each
+    lane's verdicts, models and DRUP proofs are cross-examined like any
+    other solver's. *)
+
 val portfolio :
   ?config:Berkmin.Config.t ->
   ?workers:int ->

@@ -597,7 +597,8 @@ let ext_minimize opts =
   class_sweep ~name:"ext-minimize" opts
     [
       "Off (paper)", Config.berkmin;
-      "On", { Config.berkmin with Config.minimize_learnt = true };
+      "Basic", { Config.berkmin with Config.ccmin_mode = Config.Ccmin_basic };
+      "Deep", { Config.berkmin with Config.ccmin_mode = Config.Ccmin_deep };
     ]
 
 let ext_varheap opts =

@@ -280,7 +280,7 @@ let test_assumptions_incremental_equivalence_queries () =
 (* ------------------------------------------------------------------ *)
 (* Minimization                                                        *)
 
-let minimizing = { Config.berkmin with Config.minimize_learnt = true }
+let minimizing = { Config.berkmin with Config.ccmin_mode = Config.Ccmin_basic }
 
 let prop_minimization_preserves_verdicts =
   QCheck.Test.make ~name:"minimization: verdicts unchanged" ~count:400

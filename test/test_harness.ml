@@ -113,7 +113,7 @@ let test_stats_reset () =
 
 let test_config_presets_distinct () =
   let presets = Berkmin.Config.presets in
-  check Alcotest.int "eleven presets" 11 (List.length presets);
+  check Alcotest.int "twelve presets" 12 (List.length presets);
   let names = List.map fst presets in
   check Alcotest.int "unique names" (List.length names)
     (List.length (List.sort_uniq compare names));
