@@ -18,12 +18,26 @@ let write_instance dir inst =
 let mkdir_if_missing dir =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
 
-let run out_dir class_names list_flag =
+let run out_dir class_names list_flag dimacs_out size seed =
   if list_flag then begin
     List.iter (fun (name, _) -> print_endline name) (Suites.all ());
     0
   end
-  else begin
+  else
+    match dimacs_out with
+    | Some dir -> begin
+      (* Large-instance mode: the same Bigbench suite `bench --full`
+         solves, written flat into DIR with the same file names, so the
+         tier and external solvers consume identical inputs. *)
+      try
+        mkdir_if_missing dir;
+        List.iter (write_instance dir) (Bigbench.suite ~size ~seed ());
+        0
+      with Sys_error msg ->
+        Printf.eprintf "berkmin-genbench: %s\n" msg;
+        2
+    end
+    | None -> begin
     let unknown =
       List.filter
         (fun name ->
@@ -77,10 +91,39 @@ let class_names =
 let list_flag =
   Arg.(value & flag & info [ "list" ] ~doc:"List class names and exit.")
 
+let dimacs_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dimacs-out" ] ~docv:"DIR"
+        ~doc:
+          "Instead of the twelve named classes, write the large-instance \
+           $(b,bench --full) suite (BMC lock unrollings, larger graph \
+           colorings, planted random-3SAT at scale) flat into $(docv), \
+           one .cnf per instance with the same file names the tier \
+           uses, so external solvers consume identical inputs.  Scaled \
+           by --size, seeded by --seed.")
+
+let size =
+  Arg.(
+    value & opt int 1
+    & info [ "size" ] ~docv:"N"
+        ~doc:
+          "Scale knob for --dimacs-out: multiplies every Bigbench \
+           family's dimensions together (matches bench --full --size).")
+
+let seed =
+  Arg.(
+    value & opt int 7
+    & info [ "seed" ] ~docv:"N"
+        ~doc:
+          "Generation seed for --dimacs-out (matches bench --full \
+           --seed).")
+
 let cmd =
   let doc = "Generate the BerkMin reproduction benchmark suites as DIMACS" in
   Cmd.v
     (Cmd.info "berkmin-genbench" ~doc)
-    Term.(const run $ out_dir $ class_names $ list_flag)
+    Term.(const run $ out_dir $ class_names $ list_flag $ dimacs_out $ size $ seed)
 
 let () = exit (Cmd.eval' cmd)

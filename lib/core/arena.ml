@@ -34,21 +34,33 @@ let ensure a extra =
     a.data <- data
   end
 
-let alloc ?(imported = false) a ~learnt lits =
-  let n = Array.length lits in
-  if n < 1 then invalid_arg "Arena.alloc: empty clause";
-  ensure a (n + header_words);
+(* Bulk loading pre-sizes from the [p cnf V C] header so the load loop
+   never reallocates; a single grow to the exact target beats the
+   doubling ladder (each rung of which copies everything so far). *)
+let ensure_capacity a ~words =
+  if words > Array.length a.data then begin
+    let data = Array.make words 0 in
+    Array.blit a.data 0 data 0 a.size;
+    a.data <- data
+  end
+
+let capacity_words a = Array.length a.data
+
+let alloc_sub ?(imported = false) a ~learnt lits ~len =
+  if len < 1 then invalid_arg "Arena.alloc: empty clause";
+  ensure a (len + header_words);
   let c = a.size in
   a.data.(c) <-
-    (n lsl size_shift)
+    (len lsl size_shift)
     lor (if learnt then learnt_bit else 0)
     lor (if imported then imported_bit else 0);
   a.data.(c + 1) <- 0;
-  for j = 0 to n - 1 do
-    a.data.(c + lits_offset + j) <- lits.(j)
-  done;
-  a.size <- a.size + n + header_words;
+  Array.blit lits 0 a.data (c + lits_offset) len;
+  a.size <- a.size + len + header_words;
   c
+
+let alloc ?imported a ~learnt lits =
+  alloc_sub ?imported a ~learnt lits ~len:(Array.length lits)
 
 let clause_size a c = a.data.(c) lsr size_shift
 let clause_words a c = clause_size a c + header_words

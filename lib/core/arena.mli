@@ -51,6 +51,22 @@ val alloc : ?imported:bool -> t -> learnt:bool -> Lit.t array -> cref
     relocation, so conflict analysis can attribute conflicts to
     imports cheaply. *)
 
+val alloc_sub :
+  ?imported:bool -> t -> learnt:bool -> Lit.t array -> len:int -> cref
+(** [alloc] from the prefix [lits.(0) .. lits.(len - 1)] — lets bulk
+    load allocate straight from a reusable scratch buffer without an
+    intermediate [Array.sub] copy per clause. *)
+
+val ensure_capacity : t -> words:int -> unit
+(** Grows the buffer to at least [words] capacity in one step (no-op if
+    already large enough).  Called with the footprint implied by a
+    [p cnf V C] header, it makes the subsequent bulk load
+    reallocation-free instead of climbing the doubling ladder. *)
+
+val capacity_words : t -> int
+(** Current buffer capacity ([>= size_words]); lets tests assert that a
+    pre-sized load performed zero reallocations. *)
+
 val clause_words : t -> cref -> int
 (** Total footprint of the clause in words (header + literals). *)
 

@@ -1,5 +1,6 @@
 open Berkmin_types
 module Drup = Berkmin_proof.Drup
+module Dimacs = Berkmin_dimacs.Dimacs
 
 type result =
   | Sat of bool array
@@ -1977,6 +1978,167 @@ let add_clause s lits =
       end
     end
 
+(* ------------------------------------------------------------------ *)
+(* Bulk load: the formula streamed straight from DIMACS into the
+   solver, bypassing the [Cnf.t] round-trip entirely.  The [p cnf V C]
+   header pre-sizes every per-variable structure and the arena in one
+   step, so the load loop allocates nothing but the clauses themselves;
+   each clause goes from the parser's scratch buffer into the arena
+   with one [Array.blit].  The result is indistinguishable from
+   [create (Dimacs.parse_* ...)]: same normalization (sort, dedup,
+   tautology drop), same unit handling, same counters — only cheaper. *)
+
+(* Mirror [Clause.of_array]'s normalization, in place on the scratch
+   prefix.  Clauses are short; insertion sort wins below ~32 literals
+   and degenerate wide clauses fall back to [Array.sort] on a copy. *)
+let sort_lits_prefix lits n =
+  if n > 32 then begin
+    let sub = Array.sub lits 0 n in
+    Array.sort Int.compare sub;
+    Array.blit sub 0 lits 0 n
+  end
+  else
+    for i = 1 to n - 1 do
+      let x = lits.(i) in
+      let j = ref (i - 1) in
+      while !j >= 0 && lits.(!j) > x do
+        lits.(!j + 1) <- lits.(!j);
+        decr j
+      done;
+      lits.(!j + 1) <- x
+    done
+
+let dedup_lits_prefix lits n =
+  if n = 0 then 0
+  else begin
+    let m = ref 1 in
+    for i = 1 to n - 1 do
+      if lits.(i) <> lits.(!m - 1) then begin
+        lits.(!m) <- lits.(i);
+        incr m
+      end
+    done;
+    !m
+  end
+
+(* Sorted and deduped, so both phases of a variable are adjacent. *)
+let sorted_prefix_tautology lits m =
+  let rec go i =
+    i + 1 < m && (Lit.var lits.(i) = Lit.var lits.(i + 1) || go (i + 1))
+  in
+  go 0
+
+(* Arena pre-sizing guess: header + 4 literals per declared clause
+   (generous for random 3-SAT and typical industrial width); an
+   undershoot just falls back to the doubling ladder from there. *)
+let presize_clause_words = Arena.header_words + 4
+
+let load ?config source =
+  let t0 = Unix.gettimeofday () in
+  let s = create ?config (Cnf.create ()) in
+  let literals = ref 0 in
+  let stored = ref 0 in
+  (* Headered files declare all variables once; headerless files grow
+     them as clauses mention them (matching [Cnf.ensure_vars]). *)
+  let declare_vars v =
+    if v > s.nvars then begin
+      ensure_var_capacity s v;
+      s.nvars <- v;
+      Binary.grow s.binary ~num_lits:(2 * v);
+      match s.heap with
+      | Some h -> Var_heap.bulk_grow h ~num_vars:v ~activity:s.var_act
+      | None -> ()
+    end
+  in
+  let on_header ~vars ~clauses =
+    declare_vars vars;
+    Arena.ensure_capacity s.arena
+      ~words:(Arena.capacity_words s.arena + (clauses * presize_clause_words));
+    Vec.reserve s.original clauses
+  in
+  let (), scratch_words =
+    Dimacs.fold_clauses_scratch ~on_header source ~init:()
+      ~f:(fun () lits n ->
+        literals := !literals + n;
+        let maxv = ref 0 in
+        for j = 0 to n - 1 do
+          let v = Lit.var lits.(j) + 1 in
+          if v > !maxv then maxv := v
+        done;
+        declare_vars !maxv;
+        sort_lits_prefix lits n;
+        let m = dedup_lits_prefix lits n in
+        if not (sorted_prefix_tautology lits m) then begin
+          s.n_original <- s.n_original + 1;
+          incr stored;
+          match m with
+          | 0 -> s.ok <- false
+          | 1 -> (
+            match lit_value s lits.(0) with
+            | Value.True -> ()
+            | Value.False -> s.ok <- false
+            | Value.Unassigned -> enqueue s lits.(0) Arena.cref_undef)
+          | 2 ->
+            let c = Arena.alloc_sub s.arena ~learnt:false lits ~len:2 in
+            Vec.push s.original c;
+            Binary.add s.binary ~cref:c lits.(0) lits.(1)
+          | _ ->
+            (* Attachment is deferred: pushing two watchers per clause
+               into randomly-addressed, growth-reallocating lists while
+               streaming is the bulk path's hottest cost.  The arena
+               already holds everything a later pass needs. *)
+            let c = Arena.alloc_sub s.arena ~learnt:false lits ~len:m in
+            Vec.push s.original c
+        end)
+  in
+  (* Bulk attachment, clause order preserved so the watch lists come
+     out element-for-element identical to [create]'s: one sequential
+     pass counts watchers per literal, [Vec.reserve] sizes every list
+     exactly, and the attach pass then never reallocates. *)
+  let counts = Array.make (2 * s.nvars) 0 in
+  Vec.iter
+    (fun c ->
+      if Arena.clause_size s.arena c >= 3 then begin
+        (* each watcher is two ints: blocker + cref *)
+        let l0 = Arena.lit s.arena c 0 and l1 = Arena.lit s.arena c 1 in
+        counts.(l0) <- counts.(l0) + 2;
+        counts.(l1) <- counts.(l1) + 2
+      end)
+    s.original;
+  for l = 0 to (2 * s.nvars) - 1 do
+    if counts.(l) > 0 then
+      Vec.reserve s.watches.(l) (Vec.length s.watches.(l) + counts.(l))
+  done;
+  Vec.iter
+    (fun c -> if Arena.clause_size s.arena c >= 3 then attach s c)
+    s.original;
+  s.stats.arena_bytes <- Arena.bytes s.arena;
+  Stats.note_live_clauses s.stats s.n_original;
+  s.stats.load_clauses <- !stored;
+  s.stats.load_literals <- !literals;
+  s.stats.load_scratch_words <- scratch_words;
+  s.stats.time_load <- Unix.gettimeofday () -. t0;
+  if Trace.active s.tracer then
+    Trace.emit s.tracer
+      (Trace.Load
+         {
+           vars = s.nvars;
+           clauses = !stored;
+           literals = !literals;
+           seconds = s.stats.time_load;
+           arena_bytes = Arena.bytes s.arena;
+           scratch_words;
+         });
+  s
+
+let load_string ?config text = load ?config (Dimacs.From_string text)
+
+let load_file ?config path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> load ?config (Dimacs.From_channel ic))
+
 let solve ?budget ?(assumps = []) s =
   match assumps with
   | [] ->
@@ -2082,9 +2244,13 @@ let metrics s =
   int_gauge "decision_level" (fun () -> decision_level s);
   int_gauge "old_activity_threshold" (fun () -> s.old_threshold);
   int_gauge "trace_events" (fun () -> Trace.emitted s.tracer);
+  int_gauge "load_clauses" (fun () -> st.Stats.load_clauses);
+  int_gauge "load_literals" (fun () -> st.Stats.load_literals);
+  int_gauge "load_scratch_words" (fun () -> st.Stats.load_scratch_words);
   ignore (Metrics.gauge m "time_bcp_seconds" (fun () -> st.Stats.time_bcp));
   ignore
     (Metrics.gauge m "time_analyze_seconds" (fun () -> st.Stats.time_analyze));
   ignore
     (Metrics.gauge m "time_reduce_seconds" (fun () -> st.Stats.time_reduce));
+  ignore (Metrics.gauge m "time_load_seconds" (fun () -> st.Stats.time_load));
   m

@@ -30,6 +30,28 @@ val create : ?config:Config.t -> Cnf.t -> t
 (** Loads the formula (tautologies dropped, duplicate literals merged).
     Default configuration is {!Config.berkmin}. *)
 
+val load : ?config:Config.t -> Berkmin_dimacs.Dimacs.source -> t
+(** Streams a DIMACS formula straight into a fresh solver — the
+    large-instance fast path.  Behaviour is identical to
+    [create (Dimacs.parse_file ...)] (same normalization, same
+    verdicts, same {!Berkmin_dimacs.Dimacs.Parse_error}s) but without
+    materializing a {!Cnf.t}: the [p cnf V C] header pre-sizes the
+    arena, watch lists, binary index and every per-variable structure
+    in one step, and each clause moves from the parser's scratch
+    buffer into the arena with a single blit.  Peak heap beyond the
+    solver's own state is O(read chunk + largest clause), never
+    O(file).  Parse+load wall time, literal counts and the final
+    scratch size land in {!Stats.t} ([time_load], [load_clauses],
+    [load_literals], [load_scratch_words]), the metrics registry, and
+    a {!Trace.event.Load} event. *)
+
+val load_string : ?config:Config.t -> string -> t
+(** {!load} over an in-memory DIMACS document. *)
+
+val load_file : ?config:Config.t -> string -> t
+(** {!load} over a file.
+    @raise Sys_error if the file cannot be opened. *)
+
 val solve : ?budget:budget -> ?assumps:Lit.t list -> t -> result
 (** Runs the search.  Without assumptions, a second call returns the
     cached verdict unless the first ended in [Unknown], in which case

@@ -41,6 +41,13 @@ type t = {
   mutable time_bcp : float;
   mutable time_analyze : float;
   mutable time_reduce : float;
+  (* Bulk-load phase ({!Solver.load}): how much formula came through
+     the streaming DIMACS path and what it cost, before the first
+     propagation. *)
+  mutable load_clauses : int;
+  mutable load_literals : int;
+  mutable load_scratch_words : int;
+  mutable time_load : float;  (* wall clock, unlike the CPU times above *)
 }
 
 let skin_cap = 1 lsl 16
@@ -86,6 +93,10 @@ let create () = {
   time_bcp = 0.0;
   time_analyze = 0.0;
   time_reduce = 0.0;
+  load_clauses = 0;
+  load_literals = 0;
+  load_scratch_words = 0;
+  time_load = 0.0;
 }
 
 let reset t =
@@ -128,7 +139,11 @@ let reset t =
   t.skin_overflow <- 0;
   t.time_bcp <- 0.0;
   t.time_analyze <- 0.0;
-  t.time_reduce <- 0.0
+  t.time_reduce <- 0.0;
+  t.load_clauses <- 0;
+  t.load_literals <- 0;
+  t.load_scratch_words <- 0;
+  t.time_load <- 0.0
 
 let record_skin t r =
   if r >= skin_cap then t.skin_overflow <- t.skin_overflow + 1
@@ -222,6 +237,10 @@ let to_json ?worker ?seconds t =
       "time_bcp", Json.Float t.time_bcp;
       "time_analyze", Json.Float t.time_analyze;
       "time_reduce", Json.Float t.time_reduce;
+      "load_clauses", Json.Int t.load_clauses;
+      "load_literals", Json.Int t.load_literals;
+      "load_scratch_words", Json.Int t.load_scratch_words;
+      "time_load", Json.Float t.time_load;
     ]
   in
   let derived =
@@ -260,6 +279,10 @@ let pp fmt t =
   (* restart_seq_index also ticks under the paper's fixed cadence
      (where it equals the restart count, printed above), so it does
      not gate this line on its own. *)
+  if t.load_clauses > 0 then
+    Format.fprintf fmt
+      "@\nload           : %d clauses, %d literals in %.3fs (scratch %d words)"
+      t.load_clauses t.load_literals t.time_load t.load_scratch_words;
   if
     t.minimized_literals > 0 || t.saved_phase_hits > 0
     || t.glue_reduction_kept + t.glue_reduction_dropped > 0

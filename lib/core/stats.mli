@@ -95,6 +95,13 @@ type t = {
       (** CPU seconds inside BCP, when {!Config.t.profile_timers} *)
   mutable time_analyze : float;  (** CPU seconds in conflict analysis *)
   mutable time_reduce : float;  (** CPU seconds in database reduction *)
+  mutable load_clauses : int;
+      (** clauses stored by the bulk-load path (tautologies excluded) *)
+  mutable load_literals : int;  (** literals read from the DIMACS stream *)
+  mutable load_scratch_words : int;
+      (** final parser scratch capacity — the O(largest clause) term of
+          the streaming memory bound *)
+  mutable time_load : float;  (** parse+load wall-clock seconds *)
 }
 
 val create : unit -> t

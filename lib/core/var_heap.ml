@@ -104,3 +104,18 @@ let grow t ~num_vars ~activity =
     t.heap <- heap;
     t.pos <- pos
   end
+
+(* Bulk load declares all variables at once from the p-header.  Widen
+   exactly to [num_vars] and append every variable not already present,
+   then heapify — O(n) total, versus n pushes each paying a sift_up
+   against an already-populated heap. *)
+let bulk_grow t ~num_vars ~activity =
+  grow t ~num_vars ~activity;
+  for v = 0 to num_vars - 1 do
+    if not (mem t v) then begin
+      t.heap.(t.size) <- v;
+      t.pos.(v) <- t.size;
+      t.size <- t.size + 1
+    end
+  done;
+  rebuild t

@@ -43,3 +43,12 @@ val grow : t -> num_vars:int -> activity:float array -> unit
     previous one so existing comparisons are unchanged).  Newly valid
     variables are {e not} inserted — {!push} them explicitly.
     @raise Invalid_argument if [activity] is shorter than [num_vars]. *)
+
+val bulk_grow : t -> num_vars:int -> activity:float array -> unit
+(** {!grow} plus insertion of every variable in [0 .. num_vars-1] not
+    already present, in one O(n) widen-append-heapify pass — the bulk
+    counterpart of [grow]-then-[push]-each used when a [p cnf V C]
+    header declares all variables up front.  Pop order is unaffected:
+    the comparison is a strict total order (activity, then index), so
+    the root is the unique maximum whatever the internal layout.
+    @raise Invalid_argument if [activity] is shorter than [num_vars]. *)

@@ -5,87 +5,411 @@ exception Parse_error of { line : int; message : string }
 let fail line fmt =
   Format.kasprintf (fun message -> raise (Parse_error { line; message })) fmt
 
-type state = {
-  mutable line : int;
-  mutable declared_vars : int option;
-  mutable current : Lit.t list; (* literals of the clause being read *)
-  mutable stopped : bool; (* saw the SATLIB '%' terminator *)
-  cnf : Cnf.t;
+(* ------------------------------------------------------------------ *)
+(* Legacy line-based parser.
+
+   The original implementation: split the input into lines, normalize
+   each line with [String.map], split on spaces, [int_of_string_opt]
+   every token.  Kept as the differential reference the streaming
+   parser below is property-tested against (same [Cnf.t], same
+   errors), and as the dialect specification: anything the streaming
+   path accepts or rejects, this one must too.                         *)
+
+module Legacy = struct
+  type state = {
+    mutable line : int;
+    mutable declared_vars : int option;
+    mutable current : Lit.t list; (* literals of the clause being read *)
+    mutable stopped : bool; (* saw the SATLIB '%' terminator *)
+    cnf : Cnf.t;
+  }
+
+  let finish_clause st =
+    Cnf.add_clause st.cnf (List.rev st.current);
+    st.current <- []
+
+  let handle_literal st n =
+    if n = 0 then finish_clause st
+    else begin
+      (match st.declared_vars with
+      | Some dv when abs n > dv ->
+        fail st.line "literal %d exceeds declared variable count %d" n dv
+      | Some _ | None -> ());
+      st.current <- Lit.of_dimacs n :: st.current
+    end
+
+  let handle_header st tokens =
+    if st.declared_vars <> None then fail st.line "duplicate p-header";
+    match tokens with
+    | [ "p"; "cnf"; v; c ] -> (
+      match int_of_string_opt v, int_of_string_opt c with
+      | Some v, Some c when v >= 0 && c >= 0 ->
+        st.declared_vars <- Some v;
+        Cnf.ensure_vars st.cnf v
+      | _ -> fail st.line "malformed p-header")
+    | _ -> fail st.line "malformed p-header (expected `p cnf <vars> <clauses>')"
+
+  (* Comment and blank lines are recognized on the raw line, before
+     the [String.map] whitespace normalization: a big instance is
+     mostly clauses, but SAT-competition headers carry kilobytes of
+     comments, and copying each of those lines just to discard it was
+     pure GC churn. *)
+  let is_space c = c = ' ' || c = '\t' || c = '\r'
+
+  let first_non_space line =
+    let n = String.length line in
+    let i = ref 0 in
+    while !i < n && is_space line.[!i] do incr i done;
+    if !i < n then Some line.[!i] else None
+
+  let handle_line st line =
+    if st.stopped then ()
+    else
+      match first_non_space line with
+      | None -> () (* blank *)
+      | Some 'c' -> () (* comment *)
+      | Some _ -> (
+        let tokens =
+          String.split_on_char ' '
+            (String.map (function '\t' | '\r' -> ' ' | c -> c) line)
+          |> List.filter (fun s -> s <> "")
+        in
+        match tokens with
+        | [] -> ()
+        | "p" :: _ -> handle_header st tokens
+        | "%" :: _ ->
+          (* SATLIB instances end with a stray "%\n0"; ignore everything
+             after the percent sign. *)
+          st.stopped <- true
+        | tokens ->
+          List.iter
+            (fun tok ->
+              match int_of_string_opt tok with
+              | Some n -> handle_literal st n
+              | None -> fail st.line "unexpected token %S" tok)
+            tokens)
+
+  let parse_lines lines =
+    let st =
+      { line = 0; declared_vars = None; current = []; stopped = false;
+        cnf = Cnf.create () }
+    in
+    Seq.iter
+      (fun line ->
+        st.line <- st.line + 1;
+        handle_line st line)
+      lines;
+    if st.current <> [] then finish_clause st (* tolerate a missing final 0 *);
+    st.cnf
+
+  let parse_string s = parse_lines (String.split_on_char '\n' s |> List.to_seq)
+
+  let parse_channel ic =
+    let rec lines () =
+      match input_line ic with
+      | line -> Seq.Cons (line, lines)
+      | exception End_of_file -> Seq.Nil
+    in
+    parse_lines lines
+
+  let parse_file path =
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> parse_channel ic)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Streaming parser.
+
+   One pass over chunked [Bytes], tokenizing integers in place: no
+   intermediate line strings, no per-token allocation, no clause
+   lists.  Clauses are delivered through a reusable int-array scratch
+   buffer, so peak heap is O(chunk + largest clause), never O(file).
+
+   A token that straddles a chunk boundary is preserved by compacting
+   the unread tail to the front of the buffer before refilling; a
+   token longer than the whole buffer (degenerate input) grows the
+   buffer, keeping the memory bound O(largest token).
+
+   The accepted dialect is byte-identical to {!Legacy}: 'c' comment
+   lines (first non-blank character of the line), one [p cnf V C]
+   header, clauses terminated by 0 and free to span or share lines, a
+   SATLIB '%' line stopping the parse, a missing final 0 tolerated,
+   and the same [Parse_error] messages on the same line numbers.
+   Number tokens take an allocation-free digits fast path; anything
+   else (OCaml accepts "0x1f" or "1_000" via [int_of_string_opt], and
+   the reference parser therefore does too) falls back to a substring
+   so acceptance and error text cannot drift.                          *)
+
+type source =
+  | From_string of string
+  | From_channel of in_channel
+
+let default_chunk_size = 65536
+
+type reader = {
+  mutable buf : Bytes.t;
+  mutable pos : int; (* next unread byte *)
+  mutable len : int; (* valid prefix of [buf] *)
+  mutable eof : bool;
+  fill : Bytes.t -> int -> int -> int; (* buf off room -> bytes read *)
 }
 
-let finish_clause st =
-  Cnf.add_clause st.cnf (List.rev st.current);
-  st.current <- []
+let reader_of_source ~chunk_size source =
+  let chunk = max chunk_size 4 in
+  let fill =
+    match source with
+    | From_channel ic -> fun buf off room -> input ic buf off room
+    | From_string s ->
+      let spos = ref 0 in
+      fun buf off room ->
+        let n = min room (String.length s - !spos) in
+        Bytes.blit_string s !spos buf off n;
+        spos := !spos + n;
+        n
+  in
+  { buf = Bytes.create chunk; pos = 0; len = 0; eof = false; fill }
 
-let handle_literal st n =
-  if n = 0 then finish_clause st
+(* Make room and read more input.  Unread bytes (a partial token) are
+   moved to the front; a buffer entirely full of one token doubles.
+   Returns false at end of input. *)
+let refill r =
+  if r.eof then false
   else begin
-    (match st.declared_vars with
-    | Some dv when abs n > dv ->
-      fail st.line "literal %d exceeds declared variable count %d" n dv
-    | Some _ | None -> ());
-    st.current <- Lit.of_dimacs n :: st.current
+    if r.pos > 0 then begin
+      let rem = r.len - r.pos in
+      if rem > 0 then Bytes.blit r.buf r.pos r.buf 0 rem;
+      r.len <- rem;
+      r.pos <- 0
+    end;
+    if r.len = Bytes.length r.buf then begin
+      let grown = Bytes.create (2 * Bytes.length r.buf) in
+      Bytes.blit r.buf 0 grown 0 r.len;
+      r.buf <- grown
+    end;
+    let n = r.fill r.buf r.len (Bytes.length r.buf - r.len) in
+    if n = 0 then begin
+      r.eof <- true;
+      false
+    end
+    else begin
+      r.len <- r.len + n;
+      true
+    end
   end
 
-let handle_header st tokens =
-  if st.declared_vars <> None then fail st.line "duplicate p-header";
-  match tokens with
-  | [ "p"; "cnf"; v; c ] -> (
-    match int_of_string_opt v, int_of_string_opt c with
-    | Some v, Some c when v >= 0 && c >= 0 ->
-      st.declared_vars <- Some v;
-      Cnf.ensure_vars st.cnf v
-    | _ -> fail st.line "malformed p-header")
-  | _ -> fail st.line "malformed p-header (expected `p cnf <vars> <clauses>')"
+let is_inline_space c = c = ' ' || c = '\t' || c = '\r'
+let is_separator c = c = '\n' || is_inline_space c
 
-let handle_line st line =
-  let tokens =
-    String.split_on_char ' ' (String.map (function '\t' | '\r' -> ' ' | c -> c) line)
-    |> List.filter (fun s -> s <> "")
+(* The whole token starting at [r.pos] brought into the buffer;
+   returns its end offset (start is [r.pos], possibly relocated to 0
+   by compaction).  Precondition: [r.pos < r.len]. *)
+let rec token_end r =
+  let b = r.buf and len = r.len in
+  let q = ref r.pos in
+  while !q < len && not (is_separator (Bytes.unsafe_get b !q)) do
+    incr q
+  done;
+  if !q < len || r.eof then !q
+  else if refill r then token_end r
+  else r.len
+
+let rec skip_to_newline r =
+  let b = r.buf and len = r.len in
+  let i = ref r.pos in
+  while !i < len && Bytes.unsafe_get b !i <> '\n' do
+    incr i
+  done;
+  r.pos <- !i;
+  if !i >= len && not r.eof then
+    if refill r then skip_to_newline r
+
+let stream ~chunk_size ~on_header ~init ~f source =
+  let rd = reader_of_source ~chunk_size source in
+  let line = ref 1 in
+  let declared = ref (-1) in (* -1 = no p-header seen *)
+  let scratch = ref (Array.make 16 0) in
+  let nlits = ref 0 in
+  let acc = ref init in
+  let emit () =
+    acc := f !acc !scratch !nlits;
+    nlits := 0
   in
-  match tokens with
-  | _ when st.stopped -> ()
-  | [] -> ()
-  | first :: _ when String.length first > 0 && first.[0] = 'c' -> ()
-  | "p" :: _ -> handle_header st tokens
-  | "%" :: _ ->
-    (* SATLIB instances end with a stray "%\n0"; ignore everything
-       after the percent sign. *)
-    st.stopped <- true
-  | tokens ->
-    List.iter
-      (fun tok ->
-        match int_of_string_opt tok with
-        | Some n -> handle_literal st n
-        | None -> fail st.line "unexpected token %S" tok)
-      tokens
-
-let parse_lines lines =
-  let st =
-    { line = 0; declared_vars = None; current = []; stopped = false;
-      cnf = Cnf.create () }
+  let push_lit n =
+    if !declared >= 0 && abs n > !declared then
+      fail !line "literal %d exceeds declared variable count %d" n !declared;
+    if !nlits = Array.length !scratch then begin
+      let grown = Array.make (2 * !nlits) 0 in
+      Array.blit !scratch 0 grown 0 !nlits;
+      scratch := grown
+    end;
+    !scratch.(!nlits) <- Lit.of_dimacs n;
+    incr nlits
   in
-  Seq.iter
-    (fun line ->
-      st.line <- st.line + 1;
-      handle_line st line)
-    lines;
-  if st.current <> [] then finish_clause st (* tolerate a missing final 0 *);
-  st.cnf
-
-let parse_string s = parse_lines (String.split_on_char '\n' s |> List.to_seq)
-
-let parse_channel ic =
-  let rec lines () =
-    match input_line ic with
-    | line -> Seq.Cons (line, lines)
-    | exception End_of_file -> Seq.Nil
+  (* In-place integer parse of buf[p..q).  The fast path covers signed
+     decimal up to 18 digits (no intermediate string, no overflow on
+     63-bit ints); everything else goes through [int_of_string_opt] on
+     a substring, exactly as the legacy parser does. *)
+  let parse_int p q =
+    let b = rd.buf in
+    let i = ref p in
+    let neg =
+      match Bytes.unsafe_get b p with
+      | '-' ->
+        incr i;
+        true
+      | '+' ->
+        incr i;
+        false
+      | _ -> false
+    in
+    let ndigits = q - !i in
+    let ok = ref (ndigits > 0 && ndigits <= 18) in
+    let v = ref 0 in
+    let j = ref !i in
+    while !ok && !j < q do
+      let c = Bytes.unsafe_get b !j in
+      if c >= '0' && c <= '9' then begin
+        v := (10 * !v) + (Char.code c - Char.code '0');
+        incr j
+      end
+      else ok := false
+    done;
+    if !ok then if neg then - !v else !v
+    else begin
+      let s = Bytes.sub_string b p (q - p) in
+      match int_of_string_opt s with
+      | Some n -> n
+      | None -> fail !line "unexpected token %S" s
+    end
   in
-  parse_lines lines
+  (* Rest of a "p" line as token strings (at most once per file). *)
+  let gather_p_tokens () =
+    let toks = ref [] in
+    let continue = ref true in
+    while !continue do
+      if rd.pos >= rd.len then begin
+        if not (refill rd) then continue := false
+      end
+      else begin
+        let c = Bytes.unsafe_get rd.buf rd.pos in
+        if c = '\n' then continue := false
+        else if is_inline_space c then rd.pos <- rd.pos + 1
+        else begin
+          let q = token_end rd in
+          toks := Bytes.sub_string rd.buf rd.pos (q - rd.pos) :: !toks;
+          rd.pos <- q
+        end
+      end
+    done;
+    List.rev !toks
+  in
+  let handle_p_line () =
+    if !declared >= 0 then fail !line "duplicate p-header";
+    match gather_p_tokens () with
+    | [ "cnf"; v; c ] -> (
+      match int_of_string_opt v, int_of_string_opt c with
+      | Some v, Some c when v >= 0 && c >= 0 ->
+        declared := v;
+        on_header ~vars:v ~clauses:c
+      | _ -> fail !line "malformed p-header")
+    | _ -> fail !line "malformed p-header (expected `p cnf <vars> <clauses>')"
+  in
+  let at_bol = ref true in
+  let stopped = ref false in
+  let rec loop () =
+    if !stopped then ()
+    else if rd.pos >= rd.len then begin
+      if refill rd then loop () (* else: end of input *)
+    end
+    else begin
+      let c = Bytes.unsafe_get rd.buf rd.pos in
+      if c = '\n' then begin
+        rd.pos <- rd.pos + 1;
+        incr line;
+        at_bol := true;
+        loop ()
+      end
+      else if is_inline_space c then begin
+        rd.pos <- rd.pos + 1;
+        loop ()
+      end
+      else if !at_bol && c = 'c' then begin
+        (* comment: the line's first token starts with 'c' *)
+        skip_to_newline rd;
+        loop ()
+      end
+      else begin
+        let q = token_end rd in
+        let p = rd.pos in (* token_end may have compacted: reread start *)
+        if !at_bol && q - p = 1 && Bytes.unsafe_get rd.buf p = 'p' then begin
+          at_bol := false;
+          rd.pos <- q;
+          handle_p_line ();
+          loop ()
+        end
+        else if !at_bol && q - p = 1 && Bytes.unsafe_get rd.buf p = '%' then
+          (* SATLIB terminator: ignore everything after it *)
+          stopped := true
+        else begin
+          at_bol := false;
+          let n = parse_int p q in
+          rd.pos <- q;
+          if n = 0 then emit () else push_lit n;
+          loop ()
+        end
+      end
+    end
+  in
+  loop ();
+  if !nlits > 0 then emit () (* tolerate a missing final 0 *);
+  (!acc, Array.length !scratch)
+
+let fold_clauses ?(chunk_size = default_chunk_size) ?on_header source ~init ~f =
+  let on_header =
+    match on_header with
+    | Some g -> g
+    | None -> fun ~vars:_ ~clauses:_ -> ()
+  in
+  fst (stream ~chunk_size ~on_header ~init ~f source)
+
+let iter_clauses ?chunk_size ?on_header source ~f =
+  fold_clauses ?chunk_size ?on_header source ~init:() ~f:(fun () lits n ->
+      f lits n)
+
+(* Streaming fold plus the peak scratch size — the O(largest clause)
+   bound the memory ceiling of the bulk-load path is stated in. *)
+let fold_clauses_scratch ?(chunk_size = default_chunk_size) ?on_header source
+    ~init ~f =
+  let on_header =
+    match on_header with
+    | Some g -> g
+    | None -> fun ~vars:_ ~clauses:_ -> ()
+  in
+  stream ~chunk_size ~on_header ~init ~f source
+
+(* ------------------------------------------------------------------ *)
+(* The public parse entry points: thin wrappers over the stream.       *)
+
+let parse_source ?chunk_size source =
+  let cnf = Cnf.create () in
+  let on_header ~vars ~clauses:_ = Cnf.ensure_vars cnf vars in
+  iter_clauses ?chunk_size ~on_header source ~f:(fun lits n ->
+      Cnf.add_clause_a cnf (Array.sub lits 0 n));
+  cnf
+
+let parse_string s = parse_source (From_string s)
+let parse_channel ic = parse_source (From_channel ic)
 
 let parse_file path =
   let ic = open_in path in
-  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> parse_channel ic)
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> parse_channel ic)
+
+(* ------------------------------------------------------------------ *)
+(* Printing and solutions (unchanged).                                 *)
 
 let print fmt cnf =
   Format.fprintf fmt "p cnf %d %d\n" (Cnf.num_vars cnf) (Cnf.num_clauses cnf);

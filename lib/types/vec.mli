@@ -29,6 +29,12 @@ val get : 'a t -> int -> 'a
 val set : 'a t -> int -> 'a -> unit
 (** @raise Invalid_argument when out of bounds. *)
 
+val reserve : 'a t -> int -> unit
+(** [reserve v n] grows the backing array to hold at least [n] elements
+    without changing the length, so the next [n - length v] pushes
+    never reallocate.  A no-op when capacity already suffices; bulk
+    loaders use it to size watch lists exactly. *)
+
 val push : 'a t -> 'a -> unit
 
 val pop : 'a t -> 'a

@@ -265,6 +265,38 @@ let test_level0_facts_detach_satisfied () =
   check Alcotest.(list string) "audit clean" []
     (Solver.watch_invariant_violations s)
 
+(* ------------------------------------------------------------------ *)
+(* Header pre-sizing (bulk load).                                      *)
+
+let test_ensure_capacity_no_realloc () =
+  let a = Arena.create ~capacity:16 () in
+  let clauses = 1000 in
+  let lits_per = 3 in
+  let words = clauses * (Arena.header_words + lits_per) in
+  Arena.ensure_capacity a ~words;
+  let cap = Arena.capacity_words a in
+  check Alcotest.bool "capacity reached" true (cap >= words);
+  (* a bulk load within the declared budget must never reallocate *)
+  let scratch = [| 2; 5; 9; 999; 999 |] in
+  for _ = 1 to clauses do
+    ignore (Arena.alloc_sub a ~learnt:false scratch ~len:lits_per)
+  done;
+  check Alcotest.int "zero reallocations" cap (Arena.capacity_words a);
+  check Alcotest.int "exactly full" words (Arena.size_words a);
+  (* and the very next clause past the budget grows it *)
+  ignore (Arena.alloc a ~learnt:false [| 0; 1; 2 |]);
+  check Alcotest.bool "overflow grows" true (Arena.capacity_words a > cap)
+
+let test_alloc_sub_prefix () =
+  let a = Arena.create () in
+  let scratch = [| 4; 7; 10; 555; 777 |] in
+  let c = Arena.alloc_sub a ~learnt:false scratch ~len:3 in
+  check Alcotest.int "size is len" 3 (Arena.clause_size a c);
+  check Alcotest.(array int) "prefix only" [| 4; 7; 10 |] (Arena.lits_array a c);
+  (* mutating the scratch afterwards must not reach the arena *)
+  scratch.(0) <- 123;
+  check Alcotest.int "copied, not aliased" 4 (Arena.lit a c 0)
+
 let () =
   Alcotest.run "arena"
     [
@@ -278,6 +310,13 @@ let () =
         ] );
       ( "gc-protocol",
         [ Alcotest.test_case "reloc/commit" `Quick test_reloc_commit ] );
+      ( "presizing",
+        [
+          Alcotest.test_case "ensure_capacity: zero reallocations" `Quick
+            test_ensure_capacity_no_realloc;
+          Alcotest.test_case "alloc_sub allocates the prefix" `Quick
+            test_alloc_sub_prefix;
+        ] );
       ( "blockers",
         [
           Alcotest.test_case "true blocker short-circuits" `Quick

@@ -99,6 +99,149 @@ let prop_roundtrip =
       Cnf.num_clauses cnf = Cnf.num_clauses cnf2
       && List.for_all2 Clause.equal (Cnf.clauses cnf) (Cnf.clauses cnf2))
 
+(* ---------------------------------------------------------------- *)
+(* Streaming ≡ legacy.  The streaming parser must be observationally
+   identical to the retained line-based one: same Cnf, or the same
+   Parse_error (line and message) — on well-formed documents with
+   arbitrary whitespace/comment/termination quirks, and on mutated
+   byte strings that may or may not still parse. *)
+
+let outcome parse text =
+  match parse text with
+  | cnf -> Ok (Cnf.num_vars cnf, Dimacs.to_string cnf)
+  | exception Dimacs.Parse_error { line; message } -> Error (line, message)
+
+let agree text =
+  let s = outcome Dimacs.parse_string text
+  and l = outcome Dimacs.Legacy.parse_string text in
+  if s = l then true
+  else
+    QCheck.Test.fail_reportf "parsers disagree on %S:@.stream %s@.legacy %s"
+      text
+      (match s with
+      | Ok (v, d) -> Printf.sprintf "Ok vars=%d %S" v d
+      | Error (ln, m) -> Printf.sprintf "Error line %d %S" ln m)
+      (match l with
+      | Ok (v, d) -> Printf.sprintf "Ok vars=%d %S" v d
+      | Error (ln, m) -> Printf.sprintf "Error line %d %S" ln m)
+
+let gen_wellformed =
+  let open QCheck.Gen in
+  let sep = oneofl [ " "; "  "; "\t "; "\n"; " \n"; "\r\n"; "\t\n"; " \t " ] in
+  let comment =
+    oneofl [ ""; "c hello world\n"; "c\n"; "c\ttab comment\n"; "chello\n" ]
+  in
+  int_range 1 10 >>= fun nv ->
+  list_size (int_range 0 10)
+    (list_size (int_range 1 5)
+       (int_range 1 nv >>= fun v -> oneofl [ v; -v ]))
+  >>= fun clauses ->
+  comment >>= fun c0 ->
+  comment >>= fun c1 ->
+  bool >>= fun header ->
+  bool >>= fun percent_tail ->
+  bool >>= fun missing_last_zero ->
+  let tokens =
+    List.concat_map (fun cl -> List.map string_of_int cl @ [ "0" ]) clauses
+  in
+  let tokens =
+    match (missing_last_zero, List.rev tokens) with
+    | true, "0" :: rest -> List.rev rest
+    | _ -> tokens
+  in
+  list_repeat (List.length tokens) sep >>= fun seps ->
+  let body = List.concat (List.map2 (fun t s -> [ t; s ]) tokens seps) in
+  let hdr =
+    if header then Printf.sprintf "p cnf %d %d\n" nv (List.length clauses)
+    else ""
+  in
+  let tail = if percent_tail then "%\n0\n" else "" in
+  return (c0 ^ hdr ^ c1 ^ String.concat "" body ^ tail)
+
+let gen_mutated =
+  let open QCheck.Gen in
+  gen_wellformed >>= fun s ->
+  oneofl
+    [
+      "zz "; "1x "; "p cnf 3 3\n"; "999 "; "- "; "0x2 "; "1_0 "; "+3 ";
+      "p\n"; "%"; "c"; "00 "; "-0 "; "9999999999999999999999 ";
+    ]
+  >>= fun t ->
+  int_range 0 (String.length s) >>= fun pos ->
+  return (String.sub s 0 pos ^ t ^ String.sub s pos (String.length s - pos))
+
+let prop_stream_eq_legacy =
+  QCheck.Test.make ~name:"dimacs: streaming = legacy (well-formed)" ~count:500
+    (QCheck.make gen_wellformed ~print:(fun s -> s))
+    agree
+
+let prop_stream_eq_legacy_mutated =
+  QCheck.Test.make ~name:"dimacs: streaming = legacy (mutated)" ~count:500
+    (QCheck.make gen_mutated ~print:(fun s -> s))
+    agree
+
+let test_stream_small_chunks () =
+  (* Tokens straddling every possible chunk boundary: parse the same
+     messy document at several tiny chunk sizes and compare with the
+     one-shot parse. *)
+  let text =
+    "c header comment\np cnf 12 4\n1 -2 3 0 4 5\n-6 0\nc mid\n10 -11 12 0\n\
+     7 8 9 0\n"
+  in
+  let reference = Dimacs.parse_string text in
+  List.iter
+    (fun chunk_size ->
+      let cnf = Cnf.create () in
+      Dimacs.iter_clauses ~chunk_size
+        ~on_header:(fun ~vars ~clauses:_ -> Cnf.ensure_vars cnf vars)
+        (Dimacs.From_string text)
+        ~f:(fun lits n -> Cnf.add_clause_a cnf (Array.sub lits 0 n));
+      check Alcotest.int
+        (Printf.sprintf "clauses at chunk %d" chunk_size)
+        (Cnf.num_clauses reference) (Cnf.num_clauses cnf);
+      check Alcotest.bool
+        (Printf.sprintf "equal at chunk %d" chunk_size)
+        true
+        (List.for_all2 Clause.equal (Cnf.clauses reference) (Cnf.clauses cnf)))
+    [ 4; 5; 7; 16; 64 ]
+
+let test_multi_mb_roundtrip () =
+  (* A multi-MB synthetic file through the streaming path: write,
+     re-parse with both parsers, compare; also check the scratch stays
+     O(largest clause). *)
+  let cnf =
+    Berkmin_gen.Random_ksat.generate ~num_vars:2000 ~num_clauses:120_000 ~k:3
+      ~seed:42
+  in
+  let path = Filename.temp_file "berkmin_big" ".cnf" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Dimacs.write_file path cnf;
+      let size = (Unix.stat path).Unix.st_size in
+      check Alcotest.bool "file is multi-MB" true (size > 1_500_000);
+      let streamed = Dimacs.parse_file path in
+      let legacy = Dimacs.Legacy.parse_file path in
+      check Alcotest.int "stream clauses" (Cnf.num_clauses cnf)
+        (Cnf.num_clauses streamed);
+      check Alcotest.bool "stream = original" true
+        (List.for_all2 Clause.equal (Cnf.clauses cnf) (Cnf.clauses streamed));
+      check Alcotest.bool "stream = legacy" true
+        (List.for_all2 Clause.equal (Cnf.clauses legacy)
+           (Cnf.clauses streamed));
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let (), scratch_words =
+            Dimacs.fold_clauses_scratch (Dimacs.From_channel ic) ~init:()
+              ~f:(fun () _ _ -> ())
+          in
+          (* every clause has 3 literals; the scratch must be near that,
+             not near the file's 360k literals *)
+          check Alcotest.bool "scratch is O(largest clause)" true
+            (scratch_words <= 16)))
+
 let () =
   Alcotest.run "dimacs"
     [
@@ -114,6 +257,13 @@ let () =
           Alcotest.test_case "no header" `Quick test_parse_no_header;
           Alcotest.test_case "satlib tail" `Quick test_parse_satlib_percent;
           Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+      ( "streaming",
+        [
+          Alcotest.test_case "small chunks" `Quick test_stream_small_chunks;
+          Alcotest.test_case "multi-MB roundtrip" `Quick test_multi_mb_roundtrip;
+          qtest prop_stream_eq_legacy;
+          qtest prop_stream_eq_legacy_mutated;
         ] );
       ( "print",
         [

@@ -326,6 +326,75 @@ let test_luby_sequence () =
 
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Bulk load (streaming DIMACS straight into the solver).              *)
+
+module Dimacs = Berkmin_dimacs.Dimacs
+
+(* [load] must be indistinguishable from [create ∘ parse]: same
+   verdict and, because construction order is identical, the same
+   search trace (conflict/decision/propagation counts). *)
+let assert_load_equiv ?config name text =
+  let s_parse = Solver.create ?config (Dimacs.parse_string text) in
+  let s_load = Solver.load_string ?config text in
+  check Alcotest.int (name ^ ": nvars") (Solver.num_vars s_parse)
+    (Solver.num_vars s_load);
+  check Alcotest.int (name ^ ": n_original")
+    (Solver.num_original_clauses s_parse)
+    (Solver.num_original_clauses s_load);
+  let r_parse = Solver.solve s_parse and r_load = Solver.solve s_load in
+  check Alcotest.bool (name ^ ": same verdict") true
+    (match (r_parse, r_load) with
+    | Solver.Sat _, Solver.Sat _
+    | Solver.Unsat, Solver.Unsat
+    | Solver.Unknown, Solver.Unknown -> true
+    | _ -> false);
+  let st_parse = Solver.stats s_parse and st_load = Solver.stats s_load in
+  check Alcotest.int (name ^ ": same conflicts")
+    st_parse.Berkmin.Stats.conflicts st_load.Berkmin.Stats.conflicts;
+  check Alcotest.int (name ^ ": same decisions")
+    st_parse.Berkmin.Stats.decisions st_load.Berkmin.Stats.decisions;
+  check Alcotest.int (name ^ ": same propagations")
+    st_parse.Berkmin.Stats.propagations st_load.Berkmin.Stats.propagations
+
+let test_load_equivalence () =
+  let hole = Berkmin_gen.Pigeonhole.php 6 5 in
+  assert_load_equiv "hole_6_5" (Dimacs.to_string hole);
+  let planted =
+    Berkmin_gen.Random_ksat.planted ~num_vars:80 ~num_clauses:340 ~k:3 ~seed:9
+  in
+  assert_load_equiv "planted" (Dimacs.to_string planted);
+  assert_load_equiv ~config:Berkmin.Config.modern "planted/modern"
+    (Dimacs.to_string planted);
+  (* degenerate shapes: units, tautologies, duplicates, empty clause *)
+  assert_load_equiv "units" "p cnf 3 3\n1 0\n-1 2 0\n-2 3 0\n";
+  assert_load_equiv "tautology" "p cnf 2 2\n1 -1 0\n2 2 0\n";
+  assert_load_equiv "empty clause" "p cnf 2 2\n1 0\n0\n";
+  assert_load_equiv "contradiction" "p cnf 1 2\n1 0\n-1 0\n";
+  assert_load_equiv "headerless" "1 2 0\n-1 -2 0\n1 -2 0\n-1 2 0\n"
+
+let test_load_stats_recorded () =
+  let text = Dimacs.to_string (Berkmin_gen.Pigeonhole.php 5 4) in
+  let s = Solver.load_string text in
+  let st = Solver.stats s in
+  check Alcotest.bool "load_clauses set" true
+    (st.Berkmin.Stats.load_clauses > 0);
+  check Alcotest.bool "load_literals set" true
+    (st.Berkmin.Stats.load_literals >= st.Berkmin.Stats.load_clauses);
+  check Alcotest.bool "scratch recorded" true
+    (st.Berkmin.Stats.load_scratch_words > 0);
+  check Alcotest.bool "wall time sane" true (st.Berkmin.Stats.time_load >= 0.0)
+
+let test_load_file_solves () =
+  let inst = Berkmin_gen.Pigeonhole.instance 6 5 in
+  let path = Filename.temp_file "berkmin_load" ".cnf" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Dimacs.write_file path inst.Instance.cnf;
+      let s = Solver.load_file path in
+      check Alcotest.bool "hole_6_5 is UNSAT" true (is_unsat (Solver.solve s)))
+
 let () =
   Alcotest.run "solver"
     [
@@ -374,4 +443,11 @@ let () =
           Alcotest.test_case "extend model" `Quick test_preprocess_extend_model;
         ] );
       ("luby", [ Alcotest.test_case "sequence" `Quick test_luby_sequence ]);
+      ( "bulk-load",
+        [
+          Alcotest.test_case "load = create" `Quick test_load_equivalence;
+          Alcotest.test_case "load stats recorded" `Quick
+            test_load_stats_recorded;
+          Alcotest.test_case "load_file solves" `Quick test_load_file_solves;
+        ] );
     ]
